@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks of the causal-logging hot path: determinant
+//! encoding, delta collection/ingestion, and the §4.2 timestamp-service
+//! caching optimization (E9: the paper claims ~two orders of magnitude fewer
+//! determinants without a large loss of time granularity).
+
+use clonos::causal_log::CausalLogManager;
+use clonos::determinant::Determinant;
+use clonos::services::CausalServices;
+use clonos_sim::VirtualTime;
+use clonos_storage::codec::{ByteReader, ByteWriter};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_determinant_codec(c: &mut Criterion) {
+    let dets = vec![
+        Determinant::Order { channel: 3 },
+        Determinant::Timer { timer_id: 42, offset: 1_000 },
+        Determinant::Timestamp { ts: 1_616_161_616, offset: 7 },
+        Determinant::BufferFlush { size: 32_768, records: 140 },
+        Determinant::External { payload: vec![7u8; 64] },
+    ];
+    let mut g = c.benchmark_group("determinant_codec");
+    g.throughput(Throughput::Elements(dets.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut w = ByteWriter::with_capacity(256);
+            for d in &dets {
+                d.encode(&mut w);
+            }
+            black_box(w.len())
+        })
+    });
+    let mut w = ByteWriter::new();
+    for d in &dets {
+        d.encode(&mut w);
+    }
+    let bytes = w.freeze();
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut r = ByteReader::new(&bytes);
+            let mut n = 0;
+            while !r.is_empty() {
+                black_box(Determinant::decode(&mut r).unwrap());
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_delta_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_pipeline");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("record64_collect_ingest", |b| {
+        b.iter(|| {
+            let mut up = CausalLogManager::new(1, 1, 1);
+            for i in 0..64u64 {
+                up.record(Determinant::Timestamp { ts: i, offset: i });
+            }
+            let delta = up.collect_delta(0);
+            let mut down = CausalLogManager::new(2, 0, 1);
+            black_box(down.ingest_delta(&delta).unwrap())
+        })
+    });
+    // DSD=2 forwarding: the middle task re-forwards the upstream log.
+    g.bench_function("record64_forwarded_dsd2", |b| {
+        b.iter(|| {
+            let mut up = CausalLogManager::new(1, 1, 2);
+            for i in 0..64u64 {
+                up.record(Determinant::Timestamp { ts: i, offset: i });
+            }
+            let d1 = up.collect_delta(0);
+            let mut mid = CausalLogManager::new(2, 1, 2);
+            mid.ingest_delta(&d1).unwrap();
+            let d2 = mid.collect_delta(0);
+            let mut down = CausalLogManager::new(3, 0, 2);
+            black_box(down.ingest_delta(&d2).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_timestamp_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timestamp_service_e9");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("cached_1ms", |b| {
+        b.iter(|| {
+            let mut log = CausalLogManager::new(1, 1, 1);
+            let mut svc = CausalServices::new(1_000);
+            for i in 0..1_000u64 {
+                black_box(svc.timestamp(&mut log, VirtualTime(i * 10), i).unwrap());
+            }
+            (svc.ts_calls, svc.ts_determinants)
+        })
+    });
+    g.bench_function("uncached", |b| {
+        b.iter(|| {
+            let mut log = CausalLogManager::new(1, 1, 1);
+            let mut svc = CausalServices::new(0);
+            for i in 0..1_000u64 {
+                black_box(svc.timestamp(&mut log, VirtualTime(i * 10), i).unwrap());
+            }
+            (svc.ts_calls, svc.ts_determinants)
+        })
+    });
+    g.finish();
+
+    // Print the E9 determinant-volume ratio once, outside measurement.
+    let mut log = CausalLogManager::new(1, 1, 1);
+    let mut svc = CausalServices::new(1_000);
+    for i in 0..100_000u64 {
+        svc.timestamp(&mut log, VirtualTime(i * 10), i).unwrap();
+    }
+    println!(
+        "E9: cached timestamp service: {} calls -> {} determinants ({}x reduction)",
+        svc.ts_calls,
+        svc.ts_determinants,
+        svc.ts_calls / svc.ts_determinants.max(1)
+    );
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_determinant_codec, bench_delta_pipeline, bench_timestamp_service
+);
+criterion_main!(benches);

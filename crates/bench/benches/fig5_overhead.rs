@@ -1,0 +1,26 @@
+//! Criterion companion to the Figure-5 harness: normal-operation cost of the
+//! three fault-tolerance configurations on a representative query pair (one
+//! shallow, one deep). For the full 13-query table run
+//! `cargo run -p clonos-bench --release --bin fig5_overhead`.
+
+use clonos_bench::{run_query, Config};
+use clonos_nexmark::QueryId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    for q in [QueryId::Q1, QueryId::Q4] {
+        let mut g = c.benchmark_group(format!("fig5_{q}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(10_000));
+        for cfg in [Config::Flink, Config::ClonosDsd1, Config::ClonosFull] {
+            g.bench_with_input(BenchmarkId::from_parameter(cfg.label()), &cfg, |b, &cfg| {
+                b.iter(|| black_box(run_query(q, cfg, 42, 2, 10_000, 8).records_in))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion companion to the Figure-6 harnesses: end-to-end cost of one
+//! failure + local recovery (Clonos) vs. one failure + global rollback
+//! (baseline) on a short synthetic run. For the full time-series figures run
+//! the `fig6_single` / `fig6_multi` binaries.
+
+use clonos_bench::{run_synthetic, Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_one_failure");
+    g.sample_size(10);
+    for cfg in [Config::ClonosFull, Config::Flink] {
+        g.bench_with_input(BenchmarkId::from_parameter(cfg.label()), &cfg, |b, &cfg| {
+            b.iter(|| {
+                let report =
+                    run_synthetic(3, 2, cfg.ft(), 42, 2_000, 30, &[(7_000_000, 3)], |_| {});
+                assert!(report.duplicate_idents().is_empty());
+                black_box(report.records_out)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

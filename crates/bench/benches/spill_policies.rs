@@ -1,0 +1,51 @@
+//! Criterion benchmark of the in-flight log's spill policies (§6.1/E8):
+//! append + truncate cycles under each policy, measuring the modelled-I/O
+//! *and real CPU* cost of logging sent buffers.
+
+use bytes::Bytes;
+use clonos::config::SpillPolicy;
+use clonos::inflight::{InFlightLog, SentBuffer};
+use clonos_storage::spill::SpillDevice;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn cycle(policy: SpillPolicy, buffers: usize) -> u64 {
+    let mut log = InFlightLog::new(2, policy, 64);
+    let mut dev = SpillDevice::new();
+    let payload = Bytes::from(vec![0u8; 4 * 1024]);
+    for i in 0..buffers {
+        let epoch = (i / 32) as u64;
+        log.append(
+            (i % 2) as u32,
+            SentBuffer { epoch, payload: payload.clone(), delta: Bytes::new(), records: 10 },
+            &mut dev,
+        );
+        if i % 64 == 63 {
+            log.truncate_through(epoch.saturating_sub(1), &mut dev);
+        }
+    }
+    log.stats.buffers_logged
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inflight_spill");
+    g.throughput(Throughput::Elements(512));
+    for (name, policy) in [
+        ("in_memory", SpillPolicy::InMemory),
+        ("spill_epoch", SpillPolicy::SpillEpoch),
+        ("spill_buffer", SpillPolicy::SpillBuffer),
+        ("spill_threshold", SpillPolicy::SpillThreshold(0.25)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| black_box(cycle(p, 512)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_policies
+);
+criterion_main!(benches);

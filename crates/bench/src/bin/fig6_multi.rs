@@ -1,0 +1,79 @@
+//! **Figures 6c/6g (multiple staggered failures) and 6d/6h (concurrent
+//! failures)** — §7.4's synthetic experiments: parallelism 5, operator
+//! graph depth 5, checkpoint interval 5 s, 100 MB state per operator; three
+//! sequenced (connected) failures, either 5 s apart or simultaneous.
+//!
+//! Expected shape (paper): Clonos loses only *partial* throughput — records
+//! keep flowing on causally unaffected paths — and recovers each failure
+//! locally; Flink tears the whole job down once (or repeatedly) and pays
+//! detection + restart + 100 MB-per-operator state reload every time.
+//!
+//! Usage: `cargo run -p clonos-bench --release --bin fig6_multi [events]`
+
+use clonos_bench::{mean_rate, print_series, print_table, run_synthetic, Config};
+
+fn main() {
+    let rate: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_000);
+    const DEPTH: usize = 5;
+    const PAR: usize = 5;
+    // Tasks: source 1..=5, stage0 6..=10, stage1 11..=15, stage2 16..=20,
+    // sink 21..=25. Connected (sequenced) failures down one path:
+    let staggered: Vec<(u64, u64)> =
+        vec![(27_000_000, 6), (32_000_000, 11), (37_000_000, 16)];
+    #[allow(clippy::useless_vec)]
+    let concurrent: Vec<(u64, u64)> =
+        vec![(27_000_000, 6), (27_000_000, 11), (27_000_000, 16)];
+
+    let mut summary = Vec::new();
+    for (label, kills) in [("multiple (5s apart)", staggered), ("concurrent", concurrent)] {
+        for cfg in [Config::ClonosFull, Config::Flink] {
+            let report = run_synthetic(
+                DEPTH,
+                PAR,
+                cfg.ft(),
+                42,
+                rate,
+                100,
+                &kills,
+                |ecfg| {
+                    ecfg.synthetic_state_bytes = 100_000_000; // 100 MB/operator
+                    ecfg.record_cost = clonos_sim::VirtualDuration::from_micros(150);
+                },
+            );
+            println!("\n### {label} — {}", cfg.label());
+            print_series("latency (s)", report.latency_series.points(), 24);
+            print_series("throughput (records/s)", &report.throughput, 24);
+            let rec = report
+                .recovery_time(1.10)
+                .map(|d| format!("{:.1}s", d.as_secs_f64()))
+                .unwrap_or_else(|| "n/a".to_string());
+            let during = mean_rate(&report, 28, 45);
+            let pre = mean_rate(&report, 10, 27);
+            summary.push(vec![
+                label.to_string(),
+                cfg.label().to_string(),
+                rec,
+                format!("{pre:.0}"),
+                format!("{during:.0}"),
+                format!("{:.0}%", 100.0 * during / pre.max(1.0)),
+                format!("{}", report.duplicate_idents().len()),
+                format!("{}", report.ident_gaps().len()),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 6 (c/d/g/h) summary",
+        &[
+            "experiment",
+            "system",
+            "recovery",
+            "pre rec/s",
+            "during rec/s",
+            "retained",
+            "dups",
+            "gaps",
+        ],
+        &summary,
+    );
+    println!("(paper: Clonos retains partial throughput through causally unaffected paths and behaves similarly for staggered and concurrent failures; Flink drops to zero for the full restart)");
+}

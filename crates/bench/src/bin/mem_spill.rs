@@ -1,0 +1,64 @@
+//! **§7.5 Memory usage (E8)** — in-flight log footprint and throughput under
+//! the four spill policies, across buffer-pool sizes.
+//!
+//! Paper findings to reproduce in shape: `spill-buffer` is the most
+//! conservative on memory but slowest (synchronous, unbatched I/O);
+//! `in-memory` and `spill-epoch` risk blocking when the pool is small
+//! relative to the checkpoint interval; `spill-threshold` is the
+//! well-rounded default.
+//!
+//! Usage: `cargo run -p clonos-bench --release --bin mem_spill`
+
+use clonos::config::{ClonosConfig, SharingDepth, SpillPolicy};
+use clonos_bench::{print_table, run_synthetic};
+use clonos_engine::FtMode;
+
+fn main() {
+    let policies: [(&str, SpillPolicy); 4] = [
+        ("in-memory", SpillPolicy::InMemory),
+        ("spill-epoch", SpillPolicy::SpillEpoch),
+        ("spill-buffer", SpillPolicy::SpillBuffer),
+        ("spill-threshold", SpillPolicy::SpillThreshold(0.25)),
+    ];
+    let mut rows = Vec::new();
+    for &(name, policy) in &policies {
+        for pool in [64usize, 256, 2_560] {
+            let ft = FtMode::Clonos(ClonosConfig {
+                spill: policy,
+                inflight_pool_buffers: pool,
+                ..ClonosConfig::exactly_once(SharingDepth::Depth(1))
+            });
+            let report = run_synthetic(3, 2, ft, 42, 4_000, 30, &[], |ecfg| {
+                // Long checkpoint interval stresses the in-flight log.
+                ecfg.checkpoint_interval = clonos_sim::VirtualDuration::from_secs(10);
+            });
+            let tput = report.records_in as f64 / report.wall_seconds.max(1e-9);
+            let s = report.inflight_stats;
+            rows.push(vec![
+                name.to_string(),
+                format!("{pool}"),
+                format!("{:.2}", s.peak_resident_bytes as f64 / 1.0e6),
+                format!("{}", s.buffers_spilled),
+                format!("{:.0}ms", s.spill_io.as_millis()),
+                format!("{}", s.blocked_appends),
+                format!("{:.0}k", tput / 1_000.0),
+                format!("{}", report.records_out),
+            ]);
+        }
+    }
+    print_table(
+        "§7.5: in-flight log memory & throughput by spill policy",
+        &[
+            "policy",
+            "pool (bufs)",
+            "peak MB",
+            "spilled",
+            "spill io",
+            "blocked",
+            "wall rec/s",
+            "out",
+        ],
+        &rows,
+    );
+    println!("(paper: spill-buffer is memory-frugal but slow/unpredictable; spill-threshold deteriorates under ~50 MB and plateaus above ~80 MB; determinant pool of ~5 MB suffices at DSD=1)");
+}

@@ -1,0 +1,990 @@
+//! The causal log (§4.3) and its manager.
+//!
+//! Every task keeps:
+//! - a **main-thread log** of determinants (order, timers, timestamps, RPCs,
+//!   external responses, …);
+//! - one **output-channel log** per output channel, recording the network
+//!   thread's nondeterministic flush decisions ([`Determinant::BufferFlush`]);
+//! - a **replicated store** of upstream tasks' logs, received piggybacked on
+//!   input buffers.
+//!
+//! Whenever a buffer is dispatched downstream, a **delta** piggybacks on it,
+//! containing all entries of the main log and the output-queue logs appended
+//! since the last dispatch *on that channel*, plus — when the determinant
+//! sharing depth (DSD) exceeds one — the deltas of replicated upstream logs
+//! within range. The downstream task appends these to its replicated store
+//! *before* the buffer's records affect its state, preserving
+//! `Depend(e) ⊆ Log(e)` (the always-no-orphans property, Eq. 2 of the paper).
+//!
+//! Entries carry dense per-log sequence numbers, which makes delta ingestion
+//! idempotent (diamond topologies deliver the same determinants along several
+//! paths) and lets recovery merge partial replicas from multiple downstream
+//! survivors by simply taking the longest.
+
+use crate::determinant::Determinant;
+use crate::{ChannelId, EpochId, TaskId};
+use bytes::Bytes;
+use clonos_storage::codec::{ByteReader, ByteWriter, CodecError};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Log identifier within a task: the main-thread log or an output-channel log.
+pub const MAIN_LOG: u32 = 0;
+
+/// Wire-only tag for a run-length-compressed sequence of `Order`
+/// determinants inside a delta (§9 of the paper lists compressed causal-log
+/// data structures as future work; `Order` entries dominate the log under
+/// steady load, and consecutive buffers from the same channel are common).
+const WIRE_ORDER_RUN: u8 = 0x3F;
+
+#[inline]
+pub fn channel_log(ch: ChannelId) -> u32 {
+    ch + 1
+}
+
+/// An epoch-segmented, sequence-numbered determinant log.
+///
+/// Entries are appended with nondecreasing epochs; truncation drops whole
+/// epoch prefixes (safe once a checkpoint made them stable).
+#[derive(Clone, Debug, Default)]
+pub struct EpochLog {
+    base_seq: u64,
+    entries: VecDeque<(EpochId, Determinant)>,
+    encoded_bytes: u64,
+    /// Times this replica resynchronized over a forward gap (diagnostics).
+    gap_resyncs: u64,
+}
+
+impl EpochLog {
+    pub fn new() -> EpochLog {
+        EpochLog::default()
+    }
+
+    /// Sequence number the next appended entry will get.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.base_seq + self.entries.len() as u64
+    }
+
+    #[inline]
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total encoded size of resident entries (determinant-pool accounting).
+    pub fn encoded_bytes(&self) -> u64 {
+        self.encoded_bytes
+    }
+
+    pub fn append(&mut self, epoch: EpochId, det: Determinant) -> u64 {
+        if let Some(&(last, _)) = self.entries.back() {
+            debug_assert!(epoch >= last, "epochs must be nondecreasing");
+        }
+        let seq = self.next_seq();
+        self.encoded_bytes += det.encoded_len() as u64;
+        self.entries.push_back((epoch, det));
+        seq
+    }
+
+    /// Entry at absolute sequence number `seq`, if resident.
+    pub fn get(&self, seq: u64) -> Option<&(EpochId, Determinant)> {
+        let idx = seq.checked_sub(self.base_seq)?;
+        self.entries.get(idx as usize)
+    }
+
+    /// Iterate entries with `seq >= from`, yielding `(seq, epoch, det)`.
+    pub fn since(&self, from: u64) -> impl Iterator<Item = (u64, EpochId, &Determinant)> {
+        let start = from.saturating_sub(self.base_seq) as usize;
+        self.entries
+            .iter()
+            .enumerate()
+            .skip(start)
+            .map(move |(i, (e, d))| (self.base_seq + i as u64, *e, d))
+    }
+
+    /// Drop all entries belonging to epochs `<= epoch`. Returns dropped count.
+    pub fn truncate_through(&mut self, epoch: EpochId) -> usize {
+        let mut dropped = 0;
+        while let Some(&(e, _)) = self.entries.front() {
+            if e > epoch {
+                break;
+            }
+            let (_, d) = self.entries.pop_front().expect("front exists");
+            self.encoded_bytes -= d.encoded_len() as u64;
+            self.base_seq += 1;
+            dropped += 1;
+        }
+        dropped
+    }
+
+    /// Idempotent insert of an entry with a known sequence number.
+    ///
+    /// Returns `Ok(true)` if appended, `Ok(false)` if it was a duplicate or
+    /// pre-truncation entry, and an error on a sequence gap — except that an
+    /// *empty* log resynchronizes its base to the incoming sequence (the
+    /// pre-gap entries are stable and were truncated everywhere).
+    pub fn ingest(&mut self, seq: u64, epoch: EpochId, det: Determinant) -> Result<bool, DeltaError> {
+        if self.is_empty() && seq > self.base_seq {
+            // Resync: see module docs — only reachable when the skipped
+            // prefix is already stable.
+            self.base_seq = seq;
+        }
+        let next = self.next_seq();
+        if seq < next {
+            return Ok(false); // duplicate path (diamond) or truncated
+        }
+        if seq > next {
+            // Forward gap. Two legitimate causes: (a) the sender truncated
+            // entries this replica still holds (checkpoint-complete
+            // notifications race across tasks), or (b) the sender is a
+            // recovered task whose *forwarded* upstream-log cursors were
+            // repackaged by replay pacing (DSD > 1). Either way the invariant
+            // is safe: dependence on an event only ever arrives together
+            // with its determinant (piggybacked on the same buffer), so a
+            // receiver that never got entries `next..seq` cannot depend on
+            // them — Depend(e) ⊆ Log(e) is preserved. Resync: drop the stale
+            // resident prefix (it remains contiguous elsewhere or is
+            // checkpoint-stable) and continue from the incoming sequence.
+            self.encoded_bytes = 0;
+            self.entries.clear();
+            self.base_seq = seq;
+            self.gap_resyncs += 1;
+        }
+        self.append(epoch, det);
+        Ok(true)
+    }
+
+    /// Full copy of resident entries, `(seq, epoch, det)` triplets.
+    pub fn snapshot(&self) -> Vec<(u64, EpochId, Determinant)> {
+        self.since(self.base_seq).map(|(s, e, d)| (s, e, d.clone())).collect()
+    }
+}
+
+/// Errors during delta exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    SequenceGap { expected: u64, got: u64 },
+    Codec(CodecError),
+}
+
+impl From<CodecError> for DeltaError {
+    fn from(e: CodecError) -> Self {
+        DeltaError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::SequenceGap { expected, got } => {
+                write!(f, "determinant sequence gap: expected {expected}, got {got}")
+            }
+            DeltaError::Codec(e) => write!(f, "delta codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// The full set of logs describing one task: main + per-output-channel.
+#[derive(Clone, Debug, Default)]
+pub struct TaskLog {
+    pub main: EpochLog,
+    pub channels: Vec<EpochLog>,
+}
+
+impl TaskLog {
+    fn new(num_channels: usize) -> TaskLog {
+        TaskLog { main: EpochLog::new(), channels: vec![EpochLog::new(); num_channels] }
+    }
+
+    fn log(&self, id: u32) -> Option<&EpochLog> {
+        if id == MAIN_LOG {
+            Some(&self.main)
+        } else {
+            self.channels.get((id - 1) as usize)
+        }
+    }
+
+    fn log_mut(&mut self, id: u32) -> &mut EpochLog {
+        if id == MAIN_LOG {
+            &mut self.main
+        } else {
+            let idx = (id - 1) as usize;
+            if idx >= self.channels.len() {
+                self.channels.resize_with(idx + 1, EpochLog::new);
+            }
+            &mut self.channels[idx]
+        }
+    }
+
+    fn log_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        std::iter::once(MAIN_LOG).chain((0..self.channels.len() as u32).map(channel_log))
+    }
+
+    pub fn encoded_bytes(&self) -> u64 {
+        self.main.encoded_bytes() + self.channels.iter().map(|c| c.encoded_bytes()).sum::<u64>()
+    }
+
+    pub fn truncate_through(&mut self, epoch: EpochId) {
+        self.main.truncate_through(epoch);
+        for c in &mut self.channels {
+            c.truncate_through(epoch);
+        }
+    }
+}
+
+/// A portable full copy of a task's logs, exchanged during recovery
+/// (step 3 of the protocol: "Retrieve Determinant Log").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TaskLogSnapshot {
+    /// `(log_id, base_seq, entries)` per log.
+    pub logs: Vec<(u32, u64, Vec<(EpochId, Determinant)>)>,
+}
+
+impl TaskLogSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.logs.iter().all(|(_, _, es)| es.is_empty())
+    }
+
+    /// Merge another replica in: per log, keep whichever copy extends
+    /// further. Correct because all replicas of a log are prefixes of the
+    /// same sequence (FIFO channels + dense sequence numbers).
+    pub fn merge(&mut self, other: &TaskLogSnapshot) {
+        for (id, obase, oentries) in &other.logs {
+            match self.logs.iter_mut().find(|(i, _, _)| i == id) {
+                None => self.logs.push((*id, *obase, oentries.clone())),
+                Some((_, base, entries)) => {
+                    let my_end = *base + entries.len() as u64;
+                    let their_end = *obase + oentries.len() as u64;
+                    if their_end > my_end {
+                        *base = *obase;
+                        *entries = oentries.clone();
+                    }
+                }
+            }
+        }
+    }
+
+    pub fn total_entries(&self) -> usize {
+        self.logs.iter().map(|(_, _, e)| e.len()).sum()
+    }
+
+    /// Look up one log's `(base_seq, entries)` by id.
+    pub fn for_log(&self, id: u32) -> Option<(u64, &[(EpochId, Determinant)])> {
+        self.logs.iter().find(|(i, _, _)| *i == id).map(|(_, b, e)| (*b, e.as_slice()))
+    }
+}
+
+/// A replicated upstream log held at a downstream task.
+#[derive(Clone, Debug)]
+struct Replica {
+    /// Minimum hop distance from the origin task to the holder.
+    hops: u32,
+    log: TaskLog,
+}
+
+/// Encoded piggyback delta (attached to every outgoing buffer).
+pub type LogDelta = Bytes;
+
+/// Statistics for overhead accounting (§7.3, §7.5, E9).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LogStats {
+    pub determinants_recorded: u64,
+    pub delta_bytes_shipped: u64,
+    pub delta_entries_shipped: u64,
+    pub deltas_ingested: u64,
+    pub entries_ingested: u64,
+    /// Logical `Order` entries shipped inside run-length-compressed wire
+    /// items (the §9 compression extension).
+    pub order_entries_compressed: u64,
+}
+
+/// Replay source installed on a recovering task: the merged snapshot of its
+/// predecessor's logs, consumed as the task re-executes.
+#[derive(Debug, Default)]
+struct ReplaySource {
+    main: VecDeque<(EpochId, Determinant)>,
+    channels: BTreeMap<ChannelId, VecDeque<(EpochId, Determinant)>>,
+}
+
+/// Per-task causal log manager: owns the task's logs, the replicated store,
+/// per-output-channel delta cursors, and replay state during recovery.
+#[derive(Debug)]
+pub struct CausalLogManager {
+    task: TaskId,
+    dsd: u32,
+    epoch: EpochId,
+    own: TaskLog,
+    replicated: BTreeMap<TaskId, Replica>,
+    /// cursors[channel] maps (origin, log_id) -> next seq to ship.
+    cursors: Vec<BTreeMap<(TaskId, u32), u64>>,
+    replay: Option<ReplaySource>,
+    pub stats: LogStats,
+}
+
+impl CausalLogManager {
+    pub fn new(task: TaskId, num_out_channels: usize, dsd: u32) -> CausalLogManager {
+        CausalLogManager {
+            task,
+            dsd,
+            epoch: 0,
+            own: TaskLog::new(num_out_channels),
+            replicated: BTreeMap::new(),
+            cursors: vec![BTreeMap::new(); num_out_channels],
+            replay: None,
+            stats: LogStats::default(),
+        }
+    }
+
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    pub fn dsd(&self) -> u32 {
+        self.dsd
+    }
+
+    pub fn epoch(&self) -> EpochId {
+        self.epoch
+    }
+
+    /// Advance to a new epoch (a checkpoint barrier passed through the task).
+    pub fn set_epoch(&mut self, epoch: EpochId) {
+        debug_assert!(epoch >= self.epoch);
+        self.epoch = epoch;
+    }
+
+    /// Whether causal logging is active at all (DSD = 0 disables it — the
+    /// at-least-once configuration of §5.4).
+    pub fn enabled(&self) -> bool {
+        self.dsd > 0
+    }
+
+    // ----- recording ---------------------------------------------------
+
+    /// Append a main-thread determinant.
+    pub fn record(&mut self, det: Determinant) {
+        if !self.enabled() {
+            return;
+        }
+        debug_assert!(det.is_main_thread());
+        self.stats.determinants_recorded += 1;
+        self.own.main.append(self.epoch, det);
+    }
+
+    /// Append an output-queue flush determinant for `channel`.
+    pub fn record_flush(&mut self, channel: ChannelId, size: u32, records: u32) {
+        if !self.enabled() {
+            return;
+        }
+        self.stats.determinants_recorded += 1;
+        self.own.log_mut(channel_log(channel)).append(self.epoch, Determinant::BufferFlush {
+            size,
+            records,
+        });
+    }
+
+    /// Resident determinant bytes (own + replicated) — §7.5 memory metric.
+    pub fn resident_bytes(&self) -> u64 {
+        self.own.encoded_bytes()
+            + self.replicated.values().map(|r| r.log.encoded_bytes()).sum::<u64>()
+    }
+
+    // ----- delta exchange ----------------------------------------------
+
+    /// Collect the piggyback delta for an outgoing buffer on `channel`,
+    /// advancing that channel's cursors. Includes this task's own logs
+    /// (orig hops 0) and any replicated logs with `hops + 1 <= dsd`.
+    pub fn collect_delta(&mut self, channel: ChannelId) -> LogDelta {
+        let mut w = ByteWriter::new();
+        if !self.enabled() {
+            return w.freeze();
+        }
+        let ch = channel as usize;
+        debug_assert!(ch < self.cursors.len());
+        let mut origins: u64 = 0;
+        let mut body = ByteWriter::new();
+        let mut shipped_entries: u64 = 0;
+
+        // Own logs always ship (receiver is 1 hop from us).
+        Self::encode_origin_delta(
+            &mut body,
+            self.task,
+            0,
+            &self.own,
+            &mut self.cursors[ch],
+            &mut shipped_entries,
+        );
+        origins += 1;
+
+        // Forward replicated upstream logs still within sharing depth.
+        if self.dsd > 1 {
+            for (&origin, replica) in &self.replicated {
+                if replica.hops + 1 > self.dsd {
+                    continue;
+                }
+                Self::encode_origin_delta(
+                    &mut body,
+                    origin,
+                    replica.hops,
+                    &replica.log,
+                    &mut self.cursors[ch],
+                    &mut shipped_entries,
+                );
+                origins += 1;
+            }
+        }
+
+        w.put_varint(origins);
+        w.put_raw(body.as_slice());
+        let delta = w.freeze();
+        self.stats.delta_bytes_shipped += delta.len() as u64;
+        self.stats.delta_entries_shipped += shipped_entries;
+        delta
+    }
+
+    fn encode_origin_delta(
+        w: &mut ByteWriter,
+        origin: TaskId,
+        hops_at_sender: u32,
+        logs: &TaskLog,
+        cursors: &mut BTreeMap<(TaskId, u32), u64>,
+        shipped: &mut u64,
+    ) {
+        w.put_varint(origin);
+        w.put_varint(hops_at_sender as u64);
+        let ids: Vec<u32> = logs.log_ids().collect();
+        w.put_varint(ids.len() as u64);
+        for id in ids {
+            let log = logs.log(id).expect("log id from log_ids");
+            let cursor = cursors.entry((origin, id)).or_insert(log.base_seq());
+            let from = (*cursor).max(log.base_seq());
+            let entries: Vec<_> = log.since(from).collect();
+            w.put_varint(id as u64);
+            w.put_varint(from);
+            w.put_varint(entries.len() as u64);
+            // Run-length-compress consecutive same-channel Order entries
+            // within an epoch (wire-level only; the receiver re-expands).
+            let mut i = 0;
+            while i < entries.len() {
+                let (_, epoch, det) = entries[i];
+                if let Determinant::Order { channel } = det {
+                    let mut run = 1;
+                    while i + run < entries.len() {
+                        let (_, e2, d2) = entries[i + run];
+                        let same = e2 == epoch
+                            && matches!(d2, Determinant::Order { channel: c2 } if c2 == channel);
+                        if !same {
+                            break;
+                        }
+                        run += 1;
+                    }
+                    if run >= 3 {
+                        w.put_varint(epoch);
+                        w.put_u8(WIRE_ORDER_RUN);
+                        w.put_varint(*channel as u64);
+                        w.put_varint(run as u64);
+                        i += run;
+                        continue;
+                    }
+                }
+                w.put_varint(epoch);
+                det.encode(w);
+                i += 1;
+            }
+            *cursor = from + entries.len() as u64;
+            *shipped += entries.len() as u64;
+        }
+    }
+
+    /// Ingest a delta received piggybacked on an input buffer. Must be called
+    /// *before* the buffer's records are processed.
+    pub fn ingest_delta(&mut self, delta: &[u8]) -> Result<u64, DeltaError> {
+        if !self.enabled() || delta.is_empty() {
+            return Ok(0);
+        }
+        let mut r = ByteReader::new(delta);
+        let origins = r.get_varint()?;
+        let mut added = 0u64;
+        for _ in 0..origins {
+            let origin = r.get_varint()?;
+            let hops_at_sender = r.get_varint()? as u32;
+            let nlogs = r.get_varint()?;
+            let replica = self
+                .replicated
+                .entry(origin)
+                .or_insert_with(|| Replica { hops: hops_at_sender + 1, log: TaskLog::default() });
+            replica.hops = replica.hops.min(hops_at_sender + 1);
+            for _ in 0..nlogs {
+                let id = r.get_varint()? as u32;
+                let from = r.get_varint()?;
+                let count = r.get_varint()?;
+                let log = replica.log.log_mut(id);
+                let mut logical = 0u64;
+                while logical < count {
+                    let epoch = r.get_varint()?;
+                    let tag = r.get_u8()?;
+                    if tag == WIRE_ORDER_RUN {
+                        let channel = r.get_varint()? as u32;
+                        let run = r.get_varint()?;
+                        for _ in 0..run {
+                            if log.ingest(from + logical, epoch, Determinant::Order { channel })? {
+                                added += 1;
+                            }
+                            logical += 1;
+                        }
+                        self.stats.order_entries_compressed += run;
+                    } else {
+                        let det = Determinant::decode_with_tag(tag, &mut r)?;
+                        if log.ingest(from + logical, epoch, det)? {
+                            added += 1;
+                        }
+                        logical += 1;
+                    }
+                }
+            }
+        }
+        self.stats.deltas_ingested += 1;
+        self.stats.entries_ingested += added;
+        Ok(added)
+    }
+
+    // ----- truncation ----------------------------------------------------
+
+    /// A checkpoint completed: every epoch `<= epoch` is stable; truncate
+    /// own and replicated logs (§4.3 "Truncating Causal Logs").
+    pub fn truncate_through(&mut self, epoch: EpochId) {
+        self.own.truncate_through(epoch);
+        for replica in self.replicated.values_mut() {
+            replica.log.truncate_through(epoch);
+        }
+    }
+
+    // ----- recovery ------------------------------------------------------
+
+    /// Export this task's replica of `origin`'s logs (recovery step 3 runs
+    /// this at each downstream survivor).
+    pub fn export_replica(&self, origin: TaskId) -> Option<TaskLogSnapshot> {
+        let replica = self.replicated.get(&origin)?;
+        Some(Self::snapshot_of(&replica.log))
+    }
+
+    /// Export this task's own logs (used when checkpointing the manager and
+    /// by tests).
+    pub fn own_snapshot(&self) -> TaskLogSnapshot {
+        Self::snapshot_of(&self.own)
+    }
+
+    fn snapshot_of(logs: &TaskLog) -> TaskLogSnapshot {
+        let mut snap = TaskLogSnapshot::default();
+        for id in logs.log_ids() {
+            let log = logs.log(id).expect("valid id");
+            snap.logs.push((
+                id,
+                log.base_seq(),
+                log.since(log.base_seq()).map(|(_, e, d)| (e, d.clone())).collect(),
+            ));
+        }
+        snap
+    }
+
+    /// Install a merged predecessor snapshot and enter replay mode.
+    ///
+    /// The manager's own logs restart at the snapshot's base sequence
+    /// numbers so that rebuilt entries receive identical sequence numbers —
+    /// downstream replicas then dedupe re-shipped deltas for free, and
+    /// rebuilt buffers carry byte-identical deltas.
+    pub fn begin_replay(&mut self, snapshot: TaskLogSnapshot, resume_epoch: EpochId) {
+        let mut source = ReplaySource::default();
+        let num_channels = self.cursors.len();
+        self.own = TaskLog::new(num_channels);
+        for (id, base, mut entries) in snapshot.logs {
+            // Entries from epochs before the resume point are stable (their
+            // checkpoint completed) and will not be regenerated by replay —
+            // drop them, advancing the base sequence to keep numbering
+            // aligned with downstream replicas.
+            let stale = entries.iter().take_while(|(e, _)| *e < resume_epoch).count();
+            entries.drain(..stale);
+            let base = base + stale as u64;
+            if id == MAIN_LOG {
+                source.main = entries.into();
+            } else {
+                source.channels.insert(id - 1, entries.into());
+            }
+            // Align our rebuilt log's sequence numbering with the replica's.
+            let log = self.own.log_mut(id);
+            log.base_seq = base;
+        }
+        self.epoch = resume_epoch;
+        self.replay = Some(source);
+        self.check_replay_done(); // an empty snapshot means nothing to replay
+    }
+
+    /// Are we replaying (recovery phase of Listing 3)?
+    pub fn replaying(&self) -> bool {
+        self.replay.as_ref().is_some_and(|r| !r.main.is_empty())
+    }
+
+    /// Is channel `ch`'s flush replay still active?
+    pub fn replaying_flushes(&self, ch: ChannelId) -> bool {
+        self.replay
+            .as_ref()
+            .and_then(|r| r.channels.get(&ch))
+            .is_some_and(|q| !q.is_empty())
+    }
+
+    /// Peek the next main-thread determinant to replay.
+    pub fn peek_replay(&self) -> Option<&Determinant> {
+        self.replay.as_ref()?.main.front().map(|(_, d)| d)
+    }
+
+    /// Pop the next main-thread determinant, re-appending it to the rebuilt
+    /// own log (Listing 3: `causalLog.append(determinant)` on both paths).
+    pub fn pop_replay(&mut self) -> Option<Determinant> {
+        let (epoch, det) = self.replay.as_mut()?.main.pop_front()?;
+        self.own.main.append(epoch, det.clone());
+        self.check_replay_done();
+        Some(det)
+    }
+
+    /// Peek the next flush determinant for `channel` during replay without
+    /// consuming it (the output queue cuts a buffer only once its builder
+    /// reaches exactly the logged size).
+    pub fn peek_replay_flush(&self, channel: ChannelId) -> Option<(u32, u32)> {
+        let q = self.replay.as_ref()?.channels.get(&channel)?;
+        match q.front() {
+            Some((_, Determinant::BufferFlush { size, records })) => Some((*size, *records)),
+            _ => None,
+        }
+    }
+
+    /// Pop the next flush determinant for `channel` during replay.
+    pub fn pop_replay_flush(&mut self, channel: ChannelId) -> Option<(u32, u32)> {
+        let replay = self.replay.as_mut()?;
+        let q = replay.channels.get_mut(&channel)?;
+        let (epoch, det) = q.pop_front()?;
+        let (size, records) = match det {
+            Determinant::BufferFlush { size, records } => (size, records),
+            other => {
+                debug_assert!(false, "non-flush determinant in channel log: {other:?}");
+                return None;
+            }
+        };
+        self.own
+            .log_mut(channel_log(channel))
+            .append(epoch, Determinant::BufferFlush { size, records });
+        self.check_replay_done();
+        Some((size, records))
+    }
+
+    fn check_replay_done(&mut self) {
+        let done = self
+            .replay
+            .as_ref()
+            .map(|r| r.main.is_empty() && r.channels.values().all(|q| q.is_empty()))
+            .unwrap_or(true);
+        if done {
+            self.replay = None;
+        }
+    }
+
+    /// True once replay (main and all channels) has been fully consumed.
+    pub fn replay_complete(&self) -> bool {
+        self.replay.is_none()
+    }
+
+    /// Abandon an in-progress replay (§5.4 availability-over-consistency:
+    /// the task continues live with fresh nondeterminism, degrading this
+    /// incident to at-least-once).
+    pub fn abandon_replay(&mut self) {
+        self.replay = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Determinant {
+        Determinant::Timestamp { ts: v, offset: 0 }
+    }
+
+    #[test]
+    fn epoch_log_append_truncate() {
+        let mut log = EpochLog::new();
+        assert_eq!(log.append(0, ts(1)), 0);
+        assert_eq!(log.append(0, ts(2)), 1);
+        assert_eq!(log.append(1, ts(3)), 2);
+        assert_eq!(log.append(2, ts(4)), 3);
+        assert_eq!(log.truncate_through(0), 2);
+        assert_eq!(log.base_seq(), 2);
+        assert_eq!(log.next_seq(), 4);
+        assert!(log.get(1).is_none());
+        assert_eq!(log.get(2).unwrap().1, ts(3));
+        let rest: Vec<_> = log.since(0).map(|(s, _, _)| s).collect();
+        assert_eq!(rest, vec![2, 3]);
+    }
+
+    #[test]
+    fn epoch_log_ingest_idempotent_and_gap_checked() {
+        let mut log = EpochLog::new();
+        assert!(log.ingest(0, 0, ts(1)).unwrap());
+        assert!(log.ingest(1, 0, ts(2)).unwrap());
+        // Duplicate delivery along a second path: ignored.
+        assert!(!log.ingest(0, 0, ts(1)).unwrap());
+        assert!(!log.ingest(1, 0, ts(2)).unwrap());
+        // Forward gap: resync (see ingest docs) — the stale prefix is
+        // dropped and the log continues from the incoming sequence.
+        assert!(log.ingest(5, 0, ts(9)).unwrap());
+        assert_eq!(log.base_seq(), 5);
+        assert_eq!(log.next_seq(), 6);
+    }
+
+    #[test]
+    fn empty_log_resyncs_to_incoming_base() {
+        let mut log = EpochLog::new();
+        // Fresh replica receiving a replayed delta whose earlier entries were
+        // truncated (stable): resync.
+        assert!(log.ingest(10, 3, ts(1)).unwrap());
+        assert_eq!(log.base_seq(), 10);
+        assert_eq!(log.next_seq(), 11);
+    }
+
+    #[test]
+    fn bytes_accounting_tracks_append_and_truncate() {
+        let mut log = EpochLog::new();
+        log.append(0, ts(100));
+        log.append(1, Determinant::External { payload: vec![0u8; 50] });
+        let full = log.encoded_bytes();
+        assert!(full > 50);
+        log.truncate_through(0);
+        assert!(log.encoded_bytes() < full);
+        log.truncate_through(1);
+        assert_eq!(log.encoded_bytes(), 0);
+    }
+
+    fn mgr(task: TaskId, channels: usize, dsd: u32) -> CausalLogManager {
+        CausalLogManager::new(task, channels, dsd)
+    }
+
+    #[test]
+    fn delta_ships_only_new_entries() {
+        let mut a = mgr(1, 1, 1);
+        a.record(ts(10));
+        a.record(Determinant::Order { channel: 0 });
+        let d1 = a.collect_delta(0);
+        a.record(ts(20));
+        let d2 = a.collect_delta(0);
+        let d3 = a.collect_delta(0); // nothing new
+
+        let mut b = mgr(2, 0, 1);
+        assert_eq!(b.ingest_delta(&d1).unwrap(), 2);
+        assert_eq!(b.ingest_delta(&d2).unwrap(), 1);
+        assert_eq!(b.ingest_delta(&d3).unwrap(), 0);
+        let replica = b.export_replica(1).unwrap();
+        assert_eq!(replica.total_entries(), 3);
+    }
+
+    #[test]
+    fn duplicate_delta_ingestion_is_idempotent() {
+        let mut a = mgr(1, 2, 1);
+        a.record(ts(1));
+        let d_ch0 = a.collect_delta(0);
+        let d_ch1 = a.collect_delta(1); // same entries, second channel
+
+        let mut b = mgr(2, 0, 1);
+        // Diamond: both copies arrive at the same downstream task.
+        assert_eq!(b.ingest_delta(&d_ch0).unwrap(), 1);
+        assert_eq!(b.ingest_delta(&d_ch1).unwrap(), 0);
+    }
+
+    #[test]
+    fn flush_determinants_live_in_channel_logs() {
+        let mut a = mgr(1, 2, 1);
+        a.record_flush(0, 32_768, 100);
+        a.record_flush(1, 128, 1);
+        a.record_flush(0, 500, 3);
+        let snap = a.own_snapshot();
+        let (_, ch0) = snap.for_log(channel_log(0)).unwrap();
+        let (_, ch1) = snap.for_log(channel_log(1)).unwrap();
+        assert_eq!(ch0.len(), 2);
+        assert_eq!(ch1.len(), 1);
+        let (_, main) = snap.for_log(MAIN_LOG).unwrap();
+        assert!(main.is_empty());
+    }
+
+    #[test]
+    fn dsd1_does_not_forward_upstream_logs() {
+        // u -> a -> b with DSD=1: a replicates u's log but must not forward
+        // it to b.
+        let mut u = mgr(1, 1, 1);
+        u.record(ts(5));
+        let du = u.collect_delta(0);
+        let mut a = mgr(2, 1, 1);
+        a.ingest_delta(&du).unwrap();
+        a.record(ts(7));
+        let da = a.collect_delta(0);
+        let mut b = mgr(3, 0, 1);
+        b.ingest_delta(&da).unwrap();
+        assert!(b.export_replica(1).is_none(), "u's log leaked past DSD=1");
+        assert!(b.export_replica(2).is_some());
+    }
+
+    #[test]
+    fn dsd2_forwards_one_extra_hop() {
+        // u -> a -> b -> c with DSD=2: b holds u's log, c must not.
+        let mut u = mgr(1, 1, 2);
+        u.record(ts(5));
+        let du = u.collect_delta(0);
+        let mut a = mgr(2, 1, 2);
+        a.ingest_delta(&du).unwrap();
+        let da = a.collect_delta(0);
+        let mut b = mgr(3, 1, 2);
+        b.ingest_delta(&da).unwrap();
+        assert_eq!(b.export_replica(1).unwrap().total_entries(), 1);
+        let db = b.collect_delta(0);
+        let mut c = mgr(4, 0, 2);
+        c.ingest_delta(&db).unwrap();
+        assert!(c.export_replica(1).is_none(), "u's log exceeded DSD=2");
+        assert!(c.export_replica(3).is_some());
+        // a's log is 2 hops at c — exactly DSD — so it must be present.
+        assert!(c.export_replica(2).is_some());
+    }
+
+    #[test]
+    fn dsd0_disables_logging_entirely() {
+        let mut a = mgr(1, 1, 0);
+        a.record(ts(1));
+        a.record_flush(0, 10, 1);
+        let d = a.collect_delta(0);
+        assert!(d.is_empty());
+        assert_eq!(a.stats.determinants_recorded, 0);
+    }
+
+    #[test]
+    fn truncation_drops_stable_epochs_everywhere() {
+        let mut a = mgr(1, 1, 1);
+        a.set_epoch(0);
+        a.record(ts(1));
+        a.set_epoch(1);
+        a.record(ts(2));
+        let d = a.collect_delta(0);
+        let mut b = mgr(2, 0, 1);
+        b.ingest_delta(&d).unwrap();
+        b.truncate_through(0);
+        let replica = b.export_replica(1).unwrap();
+        assert_eq!(replica.total_entries(), 1);
+        a.truncate_through(0);
+        assert_eq!(a.own_snapshot().total_entries(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_takes_longest_prefix() {
+        let mut a = mgr(1, 1, 1);
+        a.record(ts(1));
+        let d1 = a.collect_delta(0);
+        a.record(ts(2));
+        let d2 = a.collect_delta(0);
+
+        // Downstream x got both deltas, y only the first.
+        let mut x = mgr(2, 0, 1);
+        x.ingest_delta(&d1).unwrap();
+        x.ingest_delta(&d2).unwrap();
+        let mut y = mgr(3, 0, 1);
+        y.ingest_delta(&d1).unwrap();
+
+        let mut merged = y.export_replica(1).unwrap();
+        merged.merge(&x.export_replica(1).unwrap());
+        assert_eq!(merged.total_entries(), 2);
+        // Merge the other way too — same result.
+        let mut merged2 = x.export_replica(1).unwrap();
+        merged2.merge(&y.export_replica(1).unwrap());
+        assert_eq!(merged2.total_entries(), 2);
+    }
+
+    #[test]
+    fn replay_consumes_in_order_and_rebuilds_log() {
+        let mut a = mgr(1, 1, 1);
+        a.record(Determinant::Order { channel: 0 });
+        a.record(ts(42));
+        a.record(Determinant::Order { channel: 1 });
+        a.record_flush(0, 100, 2);
+        let d = a.collect_delta(0);
+        let mut down = mgr(2, 0, 1);
+        down.ingest_delta(&d).unwrap();
+
+        // a fails; replacement replays from down's replica.
+        let snap = down.export_replica(1).unwrap();
+        let mut a2 = mgr(1, 1, 1);
+        a2.begin_replay(snap, 0);
+        assert!(a2.replaying());
+        assert_eq!(a2.pop_replay(), Some(Determinant::Order { channel: 0 }));
+        assert_eq!(a2.pop_replay(), Some(ts(42)));
+        assert_eq!(a2.peek_replay(), Some(&Determinant::Order { channel: 1 }));
+        assert_eq!(a2.pop_replay(), Some(Determinant::Order { channel: 1 }));
+        assert!(!a2.replaying());
+        assert!(a2.replaying_flushes(0));
+        assert_eq!(a2.pop_replay_flush(0), Some((100, 2)));
+        assert!(a2.replay_complete());
+        // Rebuilt log matches the original.
+        assert_eq!(a2.own_snapshot(), a.own_snapshot());
+    }
+
+    #[test]
+    fn rebuilt_entries_get_identical_sequence_numbers_after_truncation() {
+        let mut a = mgr(1, 1, 1);
+        a.set_epoch(0);
+        a.record(ts(1));
+        a.record(ts(2));
+        let d0 = a.collect_delta(0);
+        a.set_epoch(1);
+        a.record(ts(3));
+        let d1 = a.collect_delta(0);
+        let mut down = mgr(2, 1, 1);
+        down.ingest_delta(&d0).unwrap();
+        down.ingest_delta(&d1).unwrap();
+        // Checkpoint 0 completes: both sides truncate epoch 0.
+        a.truncate_through(0);
+        down.truncate_through(0);
+
+        let snap = down.export_replica(1).unwrap();
+        let mut a2 = mgr(1, 1, 1);
+        a2.begin_replay(snap, 1);
+        assert_eq!(a2.pop_replay(), Some(ts(3)));
+        // The rebuilt entry has the same seq (2) as the original — a delta
+        // collected now must dedupe cleanly at `down`.
+        let d = a2.collect_delta(0);
+        assert_eq!(down.ingest_delta(&d).unwrap(), 0, "downstream re-ingested known entries");
+    }
+
+    #[test]
+    fn stats_track_volume() {
+        let mut a = mgr(1, 1, 1);
+        a.record(ts(1));
+        a.record(ts(2));
+        let d = a.collect_delta(0);
+        assert_eq!(a.stats.determinants_recorded, 2);
+        assert_eq!(a.stats.delta_entries_shipped, 2);
+        assert!(a.stats.delta_bytes_shipped >= d.len() as u64);
+        assert!(a.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_delta_roundtrip() {
+        let mut a = mgr(1, 1, 1);
+        let d = a.collect_delta(0);
+        let mut b = mgr(2, 0, 1);
+        assert_eq!(b.ingest_delta(&d).unwrap(), 0);
+    }
+}

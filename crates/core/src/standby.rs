@@ -1,0 +1,204 @@
+//! Standby tasks and state snapshot dispatch (§6.3–§6.4).
+//!
+//! In high-availability mode each running task has a passive standby that
+//! mirrors its processing logic and receives the task's state snapshot after
+//! every completed checkpoint. Standbys stay idle until the job manager
+//! activates one to replace a failed task — a sub-second switch instead of a
+//! cold restart plus state load.
+//!
+//! The allocation strategy (which node hosts which standby) trades resource
+//! usage against failure safety: co-locating a standby with its primary
+//! makes that node a single point of failure.
+
+use crate::{EpochId, TaskId};
+use bytes::Bytes;
+use clonos_sim::{VirtualDuration, VirtualTime};
+use std::collections::BTreeMap;
+
+/// Placement strategy for standby tasks (§6.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocationStrategy {
+    /// Never place a standby on its primary's node (the safe default).
+    AntiAffinity,
+    /// Place each standby on the same node as its primary (performance over
+    /// safety — both die together on a node failure).
+    CoLocate,
+}
+
+/// One standby task's bookkeeping.
+#[derive(Clone, Debug)]
+pub struct StandbyTask {
+    /// Node hosting the standby.
+    pub node: u32,
+    /// Checkpoint whose state the standby holds (None until first dispatch).
+    pub snapshot_checkpoint: Option<EpochId>,
+    /// State bytes preloaded on the standby.
+    pub state: Option<Bytes>,
+    /// When the most recent state transfer completes; activation before this
+    /// instant must wait for the transfer (§6.4 last paragraph).
+    pub transfer_done_at: VirtualTime,
+}
+
+/// Tracks every standby in a job.
+#[derive(Debug, Default)]
+pub struct StandbyManager {
+    standbys: BTreeMap<TaskId, StandbyTask>,
+    dispatches: u64,
+    bytes_dispatched: u64,
+}
+
+impl StandbyManager {
+    pub fn new() -> StandbyManager {
+        StandbyManager::default()
+    }
+
+    /// Register a standby for `task` according to the allocation strategy.
+    pub fn register(
+        &mut self,
+        task: TaskId,
+        primary_node: u32,
+        num_nodes: u32,
+        strategy: AllocationStrategy,
+    ) {
+        let node = match strategy {
+            AllocationStrategy::CoLocate => primary_node,
+            AllocationStrategy::AntiAffinity => {
+                if num_nodes <= 1 {
+                    primary_node
+                } else {
+                    (primary_node + 1) % num_nodes
+                }
+            }
+        };
+        self.standbys.insert(
+            task,
+            StandbyTask {
+                node,
+                snapshot_checkpoint: None,
+                state: None,
+                transfer_done_at: VirtualTime::ZERO,
+            },
+        );
+    }
+
+    pub fn has_standby(&self, task: TaskId) -> bool {
+        self.standbys.contains_key(&task)
+    }
+
+    pub fn get(&self, task: TaskId) -> Option<&StandbyTask> {
+        self.standbys.get(&task)
+    }
+
+    /// Dispatch a completed checkpoint's state to the standby (§6.4).
+    /// `transfer_time` models the snapshot shipping cost; returns when the
+    /// standby will be up to date.
+    pub fn dispatch_state(
+        &mut self,
+        task: TaskId,
+        checkpoint: EpochId,
+        state: Bytes,
+        now: VirtualTime,
+        transfer_time: VirtualDuration,
+    ) -> Option<VirtualTime> {
+        let sb = self.standbys.get_mut(&task)?;
+        let done = now + transfer_time;
+        sb.snapshot_checkpoint = Some(checkpoint);
+        sb.state = Some(state.clone());
+        sb.transfer_done_at = done;
+        self.dispatches += 1;
+        self.bytes_dispatched += state.len() as u64;
+        Some(done)
+    }
+
+    /// Activate the standby for a failed task. Returns the preloaded state,
+    /// the checkpoint it corresponds to, and the earliest instant the standby
+    /// can start running (waiting out an in-transit state transfer if one is
+    /// ongoing). `None` when no standby (or no state yet) exists — the caller
+    /// falls back to a cold replacement.
+    pub fn activate(
+        &mut self,
+        task: TaskId,
+        now: VirtualTime,
+    ) -> Option<(Bytes, EpochId, VirtualTime)> {
+        let sb = self.standbys.get_mut(&task)?;
+        let state = sb.state.clone()?;
+        let cp = sb.snapshot_checkpoint?;
+        let ready = now.max(sb.transfer_done_at);
+        Some((state, cp, ready))
+    }
+
+    /// Tasks whose standby lives on `node` (all lost if that node fails).
+    pub fn standbys_on_node(&self, node: u32) -> Vec<TaskId> {
+        self.standbys.iter().filter(|(_, s)| s.node == node).map(|(&t, _)| t).collect()
+    }
+
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    pub fn bytes_dispatched(&self) -> u64 {
+        self.bytes_dispatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anti_affinity_avoids_primary_node() {
+        let mut m = StandbyManager::new();
+        m.register(1, 3, 8, AllocationStrategy::AntiAffinity);
+        assert_ne!(m.get(1).unwrap().node, 3);
+        m.register(2, 7, 8, AllocationStrategy::AntiAffinity);
+        assert_eq!(m.get(2).unwrap().node, 0); // wraps
+    }
+
+    #[test]
+    fn colocate_uses_primary_node() {
+        let mut m = StandbyManager::new();
+        m.register(1, 3, 8, AllocationStrategy::CoLocate);
+        assert_eq!(m.get(1).unwrap().node, 3);
+        assert_eq!(m.standbys_on_node(3), vec![1]);
+    }
+
+    #[test]
+    fn single_node_cluster_degenerates_gracefully() {
+        let mut m = StandbyManager::new();
+        m.register(1, 0, 1, AllocationStrategy::AntiAffinity);
+        assert_eq!(m.get(1).unwrap().node, 0);
+    }
+
+    #[test]
+    fn activation_without_state_fails_over_to_cold() {
+        let mut m = StandbyManager::new();
+        m.register(1, 0, 2, AllocationStrategy::AntiAffinity);
+        assert!(m.activate(1, VirtualTime::ZERO).is_none());
+        assert!(m.activate(99, VirtualTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn dispatch_then_activate_returns_latest_state() {
+        let mut m = StandbyManager::new();
+        m.register(1, 0, 2, AllocationStrategy::AntiAffinity);
+        m.dispatch_state(1, 0, Bytes::from_static(b"cp0"), VirtualTime::ZERO, VirtualDuration::from_millis(5));
+        m.dispatch_state(1, 1, Bytes::from_static(b"cp1"), VirtualTime(1_000_000), VirtualDuration::from_millis(5));
+        let (state, cp, ready) = m.activate(1, VirtualTime(2_000_000)).unwrap();
+        assert_eq!(&state[..], b"cp1");
+        assert_eq!(cp, 1);
+        assert_eq!(ready, VirtualTime(2_000_000)); // transfer long done
+        assert_eq!(m.dispatches(), 2);
+        assert_eq!(m.bytes_dispatched(), 6);
+    }
+
+    #[test]
+    fn activation_waits_for_in_transit_transfer() {
+        let mut m = StandbyManager::new();
+        m.register(1, 0, 2, AllocationStrategy::AntiAffinity);
+        // Transfer started at t=1s and takes 3s.
+        m.dispatch_state(1, 0, Bytes::from_static(b"s"), VirtualTime(1_000_000), VirtualDuration::from_secs(3));
+        // Failure at t=2s: the standby is only ready at t=4s.
+        let (_, _, ready) = m.activate(1, VirtualTime(2_000_000)).unwrap();
+        assert_eq!(ready, VirtualTime(4_000_000));
+    }
+}

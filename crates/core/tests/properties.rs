@@ -1,0 +1,213 @@
+//! Property-based tests over the core Clonos data structures, as promised in
+//! DESIGN.md §6: delta ship/ingest equivalence under arbitrary chunking,
+//! in-flight-log replay equivalence across spill policies, truncation
+//! arithmetic, and dedup-count bookkeeping.
+
+use bytes::Bytes;
+use clonos::causal_log::CausalLogManager;
+use clonos::config::SpillPolicy;
+use clonos::determinant::Determinant;
+use clonos::inflight::{InFlightLog, SentBuffer};
+use clonos_storage::spill::SpillDevice;
+use proptest::prelude::*;
+
+fn arb_main_determinant() -> impl Strategy<Value = Determinant> {
+    prop_oneof![
+        (0u32..4).prop_map(|channel| Determinant::Order { channel }),
+        (any::<u16>(), any::<u16>())
+            .prop_map(|(t, o)| Determinant::Timer { timer_id: t as u64, offset: o as u64 }),
+        (any::<u32>(), any::<u16>())
+            .prop_map(|(ts, o)| Determinant::Timestamp { ts: ts as u64, offset: o as u64 }),
+        any::<u64>().prop_map(|seed| Determinant::RngSeed { seed }),
+        proptest::collection::vec(any::<u8>(), 0..32)
+            .prop_map(|payload| Determinant::External { payload }),
+        any::<u32>().prop_map(|ts| Determinant::Watermark { ts: ts as u64 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Shipping a determinant stream in arbitrary chunk boundaries (one
+    /// delta per chunk) reconstructs the identical replica downstream.
+    #[test]
+    fn delta_chunking_is_transparent(
+        dets in proptest::collection::vec(arb_main_determinant(), 1..64),
+        cuts in proptest::collection::vec(1usize..8, 0..16),
+    ) {
+        let mut up = CausalLogManager::new(1, 1, 1);
+        let mut down = CausalLogManager::new(2, 0, 1);
+        let mut it = dets.iter();
+        let mut remaining = dets.len();
+        for &cut in &cuts {
+            let n = cut.min(remaining);
+            for d in it.by_ref().take(n) {
+                up.record(d.clone());
+            }
+            remaining -= n;
+            let delta = up.collect_delta(0);
+            down.ingest_delta(&delta).unwrap();
+            if remaining == 0 {
+                break;
+            }
+        }
+        for d in it {
+            up.record(d.clone());
+        }
+        let delta = up.collect_delta(0);
+        down.ingest_delta(&delta).unwrap();
+        prop_assert_eq!(down.export_replica(1).unwrap(), up.own_snapshot());
+    }
+
+    /// Duplicate delivery of any delta suffix is idempotent (diamond paths).
+    #[test]
+    fn duplicate_deltas_are_idempotent(
+        dets in proptest::collection::vec(arb_main_determinant(), 1..32),
+    ) {
+        let mut up = CausalLogManager::new(1, 2, 1);
+        for d in &dets {
+            up.record(d.clone());
+        }
+        let d0 = up.collect_delta(0);
+        let d1 = up.collect_delta(1); // same entries, second channel's cursor
+        let mut down = CausalLogManager::new(2, 0, 1);
+        let added_first = down.ingest_delta(&d0).unwrap();
+        let added_second = down.ingest_delta(&d1).unwrap();
+        prop_assert_eq!(added_first, dets.len() as u64);
+        prop_assert_eq!(added_second, 0);
+        prop_assert_eq!(down.export_replica(1).unwrap(), up.own_snapshot());
+    }
+
+    /// Replay consumes exactly what was recorded, in order, and rebuilds a
+    /// byte-identical log.
+    #[test]
+    fn replay_rebuilds_identical_log(
+        dets in proptest::collection::vec(arb_main_determinant(), 1..48),
+    ) {
+        let mut up = CausalLogManager::new(1, 1, 1);
+        for d in &dets {
+            up.record(d.clone());
+        }
+        let delta = up.collect_delta(0);
+        let mut down = CausalLogManager::new(2, 0, 1);
+        down.ingest_delta(&delta).unwrap();
+        let mut replaced = CausalLogManager::new(1, 1, 1);
+        replaced.begin_replay(down.export_replica(1).unwrap(), 0);
+        let mut popped = Vec::new();
+        while replaced.replaying() {
+            popped.push(replaced.pop_replay().unwrap());
+        }
+        prop_assert_eq!(&popped, &dets);
+        prop_assert_eq!(replaced.own_snapshot(), up.own_snapshot());
+    }
+
+    /// The in-flight log replays the same buffer sequence under every spill
+    /// policy, regardless of truncation points.
+    #[test]
+    fn spill_policies_replay_identically(
+        sizes in proptest::collection::vec(1usize..2_000, 1..48),
+        epochs_per in 1usize..8,
+        truncate_through in proptest::option::of(0u64..8),
+    ) {
+        let reference: Vec<SentBuffer> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| SentBuffer {
+                epoch: (i / epochs_per) as u64,
+                payload: Bytes::from(vec![(i % 251) as u8; s]),
+                delta: Bytes::from(vec![i as u8]),
+                records: 1,
+            })
+            .collect();
+        let mut outputs: Vec<Vec<SentBuffer>> = Vec::new();
+        for policy in [
+            SpillPolicy::InMemory,
+            SpillPolicy::SpillEpoch,
+            SpillPolicy::SpillBuffer,
+            SpillPolicy::SpillThreshold(0.5),
+        ] {
+            let mut log = InFlightLog::new(1, policy, 8);
+            let mut dev = SpillDevice::new();
+            for b in &reference {
+                log.append(0, b.clone(), &mut dev);
+            }
+            if let Some(t) = truncate_through {
+                log.truncate_through(t, &mut dev);
+            }
+            let from_epoch = truncate_through.map(|t| t + 1).unwrap_or(0);
+            let mut cursor = log.open_replay(0, from_epoch);
+            let mut replayed = Vec::new();
+            while let Some((b, _)) = log.replay_next(&mut cursor, &mut dev) {
+                replayed.push(b);
+            }
+            outputs.push(replayed);
+        }
+        for w in outputs.windows(2) {
+            prop_assert_eq!(&w[0], &w[1], "spill policies disagree on replay contents");
+        }
+        // And the replayed set matches the un-truncated reference suffix.
+        let expect: Vec<&SentBuffer> = reference
+            .iter()
+            .filter(|b| truncate_through.map(|t| b.epoch > t).unwrap_or(true))
+            .collect();
+        prop_assert_eq!(outputs[0].len(), expect.len());
+        for (got, want) in outputs[0].iter().zip(expect) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Truncation is exact: epochs ≤ t disappear, the rest stay, and byte
+    /// accounting never underflows.
+    #[test]
+    fn truncation_arithmetic(
+        dets in proptest::collection::vec(arb_main_determinant(), 1..64),
+        epoch_span in 1u64..6,
+        t in 0u64..8,
+    ) {
+        let mut m = CausalLogManager::new(1, 1, 1);
+        for (i, d) in dets.iter().enumerate() {
+            m.set_epoch(i as u64 / epoch_span);
+            m.record(d.clone());
+        }
+        m.truncate_through(t);
+        let snap = m.own_snapshot();
+        for (_, _, entries) in &snap.logs {
+            let _ = entries;
+        }
+        let remaining: usize = snap.total_entries();
+        let expected = dets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as u64 / epoch_span) > t)
+            .count();
+        prop_assert_eq!(remaining, expected);
+    }
+}
+
+#[test]
+fn order_run_compression_shrinks_deltas_losslessly() {
+    // Steady-state main logs are dominated by Order entries from the same
+    // channel; the §9 wire compression must shrink them without changing
+    // the replica.
+    let mut compressed = CausalLogManager::new(1, 1, 1);
+    let mut mixed = CausalLogManager::new(3, 1, 1);
+    for i in 0..200u64 {
+        compressed.record(Determinant::Order { channel: 0 });
+        // The mixed stream alternates, defeating run detection.
+        mixed.record(Determinant::Order { channel: (i % 2) as u32 });
+        mixed.record(Determinant::Timestamp { ts: i, offset: i });
+    }
+    let d_comp = compressed.collect_delta(0);
+    let d_mixed = mixed.collect_delta(0);
+    assert!(
+        d_comp.len() * 10 < d_mixed.len(),
+        "run compression ineffective: {} vs {} bytes",
+        d_comp.len(),
+        d_mixed.len()
+    );
+    // Lossless: the replica expands back to 200 individual Order entries.
+    let mut down = CausalLogManager::new(2, 0, 1);
+    assert_eq!(down.ingest_delta(&d_comp).unwrap(), 200);
+    assert_eq!(down.stats.order_entries_compressed, 200);
+    assert_eq!(down.export_replica(1).unwrap(), compressed.own_snapshot());
+}

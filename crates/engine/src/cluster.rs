@@ -1,0 +1,685 @@
+//! The simulated cluster: owns the event queue, the tasks, the storage
+//! substrates, and the job manager (actor id 0).
+//!
+//! The job manager implements:
+//! - the **checkpoint coordinator** (periodic barrier injection, ack
+//!   collection, completion broadcast, snapshot GC, standby state dispatch —
+//!   §6.4);
+//! - **failure detection** (connection-reset propagation for Clonos,
+//!   heartbeat-timeout for the baseline);
+//! - the **recovery orchestration**: Figure-4 analysis, standby activation,
+//!   determinant-log gathering from downstream survivors, and dispatch of
+//!   `BeginReplay` — or a stop-the-world `RestartAll` for the baseline and
+//!   for Clonos' orphan fallback.
+
+use crate::config::{EngineConfig, FtMode};
+use crate::error::EngineError;
+use crate::graph::{ExecutionGraph, JobGraph, Partitioning, VertexKind};
+use crate::messages::Msg;
+use crate::metrics::JobMetrics;
+use crate::task::{encode_abort_marker, Task, TaskCtx, TaskSnapshot};
+use bytes::Bytes;
+use clonos::causal_log::TaskLogSnapshot;
+use clonos::recovery::{analyze_failure, RecoveryDecision};
+use clonos::standby::{AllocationStrategy, StandbyManager};
+use clonos::{ChannelId, TaskId};
+use clonos_sim::{Link, SimRng, Simulation, VirtualDuration, VirtualTime};
+use clonos_storage::external::ExternalKv;
+use clonos_storage::log::DurableLog;
+use clonos_storage::snapshot::{SnapshotStore, TransferModel};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Job-manager actor id.
+pub const JM: TaskId = 0;
+
+/// Gathering state for one recovering task's determinant logs.
+#[derive(Debug, Default)]
+struct LogGather {
+    expected: BTreeSet<TaskId>,
+    snapshot: TaskLogSnapshot,
+    /// (reporter, reporter's input channel) → received-buffer count.
+    counts: BTreeMap<(TaskId, ChannelId), u64>,
+    resume_cp: u64,
+    state: Bytes,
+}
+
+#[derive(Debug, Default)]
+struct JmState {
+    next_cp: u64,
+    last_completed: u64,
+    /// cp id → acked task set.
+    pending: BTreeMap<u64, BTreeSet<TaskId>>,
+    /// Tasks currently dead or mid-recovery (for the Figure-4 analysis).
+    failed: BTreeSet<TaskId>,
+    /// Tasks whose determinant replay has not finished yet.
+    recovering: BTreeSet<TaskId>,
+    gathers: BTreeMap<TaskId, LogGather>,
+    rollback_scheduled: bool,
+    standby: StandbyManager,
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    pub sim: Simulation<Msg>,
+    pub links: BTreeMap<(TaskId, TaskId), Link>,
+    pub external: ExternalKv,
+    pub topics: BTreeMap<String, DurableLog>,
+    pub snapshots: SnapshotStore,
+    pub config: EngineConfig,
+    pub entropy: SimRng,
+    pub metrics: JobMetrics,
+    pub graph: ExecutionGraph,
+    job: JobGraph,
+    tasks: BTreeMap<TaskId, Option<Task>>,
+    gens: BTreeMap<TaskId, u32>,
+    jm: JmState,
+    depth: u32,
+    /// Fatal task errors (should stay empty in correct runs).
+    pub errors: Vec<String>,
+}
+
+impl Cluster {
+    pub fn new(job: JobGraph, config: EngineConfig) -> Cluster {
+        let graph = ExecutionGraph::expand(&job, 1);
+        let depth = graph.depth();
+        let root = SimRng::new(config.seed);
+        let mut cluster = Cluster {
+            sim: Simulation::new(),
+            links: BTreeMap::new(),
+            external: ExternalKv::new(config.seed ^ 0xE47),
+            topics: BTreeMap::new(),
+            snapshots: SnapshotStore::with_model(TransferModel::default()),
+            entropy: root.fork(0xC0FFEE),
+            metrics: JobMetrics::new(VirtualDuration::from_secs(1)),
+            graph,
+            job,
+            tasks: BTreeMap::new(),
+            gens: BTreeMap::new(),
+            jm: JmState::default(),
+            depth,
+            errors: Vec::new(),
+            config,
+        };
+        cluster.deploy();
+        cluster
+    }
+
+    /// Register an input/output topic before running.
+    pub fn create_topic(&mut self, name: &str, partitions: usize) {
+        self.topics.insert(name.to_string(), DurableLog::new(name, partitions));
+    }
+
+    pub fn topic(&self, name: &str) -> Option<&DurableLog> {
+        self.topics.get(name)
+    }
+
+    pub fn topic_mut(&mut self, name: &str) -> Option<&mut DurableLog> {
+        self.topics.get_mut(name)
+    }
+
+    pub fn last_completed_checkpoint(&self) -> u64 {
+        self.jm.last_completed
+    }
+
+    pub fn task_ref(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(&id).and_then(|t| t.as_ref())
+    }
+
+    /// Vertex kind lookup for external consumers (the runner).
+    pub fn vertex_kind_pub(&self, vertex: crate::graph::VertexId) -> Option<VertexKind> {
+        self.job.vertices.get(vertex.0).map(|v| v.kind.clone())
+    }
+
+    fn vertex_kind(&self, task: TaskId) -> VertexKind {
+        let spec = self.graph.task(task);
+        self.job.vertices[spec.vertex.0].kind.clone()
+    }
+
+    fn edge_partitionings(&self) -> Vec<Partitioning> {
+        self.graph.edge_partitioning.clone()
+    }
+
+    fn build_task(&self, id: TaskId, gen: u32) -> Task {
+        let spec = self.graph.task(id).clone();
+        let kind = self.vertex_kind(id);
+        Task::new(spec, &kind, self.edge_partitionings(), &self.config, self.depth, gen)
+    }
+
+    fn deploy(&mut self) {
+        let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
+        for &id in &ids {
+            let task = self.build_task(id, 0);
+            self.tasks.insert(id, Some(task));
+            self.gens.insert(id, 0);
+        }
+        // Standbys.
+        if let FtMode::Clonos(c) = &self.config.ft {
+            if c.standby_tasks {
+                let num_nodes = self.config.num_nodes;
+                for (i, &id) in ids.iter().enumerate() {
+                    let node = (i as u32) % num_nodes;
+                    self.jm.standby.register(id, node, num_nodes, AllocationStrategy::AntiAffinity);
+                }
+            }
+        }
+        // Start every task.
+        for &id in &ids {
+            self.with_task(id, |task, ctx| {
+                task.start(ctx);
+                Ok(())
+            });
+        }
+        // Checkpoint ticks.
+        if !matches!(self.config.ft, FtMode::None) {
+            let interval = self.config.checkpoint_interval;
+            self.sim.schedule_in(interval, JM, Msg::CheckpointTick);
+        }
+    }
+
+    /// Run a closure against one task with a fully wired context.
+    ///
+    /// Replay-divergence errors are the runtime signal of §5.3 Case 2 — an
+    /// orphaned dependency whose determinants died with the failed set
+    /// (possible when DSD < graph depth and consecutive tasks fail). Per the
+    /// paper, the task escalates to the job manager, which either triggers a
+    /// global rollback or — if availability is preferred — lets the task
+    /// abandon replay and continue at-least-once.
+    fn with_task(&mut self, id: TaskId, f: impl FnOnce(&mut Task, &mut TaskCtx<'_>) -> Result<(), EngineError>) {
+        let Some(slot) = self.tasks.get_mut(&id) else { return };
+        let Some(mut task) = slot.take() else { return };
+        let mut ctx = TaskCtx {
+            sim: &mut self.sim,
+            links: &mut self.links,
+            external: &mut self.external,
+            topics: &mut self.topics,
+            snapshots: &mut self.snapshots,
+            config: &self.config,
+            entropy: &mut self.entropy,
+            metrics: &mut self.metrics,
+        };
+        let mut escalate = false;
+        let mut plain_error = None;
+        if let Err(e) = f(&mut task, &mut ctx) {
+            if e.is_replay_divergence() && ctx.config.ft.is_clonos() {
+                let prefer_availability = ctx
+                    .config
+                    .ft
+                    .clonos()
+                    .map(|c| c.prefer_availability_on_orphans)
+                    .unwrap_or(false);
+                let now = ctx.sim.now();
+                if prefer_availability {
+                    ctx.metrics.event(
+                        now,
+                        format!("task {id} orphaned mid-replay: continuing at-least-once"),
+                    );
+                    task.abandon_replay(&mut ctx);
+                } else {
+                    ctx.metrics.event(
+                        now,
+                        format!(
+                            "task {id} orphaned mid-replay ({e}): escalating to global rollback"
+                        ),
+                    );
+                    escalate = true;
+                }
+            } else {
+                plain_error = Some(format!("task {id}: {e}"));
+            }
+        }
+        if let Some(e) = plain_error {
+            self.errors.push(e);
+        }
+        if let Some(slot) = self.tasks.get_mut(&id) {
+            *slot = Some(task);
+        }
+        if escalate {
+            self.schedule_rollback();
+        }
+    }
+
+    /// Inject a failure: kill the task at the current instant. Detection is
+    /// scheduled per the configured mode's detection delay.
+    pub fn kill_task(&mut self, id: TaskId) {
+        let Some(slot) = self.tasks.get_mut(&id) else { return };
+        if slot.is_none() {
+            return;
+        }
+        *slot = None;
+        self.sim.drop_events_for(id);
+        self.metrics.event(self.sim.now(), format!("FAILURE task {id}"));
+        let delay = self.config.detection_delay();
+        self.sim.schedule_in(delay, JM, Msg::FailureDetected { task: id });
+    }
+
+    /// Drive the simulation until virtual time `until` (or event exhaustion).
+    pub fn run_until(&mut self, until: VirtualTime) {
+        while let Some(t) = self.sim.peek_time() {
+            if t > until {
+                break;
+            }
+            let d = self.sim.pop().expect("peeked");
+            self.dispatch(d.dest, d.msg);
+            if !self.errors.is_empty() {
+                // Surface the first error loudly — correctness bug.
+                panic!("engine error: {}", self.errors[0]);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, dest: TaskId, msg: Msg) {
+        if dest == JM {
+            self.jm_handle(msg);
+        } else {
+            self.with_task(dest, |task, ctx| task.handle(msg, ctx));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Job manager
+    // ------------------------------------------------------------------
+
+    fn jm_handle(&mut self, msg: Msg) {
+        match msg {
+            Msg::CheckpointTick => self.jm_checkpoint_tick(),
+            Msg::CheckpointAck { task, id, snapshot } => self.jm_ack(task, id, snapshot),
+            Msg::FailureDetected { task } => self.jm_failure(task),
+            Msg::InstallRecovery { task } => self.jm_install(task),
+            Msg::LogResponse { origin, from, resp } => self.jm_log_response(origin, from, resp),
+            Msg::RecoveryDone { task } => {
+                self.jm.recovering.remove(&task);
+                self.jm.failed.remove(&task);
+            }
+            Msg::RestartAll => self.jm_restart_all(),
+            other => {
+                self.errors.push(format!("job manager received unexpected {other:?}"));
+            }
+        }
+    }
+
+    fn jm_checkpoint_tick(&mut self) {
+        let interval = self.config.checkpoint_interval;
+        self.sim.schedule_in(interval, JM, Msg::CheckpointTick);
+        // Pause triggering while anything is failed or recovering.
+        if !self.jm.failed.is_empty()
+            || !self.jm.recovering.is_empty()
+            || self.jm.rollback_scheduled
+        {
+            return;
+        }
+        self.jm.next_cp += 1;
+        let id = self.jm.next_cp;
+        self.jm.pending.insert(id, BTreeSet::new());
+        let sources: Vec<TaskId> = self
+            .graph
+            .tasks
+            .iter()
+            .filter(|t| t.inputs.is_empty())
+            .map(|t| t.id)
+            .collect();
+        for s in sources {
+            self.sim.schedule_in(VirtualDuration::from_micros(100), s, Msg::TriggerCheckpoint { id });
+        }
+    }
+
+    fn jm_ack(&mut self, task: TaskId, id: u64, snapshot: Bytes) {
+        let now = self.sim.now();
+        self.snapshots.put(now, id, task, snapshot);
+        let total = self.graph.tasks.len();
+        let Some(acked) = self.jm.pending.get_mut(&id) else { return };
+        acked.insert(task);
+        if acked.len() < total {
+            return;
+        }
+        // Checkpoint complete.
+        self.jm.pending.remove(&id);
+        if id <= self.jm.last_completed {
+            return;
+        }
+        self.jm.last_completed = id;
+        self.metrics.event(now, format!("checkpoint {id} complete"));
+        let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
+        for &t in &ids {
+            self.sim.schedule_in(VirtualDuration::from_micros(100), t, Msg::CheckpointComplete { id });
+        }
+        self.snapshots.truncate_before(id);
+        // Dispatch state to standbys (§6.4).
+        let extra = self.config.synthetic_state_bytes;
+        for &t in &ids {
+            if !self.jm.standby.has_standby(t) {
+                continue;
+            }
+            if let Some((bytes, _)) = self.snapshots.get(now, id, t) {
+                let transfer = TransferModel::default().transfer_time(bytes.len() as u64 + extra);
+                self.jm.standby.dispatch_state(t, id, bytes, now, transfer);
+            }
+        }
+    }
+
+    fn jm_failure(&mut self, task: TaskId) {
+        if self.jm.failed.contains(&task) || self.jm.rollback_scheduled {
+            return;
+        }
+        self.jm.failed.insert(task);
+        let now = self.sim.now();
+        self.metrics.event(now, format!("failure of task {task} detected"));
+        // A pending determinant-log gather can no longer expect a response
+        // from the newly failed task.
+        let mut ready = Vec::new();
+        for (&origin, g) in self.jm.gathers.iter_mut() {
+            if g.expected.remove(&task) && g.expected.is_empty() {
+                ready.push(origin);
+            }
+        }
+        for origin in ready {
+            self.jm_dispatch_begin_replay(origin);
+        }
+        match &self.config.ft {
+            FtMode::None => {
+                self.errors.push(format!("task {task} failed with fault tolerance disabled"));
+            }
+            FtMode::GlobalRollback => self.schedule_rollback(),
+            FtMode::Clonos(c) => {
+                let dsd = c.effective_dsd(self.depth);
+                let topo = self.graph.topology();
+                match analyze_failure(&topo, &self.jm.failed, dsd) {
+                    RecoveryDecision::Local { .. } => self.clonos_schedule_install(task),
+                    RecoveryDecision::GlobalRollback { orphaned } => {
+                        if c.prefer_availability_on_orphans {
+                            // §5.4: favour availability — recover locally
+                            // with at-least-once semantics for the orphans.
+                            self.metrics.event(
+                                now,
+                                format!("orphaned {orphaned:?}: continuing at-least-once"),
+                            );
+                            self.clonos_schedule_install(task);
+                        } else {
+                            self.metrics.event(
+                                now,
+                                format!("orphaned {orphaned:?}: falling back to global rollback"),
+                            );
+                            self.schedule_rollback();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn clonos_schedule_install(&mut self, task: TaskId) {
+        let now = self.sim.now();
+        let resume_cp = self.jm.last_completed;
+        // Step 1: activate the standby (preloaded state) or cold-start.
+        let (state, cp, ready) = match self.jm.standby.activate(task, now) {
+            Some((bytes, cp, ready)) if cp == resume_cp => (bytes, cp, ready),
+            _ => {
+                // Cold replacement: load from the snapshot store.
+                if resume_cp == 0 {
+                    (Bytes::new(), 0, now + VirtualDuration::from_millis(50))
+                } else {
+                    match self.snapshots.get(now, resume_cp, task) {
+                        Some((bytes, done)) => (bytes, resume_cp, done),
+                        None => (Bytes::new(), 0, now + VirtualDuration::from_millis(50)),
+                    }
+                }
+            }
+        };
+        let gather = LogGather { resume_cp: cp, state, ..Default::default() };
+        self.jm.gathers.insert(task, gather);
+        self.sim.schedule_at(ready, JM, Msg::InstallRecovery { task });
+    }
+
+    /// Steps 1–3 driver: replacement construction, network reconfiguration,
+    /// determinant-log requests.
+    fn jm_install(&mut self, task: TaskId) {
+        if self.jm.rollback_scheduled || !self.jm.gathers.contains_key(&task) {
+            return; // superseded by a global rollback
+        }
+        let gen = {
+            let g = self.gens.entry(task).or_insert(0);
+            *g += 1;
+            *g
+        };
+        let mut replacement = self.build_task(task, gen);
+        replacement.gen = gen;
+        let gens = self.gens.clone();
+        replacement.set_neighbor_gens(|t| gens.get(&t).copied().unwrap_or(0));
+        self.tasks.insert(task, Some(replacement));
+        self.jm.recovering.insert(task);
+        let now = self.sim.now();
+        self.metrics.event(now, format!("standby/replacement for task {task} installed"));
+
+        // Step 2: reconfigure — downstream survivors expect the new
+        // incarnation (and drop stale in-flight buffers of the old one).
+        let spec = self.graph.task(task).clone();
+        for &(_, down, _, _) in &spec.outputs {
+            if self.tasks.get(&down).map(|t| t.is_some()).unwrap_or(false) {
+                self.sim.schedule_in(
+                    VirtualDuration::from_micros(50),
+                    down,
+                    Msg::ChannelReset { from: task, new_gen: gen },
+                );
+            }
+        }
+
+        // Step 3: gather determinant logs from surviving holders within DSD
+        // hops, plus received-buffer counts from direct downstream survivors.
+        let dsd = self.config.ft.clonos().map(|c| c.effective_dsd(self.depth)).unwrap_or(0);
+        let topo = self.graph.topology();
+        let cone = topo.downstream_cone(task);
+        let mut expected: BTreeSet<TaskId> = BTreeSet::new();
+        if dsd > 0 {
+            for (&t, &hops) in &cone {
+                let alive = self.tasks.get(&t).map(|s| s.is_some()).unwrap_or(false)
+                    && !self.jm.recovering.contains(&t);
+                if alive && (hops <= dsd || hops == 1) {
+                    expected.insert(t);
+                }
+            }
+        }
+        let resume_cp = self.jm.gathers.get(&task).map(|g| g.resume_cp).unwrap_or(0);
+        if expected.is_empty() {
+            self.jm_dispatch_begin_replay(task);
+        } else {
+            if let Some(g) = self.jm.gathers.get_mut(&task) {
+                g.expected = expected.clone();
+            }
+            for t in expected {
+                self.sim.schedule_in(
+                    VirtualDuration::from_micros(150),
+                    t,
+                    Msg::LogRequest { origin: task, after_cp: resume_cp },
+                );
+            }
+        }
+    }
+
+    fn jm_log_response(
+        &mut self,
+        origin: TaskId,
+        from: TaskId,
+        resp: clonos::recovery::LogRetrievalResponse,
+    ) {
+        let Some(g) = self.jm.gathers.get_mut(&origin) else { return };
+        g.expected.remove(&from);
+        g.snapshot.merge(&resp.snapshot);
+        for (ch, n) in resp.received_buffers {
+            let e = g.counts.entry((from, ch)).or_insert(0);
+            *e = (*e).max(n);
+        }
+        if g.expected.is_empty() {
+            self.jm_dispatch_begin_replay(origin);
+        }
+    }
+
+    /// Steps 4–6 hand-off: send the merged snapshot + dedup counts to the
+    /// recovering task, which requests upstream replay itself.
+    fn jm_dispatch_begin_replay(&mut self, task: TaskId) {
+        let Some(g) = self.jm.gathers.remove(&task) else { return };
+        let spec = self.graph.task(task).clone();
+        let skip: Vec<(ChannelId, u64)> = spec
+            .outputs
+            .iter()
+            .map(|&(ch, to, _, dest_in)| (ch, g.counts.get(&(to, dest_in)).copied().unwrap_or(0)))
+            .collect();
+        self.sim.schedule_in(
+            VirtualDuration::from_micros(100),
+            task,
+            Msg::BeginReplay {
+                snapshot: g.snapshot,
+                skip,
+                resume_cp: g.resume_cp,
+                state: g.state,
+                rebuild_sink_dedup: true,
+            },
+        );
+    }
+
+    fn schedule_rollback(&mut self) {
+        if self.jm.rollback_scheduled {
+            return;
+        }
+        self.jm.rollback_scheduled = true;
+        // Cancel everything now; redeploy after the restart delay.
+        let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
+        for id in ids {
+            self.tasks.insert(id, None);
+            self.sim.drop_events_for(id);
+        }
+        self.metrics.event(self.sim.now(), "global rollback: cancelling all tasks".to_string());
+        let delay = self.config.restart_delay;
+        self.sim.schedule_in(delay, JM, Msg::RestartAll);
+    }
+
+    fn jm_restart_all(&mut self) {
+        let now = self.sim.now();
+        let resume_cp = self.jm.last_completed;
+        self.metrics.event(now, format!("global rollback: restarting from checkpoint {resume_cp}"));
+        self.jm.rollback_scheduled = false;
+        self.jm.failed.clear();
+        self.jm.recovering.clear();
+        self.jm.gathers.clear();
+        self.jm.pending.clear();
+        self.jm.next_cp = resume_cp;
+        // One common new generation for every task.
+        let new_gen = self.gens.values().copied().max().unwrap_or(0) + 1;
+        let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
+
+        // Abort markers: un-checkpointed output of immediate sinks becomes
+        // invisible to read-committed consumers (§5.5 fallback semantics).
+        if self.config.ft.is_clonos() {
+            for spec in self.graph.tasks.clone() {
+                let VertexKind::Sink(s) = self.vertex_kind(spec.id) else { continue };
+                if let Some(topic) = self.topics.get_mut(&s.topic) {
+                    let p = spec.subtask % topic.num_partitions();
+                    topic
+                        .partition_mut(p)
+                        .append_with_meta(Bytes::new(), Some(encode_abort_marker(spec.id, new_gen, resume_cp)));
+                }
+            }
+        }
+
+        let extra = self.config.synthetic_state_bytes;
+        for &id in &ids {
+            self.gens.insert(id, new_gen);
+            let task = self.build_task(id, new_gen);
+            self.tasks.insert(id, Some(task));
+            // State restore time: snapshot transfer from the store.
+            let (state, ready) = if resume_cp == 0 {
+                (Bytes::new(), now + VirtualDuration::from_millis(50))
+            } else {
+                match self.snapshots.get(now, resume_cp, id) {
+                    Some((bytes, done)) => {
+                        let done = done + TransferModel::default().transfer_time(extra);
+                        (bytes, done)
+                    }
+                    None => (Bytes::new(), now + VirtualDuration::from_millis(50)),
+                }
+            };
+            self.sim.schedule_at(
+                ready,
+                id,
+                Msg::BeginReplay {
+                    snapshot: TaskLogSnapshot::default(),
+                    skip: Vec::new(),
+                    resume_cp,
+                    state,
+                    rebuild_sink_dedup: false,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for tests & benches
+    // ------------------------------------------------------------------
+
+    /// Per-task state digests (None for dead tasks).
+    pub fn state_digests(&self) -> BTreeMap<TaskId, Option<u64>> {
+        self.tasks
+            .iter()
+            .map(|(&id, t)| (id, t.as_ref().map(|t| t.state_digest())))
+            .collect()
+    }
+
+    /// Aggregate in-flight log statistics across tasks (§7.5).
+    pub fn inflight_stats(&self) -> clonos::inflight::InFlightStats {
+        let mut total = clonos::inflight::InFlightStats::default();
+        for t in self.tasks.values().flatten() {
+            if let Some(s) = t.inflight_stats() {
+                total.buffers_logged += s.buffers_logged;
+                total.buffers_spilled += s.buffers_spilled;
+                total.spill_io = total.spill_io + s.spill_io;
+                total.replay_io = total.replay_io + s.replay_io;
+                total.blocked_appends += s.blocked_appends;
+                total.peak_resident_bytes += s.peak_resident_bytes;
+            }
+        }
+        total
+    }
+
+    /// Sum of in-flight log bytes across tasks (memory accounting, §7.5).
+    pub fn total_inflight_bytes(&self) -> u64 {
+        self.tasks
+            .values()
+            .flatten()
+            .map(|t| t.inflight_total_bytes())
+            .sum()
+    }
+
+    /// Sum of resident causal-log bytes across tasks (§7.5 determinant pool).
+    pub fn total_determinant_bytes(&self) -> u64 {
+        self.tasks.values().flatten().map(|t| t.log.resident_bytes()).sum()
+    }
+
+    /// Aggregate causal-log statistics.
+    pub fn log_stats(&self) -> clonos::causal_log::LogStats {
+        let mut total = clonos::causal_log::LogStats::default();
+        for t in self.tasks.values().flatten() {
+            let s = t.log.stats;
+            total.determinants_recorded += s.determinants_recorded;
+            total.delta_bytes_shipped += s.delta_bytes_shipped;
+            total.delta_entries_shipped += s.delta_entries_shipped;
+            total.deltas_ingested += s.deltas_ingested;
+            total.entries_ingested += s.entries_ingested;
+        }
+        total
+    }
+
+    /// Timestamp-service call/determinant counters (benchmark E9).
+    pub fn ts_service_counts(&self) -> (u64, u64) {
+        let mut calls = 0;
+        let mut dets = 0;
+        for t in self.tasks.values().flatten() {
+            calls += t.services.ts_calls;
+            dets += t.services.ts_determinants;
+        }
+        (calls, dets)
+    }
+
+    pub fn snapshot_of(&mut self, cp: u64, task: TaskId) -> Option<TaskSnapshot> {
+        let now = self.sim.now();
+        let (bytes, _) = self.snapshots.get(now, cp, task)?;
+        TaskSnapshot::decode(&bytes).ok()
+    }
+}

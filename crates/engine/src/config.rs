@@ -1,0 +1,127 @@
+//! Engine configuration: fault-tolerance mode, timing model, and cost model.
+
+use clonos::ClonosConfig;
+use clonos_sim::VirtualDuration;
+
+/// Which fault-tolerance stack the job runs with.
+#[derive(Clone, Debug)]
+pub enum FtMode {
+    /// No fault tolerance: failures abort the run (testing / upper bound).
+    None,
+    /// The Flink baseline: periodic coordinated checkpoints, stop-the-world
+    /// global rollback on failure, transactional (epoch-committed) sinks.
+    GlobalRollback,
+    /// Clonos: local causal recovery per the paper.
+    Clonos(ClonosConfig),
+}
+
+impl FtMode {
+    pub fn is_clonos(&self) -> bool {
+        matches!(self, FtMode::Clonos(_))
+    }
+
+    pub fn clonos(&self) -> Option<&ClonosConfig> {
+        match self {
+            FtMode::Clonos(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Full engine configuration. Defaults follow the paper's evaluation setup
+/// (§7.1) scaled to simulation: checkpoint interval 5 s, Flink failure
+/// detection via 4 s heartbeats timing out after 6 s, small per-channel
+/// output buffer pools, 32 KiB network buffers.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Root seed; all simulated nondeterminism derives from it.
+    pub seed: u64,
+    pub ft: FtMode,
+    /// Network buffer capacity in bytes.
+    pub buffer_size: usize,
+    /// Flush partial output buffers at this period (the nondeterministic
+    /// buffer-size source of §4.1).
+    pub flush_interval: VirtualDuration,
+    pub checkpoint_interval: VirtualDuration,
+    /// Per-record processing cost charged to a task's service queue.
+    pub record_cost: VirtualDuration,
+    /// Extra virtual cost per shipped determinant-delta byte (serialization
+    /// and network overhead of causal logging).
+    pub delta_byte_cost_ns: u64,
+    /// Base link latency and jitter bound between tasks.
+    pub link_latency: VirtualDuration,
+    pub link_jitter: VirtualDuration,
+    /// Failure-detection delay for Clonos (connection reset propagation).
+    pub detection_local: VirtualDuration,
+    /// Failure-detection delay for the global-rollback baseline (heartbeat
+    /// timeout — the paper tunes Flink to 4 s interval / 6 s timeout).
+    pub detection_global: VirtualDuration,
+    /// Baseline full-restart cost: tearing down and redeploying the whole
+    /// execution graph before state restore begins.
+    pub restart_delay: VirtualDuration,
+    /// Number of cluster nodes (standby anti-affinity placement domain).
+    pub num_nodes: u32,
+    /// Buffers sent per replay-pump step (upstream replay pacing).
+    pub replay_batch: usize,
+    /// Extra synthetic state bytes included in each task snapshot, to model
+    /// jobs with large operator state (the §7.4 multi-failure experiments
+    /// use 100 MB per operator).
+    pub synthetic_state_bytes: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 1,
+            ft: FtMode::Clonos(ClonosConfig::default()),
+            buffer_size: 32 * 1024,
+            flush_interval: VirtualDuration::from_millis(5),
+            checkpoint_interval: VirtualDuration::from_secs(5),
+            record_cost: VirtualDuration::from_micros(10),
+            delta_byte_cost_ns: 30,
+            link_latency: VirtualDuration::from_micros(300),
+            link_jitter: VirtualDuration::from_micros(400),
+            detection_local: VirtualDuration::from_millis(200),
+            detection_global: VirtualDuration::from_secs(6),
+            restart_delay: VirtualDuration::from_secs(8),
+            num_nodes: 8,
+            replay_batch: 16,
+            synthetic_state_bytes: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_ft(mut self, ft: FtMode) -> Self {
+        self.ft = ft;
+        self
+    }
+
+    /// Detection delay applicable to the configured mode.
+    pub fn detection_delay(&self) -> VirtualDuration {
+        match self.ft {
+            FtMode::Clonos(_) => self.detection_local,
+            _ => self.detection_global,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.ft.is_clonos());
+        assert!(c.detection_delay() < VirtualDuration::from_secs(1));
+        let b = c.with_ft(FtMode::GlobalRollback);
+        assert_eq!(b.detection_delay(), VirtualDuration::from_secs(6));
+        assert!(b.ft.clonos().is_none());
+    }
+}

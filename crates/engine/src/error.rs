@@ -1,0 +1,73 @@
+//! Engine-wide error type.
+
+use clonos::causal_log::DeltaError;
+use clonos::services::ServiceError;
+use clonos_storage::codec::CodecError;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A causal service diverged or was exhausted during replay.
+    Service(ServiceError),
+    /// Malformed bytes on the wire or in a snapshot.
+    Codec(CodecError),
+    /// Determinant delta exchange failed.
+    Delta(DeltaError),
+    /// The recovery protocol reached an inconsistent state.
+    Protocol(String),
+    /// Job construction error (bad graph, mismatched parallelism, ...).
+    Build(String),
+}
+
+impl EngineError {
+    /// True when the error signals that determinant-guided replay cannot
+    /// reproduce the original execution — the §5.3 Case-2 orphan condition,
+    /// detected at runtime. The job manager escalates these to a global
+    /// rollback (or degrades to at-least-once if availability is preferred).
+    pub fn is_replay_divergence(&self) -> bool {
+        match self {
+            EngineError::Service(
+                ServiceError::ReplayDivergence { .. } | ServiceError::ReplayExhausted { .. },
+            ) => true,
+            EngineError::Protocol(msg) => {
+                msg.contains("divergence")
+                    || msg.contains("does not match step")
+                    || msg.contains("not registered")
+                    || msg.contains("unexpected top-level replay")
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Service(e) => write!(f, "service error: {e}"),
+            EngineError::Codec(e) => write!(f, "codec error: {e}"),
+            EngineError::Delta(e) => write!(f, "delta error: {e}"),
+            EngineError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            EngineError::Build(msg) => write!(f, "job build error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ServiceError> for EngineError {
+    fn from(e: ServiceError) -> Self {
+        EngineError::Service(e)
+    }
+}
+
+impl From<CodecError> for EngineError {
+    fn from(e: CodecError) -> Self {
+        EngineError::Codec(e)
+    }
+}
+
+impl From<DeltaError> for EngineError {
+    fn from(e: DeltaError) -> Self {
+        EngineError::Delta(e)
+    }
+}

@@ -1,0 +1,88 @@
+//! The control- and data-plane message vocabulary of the simulated cluster.
+
+use clonos::causal_log::TaskLogSnapshot;
+use clonos::inflight::SentBuffer;
+use clonos::recovery::LogRetrievalResponse;
+use clonos::{ChannelId, EpochId, TaskId};
+use crate::state::StateTimer;
+
+/// Everything that can be delivered to a task or the job manager.
+#[derive(Debug)]
+pub enum Msg {
+    // ----- data plane -----
+    /// A network buffer (payload + piggybacked causal delta).
+    Data {
+        from: TaskId,
+        /// Receiver's input-channel index (disambiguates self-joins where
+        /// one task pair is connected by two channels).
+        channel: ChannelId,
+        /// Sender incarnation; receivers discard buffers from stale
+        /// incarnations that were in flight when the sender died.
+        from_gen: u32,
+        /// Receiver incarnation the sender believes it is talking to.
+        dest_gen: u32,
+        buffer: SentBuffer,
+    },
+
+    // ----- task-local ticks -----
+    /// Source: poll the input log for the next batch.
+    SourcePoll,
+    /// Flush partial output buffers.
+    FlushTick,
+    /// Source: emit a watermark.
+    WatermarkTick,
+    /// A processing-time timer fired.
+    ProcTimerFire(StateTimer),
+
+    // ----- checkpointing -----
+    /// JM → sources: inject a barrier for checkpoint `id`.
+    TriggerCheckpoint { id: u64 },
+    /// Task → JM: local snapshot for checkpoint `id` taken.
+    CheckpointAck { task: TaskId, id: u64, snapshot: bytes::Bytes },
+    /// JM → all tasks: checkpoint `id` is globally complete (truncate logs).
+    CheckpointComplete { id: u64 },
+    /// JM self-message: time to trigger the next checkpoint.
+    CheckpointTick,
+
+    // ----- failure & recovery -----
+    /// Cluster → task: die now (failure injection).
+    Kill,
+    /// → JM: a task failure was detected.
+    FailureDetected { task: TaskId },
+    /// JM self-message: a standby/replacement for `task` is ready to install.
+    InstallRecovery { task: TaskId },
+    /// JM → surviving task: report your replica of `origin`'s determinant
+    /// logs and your received-buffer counts for epochs after `after_cp`.
+    LogRequest { origin: TaskId, after_cp: u64 },
+    /// Survivor → JM.
+    LogResponse { origin: TaskId, from: TaskId, resp: LogRetrievalResponse },
+    /// JM → recovering task: install the merged determinant snapshot and
+    /// start replaying. `skip` carries per-output-channel already-received
+    /// buffer counts (sender-side dedup, step 6).
+    BeginReplay {
+        snapshot: TaskLogSnapshot,
+        skip: Vec<(ChannelId, u64)>,
+        resume_cp: u64,
+        state: bytes::Bytes,
+        /// True for local recovery (the sink may trust and rebuild its
+        /// committed-ident set from the output log); false on a global
+        /// rollback, where pre-restart output of un-checkpointed epochs has
+        /// been aborted.
+        rebuild_sink_dedup: bool,
+    },
+    /// Recovering task → JM: determinant replay fully consumed; live again.
+    RecoveryDone { task: TaskId },
+    /// Recovering task → upstream: replay your in-flight log for my input
+    /// channel `dest_in` from `from_epoch` on. Carries the requester's new
+    /// incarnation.
+    ReplayRequest { from_task: TaskId, dest_in: ChannelId, dest_gen: u32, from_epoch: EpochId },
+    /// Upstream self-message: continue pumping a replay.
+    ReplayPump { channel: ChannelId },
+    /// JM → survivor: the incarnation of `from` changed; reset channel
+    /// expectations (stale in-flight buffers must be dropped).
+    ChannelReset { from: TaskId, new_gen: u32 },
+    /// JM self-message: execute a global rollback restart now.
+    RestartAll,
+    /// JM → task (on global rollback): restore from this snapshot and resume.
+    Restore { state: bytes::Bytes, resume_cp: u64 },
+}

@@ -1,0 +1,325 @@
+//! Records, rows, and stream elements — the data plane's vocabulary.
+//!
+//! Records flow through channels serialized inside network buffers; a buffer
+//! holds a sequence of [`StreamElement`]s: data records, watermarks, and
+//! checkpoint barriers (barriers travel in-band, Chandy–Lamport style).
+
+use bytes::Bytes;
+use clonos_storage::codec::{ByteReader, ByteWriter, CodecError};
+use std::fmt;
+use std::sync::Arc;
+
+/// A single field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Datum {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(Arc<str>),
+}
+
+impl Datum {
+    pub fn str(s: impl Into<Arc<str>>) -> Datum {
+        Datum::Str(s.into())
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Datum::Float(v) => Some(*v),
+            Datum::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Datum::Null => w.put_u8(0),
+            Datum::Bool(b) => {
+                w.put_u8(1);
+                w.put_bool(*b);
+            }
+            Datum::Int(v) => {
+                w.put_u8(2);
+                w.put_varint_i64(*v);
+            }
+            Datum::Float(v) => {
+                w.put_u8(3);
+                w.put_f64(*v);
+            }
+            Datum::Str(s) => {
+                w.put_u8(4);
+                w.put_str(s);
+            }
+        }
+    }
+
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Datum, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => Datum::Null,
+            1 => Datum::Bool(r.get_bool()?),
+            2 => Datum::Int(r.get_varint_i64()?),
+            3 => Datum::Float(r.get_f64()?),
+            4 => Datum::Str(Arc::from(r.get_str()?)),
+            tag => return Err(CodecError::InvalidTag { context: "Datum", tag }),
+        })
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "null"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v}"),
+            Datum::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A tuple of fields.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Row(pub Vec<Datum>);
+
+impl Row {
+    pub fn new(fields: Vec<Datum>) -> Row {
+        Row(fields)
+    }
+
+    pub fn get(&self, i: usize) -> &Datum {
+        &self.0[i]
+    }
+
+    pub fn int(&self, i: usize) -> i64 {
+        self.0[i].as_int().unwrap_or_else(|| panic!("field {i} is not an Int: {:?}", self.0[i]))
+    }
+
+    pub fn float(&self, i: usize) -> f64 {
+        self.0[i].as_float().unwrap_or_else(|| panic!("field {i} is not numeric: {:?}", self.0[i]))
+    }
+
+    pub fn str(&self, i: usize) -> &str {
+        self.0[i].as_str().unwrap_or_else(|| panic!("field {i} is not a Str: {:?}", self.0[i]))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_varint(self.0.len() as u64);
+        for d in &self.0 {
+            d.encode(w);
+        }
+    }
+
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Row, CodecError> {
+        let n = r.get_varint()? as usize;
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            fields.push(Datum::decode(r)?);
+        }
+        Ok(Row(fields))
+    }
+
+    /// Canonical byte encoding, used for multiset comparison in tests.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.freeze()
+    }
+}
+
+/// A data record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Partitioning key (already extracted/hashed by the producing operator).
+    pub key: u64,
+    /// Event time in microseconds (source-assigned).
+    pub event_time: u64,
+    /// Creation instant at the source in virtual micros — end-to-end latency
+    /// is measured against this at the sinks.
+    pub create_ts: u64,
+    /// Producer-assigned sequence number: `(producer_task << 40) | seq`.
+    /// Stable across exactly-once recovery (replay rebuilds identical
+    /// records), which is what makes sink-side duplicate detection exact.
+    pub ident: u64,
+    pub row: Row,
+}
+
+impl Record {
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_varint(self.key);
+        w.put_varint(self.event_time);
+        w.put_varint(self.create_ts);
+        w.put_varint(self.ident);
+        self.row.encode(w);
+    }
+
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Record, CodecError> {
+        Ok(Record {
+            key: r.get_varint()?,
+            event_time: r.get_varint()?,
+            create_ts: r.get_varint()?,
+            ident: r.get_varint()?,
+            row: Row::decode(r)?,
+        })
+    }
+}
+
+/// Everything that can travel through a data channel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamElement {
+    Record(Record),
+    /// Low-watermark: no records with event time `< ts` will follow.
+    Watermark(u64),
+    /// Chandy–Lamport checkpoint barrier for the given checkpoint id.
+    Barrier(u64),
+}
+
+impl StreamElement {
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            StreamElement::Record(rec) => {
+                w.put_u8(0);
+                rec.encode(w);
+            }
+            StreamElement::Watermark(ts) => {
+                w.put_u8(1);
+                w.put_varint(*ts);
+            }
+            StreamElement::Barrier(id) => {
+                w.put_u8(2);
+                w.put_varint(*id);
+            }
+        }
+    }
+
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<StreamElement, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => StreamElement::Record(Record::decode(r)?),
+            1 => StreamElement::Watermark(r.get_varint()?),
+            2 => StreamElement::Barrier(r.get_varint()?),
+            tag => return Err(CodecError::InvalidTag { context: "StreamElement", tag }),
+        })
+    }
+}
+
+/// Decode all elements in a buffer payload.
+pub fn decode_buffer(payload: &[u8]) -> Result<Vec<StreamElement>, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let mut out = Vec::new();
+    while !r.is_empty() {
+        out.push(StreamElement::decode(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> Record {
+        Record {
+            key: 42,
+            event_time: 1_000_000,
+            create_ts: 999_999,
+            ident: (7 << 40) | 12,
+            row: Row::new(vec![
+                Datum::Int(-5),
+                Datum::Float(2.25),
+                Datum::str("auction"),
+                Datum::Bool(true),
+                Datum::Null,
+            ]),
+        }
+    }
+
+    #[test]
+    fn datum_roundtrip() {
+        for d in [
+            Datum::Null,
+            Datum::Bool(false),
+            Datum::Int(i64::MIN),
+            Datum::Float(-0.0),
+            Datum::str(""),
+            Datum::str("héllo"),
+        ] {
+            let mut w = ByteWriter::new();
+            d.encode(&mut w);
+            let b = w.freeze();
+            let back = Datum::decode(&mut ByteReader::new(&b)).unwrap();
+            match (&d, &back) {
+                (Datum::Float(x), Datum::Float(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                _ => assert_eq!(d, back),
+            }
+        }
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = sample_record();
+        let mut w = ByteWriter::new();
+        rec.encode(&mut w);
+        let b = w.freeze();
+        assert_eq!(Record::decode(&mut ByteReader::new(&b)).unwrap(), rec);
+    }
+
+    #[test]
+    fn buffer_of_mixed_elements_roundtrips() {
+        let elems = vec![
+            StreamElement::Record(sample_record()),
+            StreamElement::Watermark(123_456),
+            StreamElement::Record(sample_record()),
+            StreamElement::Barrier(3),
+        ];
+        let mut w = ByteWriter::new();
+        for e in &elems {
+            e.encode(&mut w);
+        }
+        let payload = w.freeze();
+        assert_eq!(decode_buffer(&payload).unwrap(), elems);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let row = Row::new(vec![Datum::Int(7), Datum::Float(1.5), Datum::str("x")]);
+        assert_eq!(row.int(0), 7);
+        assert_eq!(row.float(1), 1.5);
+        assert_eq!(row.float(0), 7.0); // int coerces
+        assert_eq!(row.str(2), "x");
+        assert_eq!(row.len(), 3);
+    }
+
+    #[test]
+    fn corrupt_buffer_is_an_error_not_a_panic() {
+        assert!(decode_buffer(&[9, 9, 9]).is_err());
+    }
+
+    #[test]
+    fn row_to_bytes_is_stable() {
+        let row = Row::new(vec![Datum::Int(1), Datum::str("a")]);
+        assert_eq!(row.to_bytes(), row.clone().to_bytes());
+        let other = Row::new(vec![Datum::Int(2), Datum::str("a")]);
+        assert_ne!(row.to_bytes(), other.to_bytes());
+    }
+}

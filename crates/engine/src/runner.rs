@@ -1,0 +1,259 @@
+//! High-level job runner: build a cluster, populate input topics, inject
+//! failures, run, and collect a verifiable report — the entry point used by
+//! the examples, integration tests, and benchmark harnesses.
+
+use crate::cluster::Cluster;
+use crate::config::EngineConfig;
+use crate::graph::{JobGraph, VertexKind};
+use crate::record::{Record, Row};
+use crate::task::{effective_sink_records, SinkMeta};
+use clonos::TaskId;
+use clonos_sim::{VirtualDuration, VirtualTime};
+use std::collections::BTreeMap;
+
+/// Failure injection plan: kills at given instants.
+#[derive(Clone, Debug, Default)]
+pub struct FailurePlan {
+    pub kills: Vec<(VirtualTime, TaskId)>,
+}
+
+impl FailurePlan {
+    pub fn none() -> FailurePlan {
+        FailurePlan::default()
+    }
+
+    pub fn kill_at(mut self, at: VirtualTime, task: TaskId) -> FailurePlan {
+        self.kills.push((at, task));
+        self
+    }
+}
+
+/// Everything observable after a run.
+pub struct RunReport {
+    /// Effective (read-committed) sink output across all output topics:
+    /// `(sink task, meta, record)`.
+    pub sink_output: Vec<(TaskId, SinkMeta, Record)>,
+    pub records_in: u64,
+    pub records_out: u64,
+    /// Combined end-to-end latency series (seconds) across sinks.
+    pub latency_series: clonos_sim::TimeSeries,
+    /// Output throughput per 1 s window.
+    pub throughput: Vec<(VirtualTime, f64)>,
+    pub latency_p50: Option<VirtualDuration>,
+    pub latency_p99: Option<VirtualDuration>,
+    pub events: Vec<crate::metrics::RunEvent>,
+    pub log_stats: clonos::causal_log::LogStats,
+    pub ts_service_calls: u64,
+    pub ts_service_determinants: u64,
+    pub inflight_bytes: u64,
+    pub inflight_stats: clonos::inflight::InFlightStats,
+    pub determinant_bytes: u64,
+    pub last_completed_checkpoint: u64,
+    /// Host wall-clock seconds spent driving the simulation (the Figure-5
+    /// overhead metric: causal logging is real CPU work here).
+    pub wall_seconds: f64,
+}
+
+impl RunReport {
+    /// Idents written to sinks, in commit order.
+    pub fn sink_idents(&self) -> Vec<u64> {
+        self.sink_output.iter().map(|(_, m, _)| m.ident).collect()
+    }
+
+    /// Duplicate idents in the effective output (must be empty for
+    /// exactly-once).
+    pub fn duplicate_idents(&self) -> Vec<u64> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut dups = Vec::new();
+        for (_, m, _) in &self.sink_output {
+            if !seen.insert(m.ident) {
+                dups.push(m.ident);
+            }
+        }
+        dups
+    }
+
+    /// Per-producer gap check: for each producer feeding the sinks, the
+    /// observed sequence numbers must be the contiguous range `0..=max`
+    /// (missing middles = lost records; must be empty for at-least/exactly
+    /// once).
+    pub fn ident_gaps(&self) -> Vec<(TaskId, u64)> {
+        let mut by_producer: BTreeMap<TaskId, Vec<u64>> = BTreeMap::new();
+        for (_, m, rec) in &self.sink_output {
+            let _ = m;
+            let producer = rec.ident >> 40;
+            by_producer.entry(producer).or_default().push(rec.ident & ((1 << 40) - 1));
+        }
+        let mut gaps = Vec::new();
+        for (producer, mut seqs) in by_producer {
+            seqs.sort_unstable();
+            seqs.dedup();
+            let max = *seqs.last().expect("nonempty");
+            if seqs.len() as u64 != max + 1 {
+                let mut expect = 0u64;
+                for s in seqs {
+                    while expect < s {
+                        gaps.push((producer, expect));
+                        expect += 1;
+                    }
+                    expect = s + 1;
+                }
+            }
+        }
+        gaps
+    }
+
+    /// Multiset of output rows (canonical bytes), for golden comparison of
+    /// deterministic pipelines.
+    pub fn output_multiset(&self) -> Vec<bytes::Bytes> {
+        let mut v: Vec<bytes::Bytes> =
+            self.sink_output.iter().map(|(_, _, r)| r.row.to_bytes()).collect();
+        v.sort();
+        v
+    }
+
+    /// Recovery time per the paper's definition: time from the first failure
+    /// until observed latency returns (and stays) within `tol` × the
+    /// pre-failure latency. Computed over 250 ms bucket means to suppress
+    /// per-record jitter; the baseline is the mean over the 15 s preceding
+    /// the failure.
+    pub fn recovery_time(&self, tol: f64) -> Option<VirtualDuration> {
+        let fail_at = self
+            .events
+            .iter()
+            .find(|e| e.what.starts_with("FAILURE"))
+            .map(|e| e.at)?;
+        const BUCKET: u64 = 250_000; // micros
+        let mut bucketed = clonos_sim::TimeSeries::new();
+        let points = self.latency_series.points();
+        let mut i = 0;
+        while i < points.len() {
+            let start = points[i].0.as_micros() / BUCKET * BUCKET;
+            let mut sum = 0.0;
+            let mut n = 0;
+            while i < points.len() && points[i].0.as_micros() < start + BUCKET {
+                sum += points[i].1;
+                n += 1;
+                i += 1;
+            }
+            bucketed.push(VirtualTime(start), sum / n as f64);
+        }
+        let base_from = VirtualTime(fail_at.as_micros().saturating_sub(15_000_000));
+        let baseline = bucketed.mean_in(base_from, fail_at)?;
+        let stable = bucketed.stabilization_time(fail_at, baseline, tol)?;
+        Some(stable.saturating_sub(fail_at))
+    }
+}
+
+/// Builder + driver for one job execution.
+pub struct JobRunner {
+    pub cluster: Cluster,
+    plan: FailurePlan,
+}
+
+impl JobRunner {
+    pub fn new(job: JobGraph, config: EngineConfig) -> JobRunner {
+        // Auto-create topics referenced by sources and sinks.
+        let mut topics: Vec<(String, usize)> = Vec::new();
+        for v in &job.vertices {
+            match &v.kind {
+                VertexKind::Source(s) => topics.push((s.topic.clone(), v.parallelism)),
+                VertexKind::Sink(s) => topics.push((s.topic.clone(), v.parallelism)),
+                VertexKind::Operator(_) => {}
+            }
+        }
+        let mut cluster = Cluster::new(job, config);
+        for (name, parts) in topics {
+            if cluster.topic(&name).is_none() {
+                cluster.create_topic(&name, parts);
+            }
+        }
+        JobRunner { cluster, plan: FailurePlan::none() }
+    }
+
+    pub fn with_failures(mut self, plan: FailurePlan) -> JobRunner {
+        self.plan = plan;
+        self
+    }
+
+    /// Append pre-generated rows to an input topic partition.
+    pub fn populate(&mut self, topic: &str, partition: usize, rows: impl IntoIterator<Item = Row>) {
+        let log = self
+            .cluster
+            .topic_mut(topic)
+            .unwrap_or_else(|| panic!("unknown topic {topic}"));
+        let p = partition % log.num_partitions();
+        for row in rows {
+            log.partition_mut(p).append(row.to_bytes());
+        }
+    }
+
+    /// Drive the job for `duration` of virtual time and collect the report.
+    pub fn run_for(mut self, duration: VirtualDuration) -> RunReport {
+        let wall_start = std::time::Instant::now();
+        let end = VirtualTime::ZERO + duration;
+        let mut kills = self.plan.kills.clone();
+        kills.sort_by_key(|&(t, _)| t);
+        for (at, task) in kills {
+            if at > end {
+                break;
+            }
+            self.cluster.run_until(at);
+            self.cluster.kill_task(task);
+        }
+        self.cluster.run_until(end);
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        self.report(wall_seconds)
+    }
+
+    fn report(mut self, wall_seconds: f64) -> RunReport {
+        // Gather effective sink output from every sink task's partition.
+        let mut sink_output = Vec::new();
+        let sinks: Vec<(TaskId, String, usize)> = self
+            .cluster
+            .graph
+            .tasks
+            .iter()
+            .filter_map(|t| match self.job_vertex_kind(t.vertex) {
+                Some(VertexKind::Sink(s)) => Some((t.id, s.topic.clone(), t.subtask)),
+                _ => None,
+            })
+            .collect();
+        for (id, topic, subtask) in sinks {
+            if let Some(t) = self.cluster.topic(&topic) {
+                let p = subtask % t.num_partitions();
+                for (meta, rec) in effective_sink_records(t.partition(p), id) {
+                    sink_output.push((id, meta, rec));
+                }
+            }
+        }
+        let metrics = &mut self.cluster.metrics;
+        let latency_series = metrics.combined_latency_series();
+        let throughput = metrics.throughput.rates();
+        let latency_p50 = metrics.latency.percentile(50.0);
+        let latency_p99 = metrics.latency.percentile(99.0);
+        let (ts_calls, ts_dets) = self.cluster.ts_service_counts();
+        RunReport {
+            sink_output,
+            records_in: self.cluster.metrics.records_in,
+            records_out: self.cluster.metrics.records_out,
+            latency_series,
+            throughput,
+            latency_p50,
+            latency_p99,
+            events: self.cluster.metrics.events.clone(),
+            log_stats: self.cluster.log_stats(),
+            ts_service_calls: ts_calls,
+            ts_service_determinants: ts_dets,
+            inflight_bytes: self.cluster.total_inflight_bytes(),
+            inflight_stats: self.cluster.inflight_stats(),
+            determinant_bytes: self.cluster.total_determinant_bytes(),
+            last_completed_checkpoint: self.cluster.last_completed_checkpoint(),
+            wall_seconds,
+        }
+    }
+
+    fn job_vertex_kind(&self, vertex: crate::graph::VertexId) -> Option<VertexKind> {
+        self.cluster.vertex_kind_pub(vertex)
+    }
+}

@@ -1,0 +1,1704 @@
+//! The task runtime: the unit of deployment, failure, and recovery.
+//!
+//! A task executes one parallel instance of a vertex (source, operator, or
+//! sink). Its main loop consumes input buffers, runs the operator, and
+//! writes serialized output into per-channel network buffers. All of the
+//! paper's fault-tolerance machinery hangs off this loop:
+//!
+//! - every nondeterministic choice is recorded through the task's
+//!   [`CausalLogManager`] (input order, timers, RPCs, service calls, flush
+//!   decisions);
+//! - every dispatched buffer is logged in the [`InFlightLog`] with its
+//!   piggybacked determinant delta;
+//! - during recovery the same loop runs in **replay mode**: buffer
+//!   consumption follows `Order` determinants, services return logged
+//!   values, timers fire at logged offsets, output buffers are cut at
+//!   logged sizes and the first `skip[ch]` buffers per channel are rebuilt
+//!   but not re-sent (sender-side deduplication, protocol step 6).
+
+use crate::config::{EngineConfig, FtMode};
+use crate::error::EngineError;
+use crate::graph::{Partitioning, SinkSpec, SourceSpec, TaskSpec, TimestampMode, VertexKind};
+use crate::messages::Msg;
+use crate::metrics::JobMetrics;
+use crate::operator::{timer_id, OpCtx, Operator, TimerKind};
+use crate::record::{decode_buffer, Datum, Record, Row, StreamElement};
+use crate::state::{StateStore, StateTimer};
+use bytes::Bytes;
+use clonos::causal_log::{CausalLogManager, TaskLogSnapshot};
+use clonos::config::GuaranteeMode;
+use clonos::determinant::{Determinant, RpcKind};
+use clonos::inflight::{InFlightLog, ReplayCursor, SentBuffer};
+use clonos::recovery::LogRetrievalResponse;
+use clonos::services::CausalServices;
+use clonos::{ChannelId, EpochId, TaskId};
+use clonos_sim::{Link, ServiceQueue, SimRng, Simulation, VirtualDuration, VirtualTime};
+use clonos_storage::codec::{ByteReader, ByteWriter};
+use clonos_storage::log::DurableLog;
+use clonos_storage::snapshot::SnapshotStore;
+use clonos_storage::spill::SpillDevice;
+use clonos_storage::external::ExternalKv;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Timer id reserved for the source watermark tick.
+const WM_TIMER_ID: u64 = u64::MAX - 1;
+
+/// Everything a task handler may touch outside the task itself.
+pub struct TaskCtx<'a> {
+    pub sim: &'a mut Simulation<Msg>,
+    pub links: &'a mut BTreeMap<(TaskId, TaskId), Link>,
+    pub external: &'a mut ExternalKv,
+    pub topics: &'a mut BTreeMap<String, DurableLog>,
+    pub snapshots: &'a mut SnapshotStore,
+    pub config: &'a EngineConfig,
+    pub entropy: &'a mut SimRng,
+    pub metrics: &'a mut JobMetrics,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Send a data buffer over the task-pair link, no earlier than `at`.
+    pub fn send_data(&mut self, from: TaskId, to: TaskId, at: VirtualTime, msg: Msg) {
+        let link = self
+            .links
+            .entry((from, to))
+            .or_insert_with(|| {
+                Link::new(
+                    self.config.link_latency,
+                    self.config.link_jitter,
+                    SimRng::new(self.config.seed).fork(from.wrapping_mul(1_000_003) ^ to),
+                )
+            });
+        let base = at.max(self.sim.now());
+        // delivery_time uses "now" as the send instant.
+        let deliver = link.delivery_time(base);
+        self.sim.schedule_at(deliver, to, msg);
+    }
+
+    /// Send a control-plane message (fixed small latency).
+    pub fn send_ctrl(&mut self, to: TaskId, msg: Msg) {
+        self.sim.schedule_in(VirtualDuration::from_micros(100), to, msg);
+    }
+}
+
+/// Serialized per-task checkpoint payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSnapshot {
+    pub state: Bytes,
+    pub emit_seq: u64,
+    pub source_offset: u64,
+    pub max_event_time: u64,
+    /// The task's combined low watermark at the checkpoint.
+    pub watermark: u64,
+    /// Per-input-channel watermarks at the checkpoint. Unlike Flink's global
+    /// restarts, Clonos' local replay must reproduce the exact emission
+    /// sequence, and watermark-advance decisions depend on this state.
+    pub channel_watermarks: Vec<u64>,
+}
+
+impl TaskSnapshot {
+    pub fn encode(&self) -> Bytes {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&self.state);
+        w.put_varint(self.emit_seq);
+        w.put_varint(self.source_offset);
+        w.put_varint(self.max_event_time);
+        w.put_varint(self.watermark);
+        w.put_varint(self.channel_watermarks.len() as u64);
+        for &wm in &self.channel_watermarks {
+            w.put_varint(wm);
+        }
+        w.freeze()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<TaskSnapshot, EngineError> {
+        let mut r = ByteReader::new(bytes);
+        let state = Bytes::copy_from_slice(r.get_bytes()?);
+        let emit_seq = r.get_varint()?;
+        let source_offset = r.get_varint()?;
+        let max_event_time = r.get_varint()?;
+        let watermark = r.get_varint()?;
+        let n = r.get_varint()? as usize;
+        let mut channel_watermarks = Vec::with_capacity(n);
+        for _ in 0..n {
+            channel_watermarks.push(r.get_varint()?);
+        }
+        Ok(TaskSnapshot {
+            state,
+            emit_seq,
+            source_offset,
+            max_event_time,
+            watermark,
+            channel_watermarks,
+        })
+    }
+}
+
+/// Sink output handling mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SinkMode {
+    /// Write records immediately; `dedup` rebuilds the committed-ident set
+    /// from the output log's determinant metadata on recovery (§5.5).
+    Immediate { dedup: bool },
+    /// Buffer per epoch; commit when the checkpoint completes (the baseline's
+    /// transactional two-phase sink).
+    Transactional,
+}
+
+enum Role {
+    Source {
+        spec: SourceSpec,
+        offset: u64,
+        max_event_time: u64,
+    },
+    Op {
+        op: Box<dyn Operator>,
+    },
+    Sink {
+        spec: SinkSpec,
+        mode: SinkMode,
+        /// Idents written per un-checkpointed epoch (dedup set).
+        committed: BTreeMap<EpochId, std::collections::BTreeSet<u64>>,
+        /// Buffered uncommitted output (transactional mode).
+        pending: BTreeMap<EpochId, Vec<Record>>,
+    },
+}
+
+struct InChannel {
+    from: TaskId,
+    input: u8,
+    pending: VecDeque<SentBuffer>,
+    /// Barrier alignment: true while waiting for other channels' barriers.
+    blocked: bool,
+    expected_gen: u32,
+    /// Buffers received per (un-checkpointed) epoch — the dedup counts
+    /// reported to the job manager during a neighbour's recovery.
+    received: BTreeMap<EpochId, u64>,
+    watermark: u64,
+}
+
+struct OutChannel {
+    to: TaskId,
+    dest_in: ChannelId,
+    writer: ByteWriter,
+    records: u32,
+    dest_gen: u32,
+    /// Replay pump over the in-flight log, while serving a recovering
+    /// downstream task.
+    pump: Option<ReplayCursor>,
+    /// False while pumping: fresh flushes are logged but not sent directly.
+    live: bool,
+    rr: u64,
+}
+
+/// Whether the task participates in in-flight logging / causal logging.
+#[derive(Clone, Copy, Debug)]
+struct FtFlags {
+    inflight: bool,
+    causal: bool,
+    skip_dedup: bool,
+}
+
+/// One deployed (or standby-activated) task instance.
+pub struct Task {
+    pub spec: TaskSpec,
+    pub gen: u32,
+    role: Role,
+    edge_partitioning: Vec<Partitioning>,
+    /// Out-channel indices grouped by edge (ordered by downstream subtask).
+    edge_channels: BTreeMap<usize, Vec<usize>>,
+    ins: Vec<InChannel>,
+    outs: Vec<OutChannel>,
+    arrivals: VecDeque<u32>,
+    state: StateStore,
+    emit_seq: u64,
+    pub epoch: EpochId,
+    step: u64,
+    watermark: u64,
+    pub log: CausalLogManager,
+    pub services: CausalServices,
+    inflight: Option<InFlightLog>,
+    spill: SpillDevice,
+    queue: ServiceQueue,
+    flags: FtFlags,
+    /// Per-out-channel buffers to rebuild-but-not-send during replay.
+    skip: Vec<u64>,
+    /// Set once BeginReplay installed; false again when replay drains.
+    installed: bool,
+    pub dead: bool,
+    buffer_size: usize,
+}
+
+impl Task {
+    pub fn new(
+        spec: TaskSpec,
+        kind: &VertexKind,
+        edge_partitioning: Vec<Partitioning>,
+        config: &EngineConfig,
+        graph_depth: u32,
+        gen: u32,
+    ) -> Task {
+        let (flags, dsd, cache_us, pool, spill_policy) = match &config.ft {
+            FtMode::Clonos(c) => {
+                let dsd = c.effective_dsd(graph_depth);
+                let flags = match c.guarantee {
+                    GuaranteeMode::AtMostOnce => {
+                        FtFlags { inflight: false, causal: false, skip_dedup: false }
+                    }
+                    GuaranteeMode::AtLeastOnce => {
+                        FtFlags { inflight: true, causal: false, skip_dedup: false }
+                    }
+                    GuaranteeMode::ExactlyOnce => {
+                        FtFlags { inflight: true, causal: true, skip_dedup: true }
+                    }
+                };
+                (flags, dsd, c.timestamp_cache_us, c.inflight_pool_buffers, c.spill)
+            }
+            _ => (
+                FtFlags { inflight: false, causal: false, skip_dedup: false },
+                0,
+                1_000,
+                0,
+                clonos::SpillPolicy::InMemory,
+            ),
+        };
+        let num_outs = spec.outputs.len();
+        let role = match kind {
+            VertexKind::Source(s) => {
+                Role::Source { spec: s.clone(), offset: 0, max_event_time: 0 }
+            }
+            VertexKind::Operator(f) => Role::Op { op: f() },
+            VertexKind::Sink(s) => {
+                let mode = match &config.ft {
+                    FtMode::GlobalRollback => SinkMode::Transactional,
+                    FtMode::Clonos(c) => SinkMode::Immediate {
+                        dedup: c.guarantee == GuaranteeMode::ExactlyOnce,
+                    },
+                    FtMode::None => SinkMode::Immediate { dedup: false },
+                };
+                Role::Sink {
+                    spec: s.clone(),
+                    mode,
+                    committed: BTreeMap::new(),
+                    pending: BTreeMap::new(),
+                }
+            }
+        };
+        let mut edge_channels: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, &(_, _, edge, _)) in spec.outputs.iter().enumerate() {
+            edge_channels.entry(edge).or_default().push(i);
+        }
+        let ins = spec
+            .inputs
+            .iter()
+            .map(|&(_, from, input)| InChannel {
+                from,
+                input,
+                pending: VecDeque::new(),
+                blocked: false,
+                expected_gen: gen,
+                received: BTreeMap::new(),
+                watermark: 0,
+            })
+            .collect();
+        let outs = spec
+            .outputs
+            .iter()
+            .map(|&(_, to, _edge, dest_in)| OutChannel {
+                to,
+                dest_in,
+                writer: ByteWriter::new(),
+                records: 0,
+                dest_gen: gen,
+                pump: None,
+                live: true,
+                rr: 0,
+            })
+            .collect();
+        let inflight = flags
+            .inflight
+            .then(|| InFlightLog::new(num_outs, spill_policy, pool.max(1)));
+        let mut log = CausalLogManager::new(spec.id, num_outs, if flags.causal { dsd } else { 0 });
+        log.set_epoch(1);
+        Task {
+            spec,
+            gen,
+            role,
+            edge_partitioning,
+            edge_channels,
+            ins,
+            outs,
+            arrivals: VecDeque::new(),
+            state: StateStore::new(),
+            emit_seq: 0,
+            epoch: 1,
+            step: 0,
+            watermark: 0,
+            log,
+            services: CausalServices::new(cache_us),
+            inflight,
+            spill: SpillDevice::new(),
+            queue: ServiceQueue::new(),
+            flags,
+            skip: vec![0; num_outs],
+            installed: true,
+            dead: false,
+            buffer_size: config.buffer_size,
+        }
+    }
+
+    /// Align per-channel generation expectations with the cluster's view of
+    /// neighbour incarnations (used when constructing a replacement task:
+    /// its own generation is bumped, but neighbours keep theirs).
+    pub fn set_neighbor_gens(&mut self, gen_of: impl Fn(TaskId) -> u32) {
+        for c in &mut self.ins {
+            c.expected_gen = gen_of(c.from);
+        }
+        for o in &mut self.outs {
+            o.dest_gen = gen_of(o.to);
+        }
+    }
+
+    pub fn is_source(&self) -> bool {
+        matches!(self.role, Role::Source { .. })
+    }
+
+    /// Abandon determinant-guided replay mid-flight: continue live with
+    /// fresh nondeterminism and no sender-side dedup (at-least-once for this
+    /// incident, §5.4).
+    pub fn abandon_replay(&mut self, ctx: &mut TaskCtx<'_>) {
+        self.log.abandon_replay();
+        for s in &mut self.skip {
+            *s = 0;
+        }
+        self.services.invalidate_cache();
+        self.finish_recovery(ctx);
+        // Consume whatever input queued up while replay was stuck.
+        let _ = self.try_process(ctx);
+    }
+
+    pub fn is_sink(&self) -> bool {
+        matches!(self.role, Role::Sink { .. })
+    }
+
+    pub fn source_offset(&self) -> u64 {
+        match &self.role {
+            Role::Source { offset, .. } => *offset,
+            _ => 0,
+        }
+    }
+
+    pub fn state_digest(&self) -> u64 {
+        self.state.digest()
+    }
+
+    pub fn inflight_stats(&self) -> Option<clonos::inflight::InFlightStats> {
+        self.inflight.as_ref().map(|l| l.stats)
+    }
+
+    pub fn inflight_resident_bytes(&self) -> u64 {
+        self.inflight.as_ref().map(|l| l.resident_bytes()).unwrap_or(0)
+    }
+
+    pub fn inflight_total_bytes(&self) -> u64 {
+        self.inflight.as_ref().map(|l| l.total_bytes()).unwrap_or(0)
+    }
+
+    /// Schedule this task's periodic self-events after (re)deployment.
+    pub fn start(&mut self, ctx: &mut TaskCtx<'_>) {
+        let me = self.spec.id;
+        if self.is_source() {
+            ctx.sim.schedule_in(VirtualDuration::from_micros(10), me, Msg::SourcePoll);
+            if let Role::Source { spec, .. } = &self.role {
+                ctx.sim.schedule_in(
+                    VirtualDuration::from_micros(spec.watermark_interval_us),
+                    me,
+                    Msg::WatermarkTick,
+                );
+            }
+        }
+        if !self.outs.is_empty() {
+            ctx.sim.schedule_in(ctx.config.flush_interval, me, Msg::FlushTick);
+        }
+        // Reschedule restored processing-time timers.
+        let timers: Vec<StateTimer> = self.state.proc_timers().copied().collect();
+        for t in timers {
+            let at = VirtualTime(t.ts).max(ctx.sim.now());
+            ctx.sim.schedule_at(at, me, Msg::ProcTimerFire(t));
+        }
+        // Initial epoch's RNG seed (normal mode records it; replay pops it in
+        // try_process instead).
+        if !self.replaying() {
+            let entropy = ctx.entropy.next_u64();
+            let _ = self.services.renew_rng_seed(&mut self.log, entropy);
+        }
+    }
+
+    fn replaying(&self) -> bool {
+        self.log.replaying()
+    }
+
+    /// Entry point for all messages.
+    pub fn handle(&mut self, msg: Msg, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        if self.dead {
+            return Ok(());
+        }
+        match msg {
+            Msg::Data { from, channel, from_gen, dest_gen, buffer } => {
+                self.on_data(from, channel, from_gen, dest_gen, buffer, ctx)
+            }
+            Msg::SourcePoll => self.on_source_poll(ctx),
+            Msg::FlushTick => self.on_flush_tick(ctx),
+            Msg::WatermarkTick => self.on_watermark_tick(ctx),
+            Msg::ProcTimerFire(t) => self.on_proc_timer(t, ctx),
+            Msg::TriggerCheckpoint { id } => self.on_trigger_checkpoint(id, ctx),
+            Msg::CheckpointComplete { id } => self.on_checkpoint_complete(id, ctx),
+            Msg::Kill => {
+                self.dead = true;
+                Ok(())
+            }
+            Msg::LogRequest { origin, after_cp } => self.on_log_request(origin, after_cp, ctx),
+            Msg::BeginReplay { snapshot, skip, resume_cp, state, rebuild_sink_dedup } => {
+                self.on_begin_replay(snapshot, skip, resume_cp, state, rebuild_sink_dedup, ctx)
+            }
+            Msg::ReplayRequest { from_task, dest_in, dest_gen, from_epoch } => {
+                self.on_replay_request(from_task, dest_in, dest_gen, from_epoch, ctx)
+            }
+            Msg::ReplayPump { channel } => self.on_replay_pump(channel, ctx),
+            Msg::ChannelReset { from, new_gen } => {
+                for c in self.ins.iter_mut().filter(|c| c.from == from) {
+                    c.expected_gen = new_gen;
+                }
+                Ok(())
+            }
+            // Cluster/JM-internal messages that should never reach a task.
+            other => Err(EngineError::Protocol(format!(
+                "task {} received unexpected message {other:?}",
+                self.spec.id
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn on_data(
+        &mut self,
+        from: TaskId,
+        channel: ChannelId,
+        from_gen: u32,
+        dest_gen: u32,
+        buffer: SentBuffer,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        if dest_gen != self.gen {
+            return Ok(()); // addressed to a dead incarnation
+        }
+        let ch = channel as usize;
+        let Some(in_ch) = self.ins.get_mut(ch) else {
+            return Err(EngineError::Protocol(format!("unknown input channel {channel}")));
+        };
+        debug_assert_eq!(in_ch.from, from);
+        if from_gen != in_ch.expected_gen {
+            return Ok(()); // stale buffer from a dead upstream incarnation
+        }
+        // Ingest the piggybacked determinant delta BEFORE the records can
+        // affect state (always-no-orphans, Eq. 2).
+        self.log.ingest_delta(&buffer.delta)?;
+        *in_ch.received.entry(buffer.epoch).or_insert(0) += 1;
+        in_ch.pending.push_back(buffer);
+        self.arrivals.push_back(channel);
+        self.try_process(ctx)
+    }
+
+    /// The main processing loop: consume whatever can be consumed.
+    fn try_process(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        loop {
+            if self.replaying() {
+                if !self.replay_step(ctx)? {
+                    break;
+                }
+                if !self.replaying() {
+                    self.finish_recovery(ctx);
+                }
+                continue;
+            }
+            // Normal mode: consume the oldest unblocked arrival.
+            let Some(pos) = self
+                .arrivals
+                .iter()
+                .position(|&c| !self.ins[c as usize].blocked && !self.ins[c as usize].pending.is_empty())
+            else {
+                break;
+            };
+            let ch = self.arrivals.remove(pos).expect("position valid");
+            self.log.record(Determinant::Order { channel: ch });
+            self.consume_buffer(ch, ctx)?;
+        }
+        Ok(())
+    }
+
+    /// One step of determinant-guided replay. Returns false when blocked
+    /// (waiting for input).
+    fn replay_step(&mut self, ctx: &mut TaskCtx<'_>) -> Result<bool, EngineError> {
+        self.drain_replay_flushes(ctx)?;
+        let Some(det) = self.log.peek_replay().cloned() else {
+            return Ok(false);
+        };
+        match det {
+            Determinant::Order { channel } => {
+                let ch = channel as usize;
+                if ch >= self.ins.len() || self.ins[ch].pending.is_empty() {
+                    return Ok(false); // wait for the upstream replay to deliver
+                }
+                self.log.pop_replay();
+                // Remove the matching arrival-queue entry if present.
+                if let Some(pos) = self.arrivals.iter().position(|&c| c == channel) {
+                    self.arrivals.remove(pos);
+                }
+                self.consume_buffer(channel, ctx)?;
+                Ok(true)
+            }
+            Determinant::Timer { timer_id: id, offset } => {
+                if offset == self.step {
+                    self.log.pop_replay();
+                    self.fire_timer_by_id(id, ctx)?;
+                    Ok(true)
+                } else if self.is_source() && offset > self.step {
+                    self.replay_emit_source(ctx)
+                } else {
+                    Err(EngineError::Protocol(format!(
+                        "timer replay offset {offset} does not match step {} at task {}",
+                        self.step, self.spec.id
+                    )))
+                }
+            }
+            Determinant::Rpc { kind: RpcKind::TriggerCheckpoint, arg, offset } => {
+                if offset == self.step {
+                    self.log.pop_replay();
+                    self.source_checkpoint(arg, ctx)?;
+                    Ok(true)
+                } else if self.is_source() && offset > self.step {
+                    self.replay_emit_source(ctx)
+                } else {
+                    Err(EngineError::Protocol(format!(
+                        "rpc replay offset {offset} does not match step {} at task {}",
+                        self.step, self.spec.id
+                    )))
+                }
+            }
+            Determinant::Rpc { .. } => {
+                self.log.pop_replay();
+                Ok(true)
+            }
+            Determinant::RngSeed { .. } => {
+                self.services.renew_rng_seed(&mut self.log, 0)?;
+                Ok(true)
+            }
+            // Emission-level determinants at sources mean: emit the next
+            // record (its processing will consume them).
+            Determinant::Timestamp { .. } | Determinant::Watermark { .. }
+                if self.is_source() =>
+            {
+                self.replay_emit_source(ctx)
+            }
+            other => Err(EngineError::Protocol(format!(
+                "unexpected top-level replay determinant {other:?} at task {}",
+                self.spec.id
+            ))),
+        }
+    }
+
+    /// Consume one buffer from input `ch`, processing all its elements.
+    fn consume_buffer(&mut self, ch: ChannelId, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let buffer = self.ins[ch as usize]
+            .pending
+            .pop_front()
+            .ok_or_else(|| EngineError::Protocol("consume from empty channel".into()))?;
+        let elements = decode_buffer(&buffer.payload)?;
+        let input = self.ins[ch as usize].input;
+        for el in elements {
+            match el {
+                StreamElement::Record(rec) => {
+                    self.process_record(input, rec, ctx)?;
+                    self.fire_due_async(ctx)?;
+                }
+                StreamElement::Watermark(ts) => self.advance_watermark(ch, ts, ctx)?,
+                StreamElement::Barrier(id) => self.handle_barrier(ch, id, ctx)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Fire replayed asynchronous events anchored at the current step.
+    fn fire_due_async(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        while self.replaying() {
+            match self.log.peek_replay() {
+                Some(&Determinant::Timer { timer_id: id, offset }) if offset == self.step => {
+                    self.log.pop_replay();
+                    self.fire_timer_by_id(id, ctx)?;
+                }
+                Some(&Determinant::Rpc { kind: RpcKind::TriggerCheckpoint, arg, offset })
+                    if offset == self.step =>
+                {
+                    self.log.pop_replay();
+                    self.source_checkpoint(arg, ctx)?;
+                }
+                _ => break,
+            }
+        }
+        self.drain_replay_flushes(ctx)
+    }
+
+    fn fire_timer_by_id(&mut self, id: u64, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        if id == WM_TIMER_ID {
+            return self.emit_source_watermark(ctx);
+        }
+        let Some(&t) = self.state.proc_timers().find(|t| timer_id(t) == id) else {
+            return Err(EngineError::Protocol(format!(
+                "replayed timer {id:#x} not registered at task {}",
+                self.spec.id
+            )));
+        };
+        self.state.take_proc_timer(t);
+        self.run_operator(|op, opctx| op.on_timer(t, TimerKind::ProcessingTime, opctx), 0, ctx)
+    }
+
+    /// Run one record through the operator / sink.
+    fn process_record(
+        &mut self,
+        input: u8,
+        rec: Record,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let finish = self.queue.admit(ctx.sim.now(), ctx.config.record_cost);
+        match &mut self.role {
+            Role::Op { .. } => {
+                let create = rec.create_ts;
+                self.run_operator_at(
+                    |op, opctx| op.on_record(input, &rec, opctx),
+                    create,
+                    finish,
+                    ctx,
+                )?;
+            }
+            Role::Sink { .. } => {
+                self.sink_write(rec, finish, ctx)?;
+            }
+            Role::Source { .. } => {
+                return Err(EngineError::Protocol("source received a data record".into()));
+            }
+        }
+        self.step += 1;
+        Ok(())
+    }
+
+    /// Run an operator callback with a fully-wired context, then route
+    /// emissions and schedule new timers.
+    fn run_operator(
+        &mut self,
+        f: impl FnOnce(&mut Box<dyn Operator>, &mut OpCtx<'_>) -> Result<(), EngineError>,
+        default_create: u64,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let at = self.queue.busy_until().max(ctx.sim.now());
+        self.run_operator_at(f, default_create, at, ctx)
+    }
+
+    fn run_operator_at(
+        &mut self,
+        f: impl FnOnce(&mut Box<dyn Operator>, &mut OpCtx<'_>) -> Result<(), EngineError>,
+        default_create: u64,
+        at: VirtualTime,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let Role::Op { op } = &mut self.role else {
+            return Ok(());
+        };
+        let mut opctx = OpCtx::new(
+            &mut self.state,
+            &mut self.services,
+            &mut self.log,
+            ctx.external,
+            at,
+            self.watermark,
+            default_create,
+            self.step,
+        );
+        f(op, &mut opctx)?;
+        let emits = std::mem::take(&mut opctx.emitted);
+        let new_timers = std::mem::take(&mut opctx.new_proc_timers);
+        drop(opctx);
+        // Schedule freshly registered processing-time timers (replay fires
+        // them from determinants instead).
+        if !self.replaying() {
+            for t in new_timers {
+                let fire_at = VirtualTime(t.ts).max(ctx.sim.now());
+                ctx.sim.schedule_at(fire_at, self.spec.id, Msg::ProcTimerFire(t));
+            }
+        }
+        for e in emits {
+            let ident = (self.spec.id << 40) | self.emit_seq;
+            self.emit_seq += 1;
+            let rec = Record {
+                key: e.key,
+                event_time: e.event_time,
+                create_ts: e.create_ts,
+                ident,
+                row: e.row,
+            };
+            self.route(rec, at, ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Route a record to output channels per each outgoing edge's
+    /// partitioning strategy.
+    fn route(&mut self, rec: Record, at: VirtualTime, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let edges: Vec<usize> = self.edge_channels.keys().copied().collect();
+        for edge in edges {
+            let chans = self.edge_channels[&edge].clone();
+            match self.edge_partitioning[edge] {
+                Partitioning::Forward => {
+                    self.write_element(chans[0], &StreamElement::Record(rec.clone()), true, at, ctx)?;
+                }
+                Partitioning::Hash => {
+                    let idx = (rec.key % chans.len() as u64) as usize;
+                    self.write_element(
+                        chans[idx],
+                        &StreamElement::Record(rec.clone()),
+                        true,
+                        at,
+                        ctx,
+                    )?;
+                }
+                Partitioning::Broadcast => {
+                    for &c in &chans {
+                        self.write_element(c, &StreamElement::Record(rec.clone()), true, at, ctx)?;
+                    }
+                }
+                Partitioning::Rebalance => {
+                    // Round-robin counter lives on the first channel of the
+                    // edge group.
+                    let rr = {
+                        let oc = &mut self.outs[chans[0]];
+                        let v = oc.rr;
+                        oc.rr += 1;
+                        v
+                    };
+                    let idx = (rr % chans.len() as u64) as usize;
+                    self.write_element(
+                        chans[idx],
+                        &StreamElement::Record(rec.clone()),
+                        true,
+                        at,
+                        ctx,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append one element to an out channel's buffer builder and apply flush
+    /// policy (size-triggered in normal mode; logged-size cuts in replay).
+    fn write_element(
+        &mut self,
+        out_idx: usize,
+        el: &StreamElement,
+        count_record: bool,
+        at: VirtualTime,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        {
+            let oc = &mut self.outs[out_idx];
+            el.encode(&mut oc.writer);
+            if count_record {
+                oc.records += 1;
+            }
+        }
+        let chan = out_idx as ChannelId;
+        if self.log.replaying_flushes(chan) {
+            self.drain_replay_flushes_for(out_idx, at, ctx)?;
+        } else if self.outs[out_idx].writer.len() >= self.buffer_size {
+            self.flush_channel(out_idx, at, ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Cut buffers on `out_idx` wherever the builder has reached the next
+    /// logged flush size (deduplicating replay, protocol step 6).
+    fn drain_replay_flushes_for(
+        &mut self,
+        out_idx: usize,
+        at: VirtualTime,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let chan = out_idx as ChannelId;
+        while let Some((size, _records)) = self.log.peek_replay_flush(chan) {
+            let have = self.outs[out_idx].writer.len();
+            if have < size as usize {
+                break;
+            }
+            if have > size as usize {
+                return Err(EngineError::Protocol(format!(
+                    "replay flush divergence on task {} channel {chan}: builder {have}B, logged {size}B",
+                    self.spec.id
+                )));
+            }
+            self.log.pop_replay_flush(chan);
+            self.flush_channel_inner(out_idx, at, false, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn drain_replay_flushes(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let at = self.queue.busy_until().max(ctx.sim.now());
+        for i in 0..self.outs.len() {
+            if self.log.replaying_flushes(i as ChannelId) {
+                self.drain_replay_flushes_for(i, at, ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush a channel in normal mode (logs the flush determinant).
+    fn flush_channel(
+        &mut self,
+        out_idx: usize,
+        at: VirtualTime,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        self.flush_channel_inner(out_idx, at, true, ctx)
+    }
+
+    fn flush_channel_inner(
+        &mut self,
+        out_idx: usize,
+        at: VirtualTime,
+        log_flush: bool,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let (payload, records) = {
+            let oc = &mut self.outs[out_idx];
+            if oc.writer.is_empty() {
+                return Ok(());
+            }
+            let payload = std::mem::take(&mut oc.writer).freeze();
+            let records = oc.records;
+            oc.records = 0;
+            (payload, records)
+        };
+        let chan = out_idx as ChannelId;
+        if log_flush {
+            self.log.record_flush(chan, payload.len() as u32, records);
+        }
+        let delta = self.log.collect_delta(chan);
+        // Causal-logging cost: shipping the delta costs serialization and
+        // network time proportional to its size.
+        let mut send_at = at;
+        if !delta.is_empty() && ctx.config.delta_byte_cost_ns > 0 {
+            let cost = VirtualDuration::from_micros(
+                (delta.len() as u64 * ctx.config.delta_byte_cost_ns) / 1_000,
+            );
+            send_at = self.queue.admit(send_at, cost);
+        }
+        let buffer = SentBuffer { epoch: self.epoch, payload, delta, records };
+        if let Some(inflight) = &mut self.inflight {
+            let outcome = inflight.append(chan, buffer.clone(), &mut self.spill);
+            if outcome.io > VirtualDuration::ZERO {
+                send_at = self.queue.admit(send_at, outcome.io);
+            }
+            if outcome.blocked {
+                // Backpressure: pool exhausted; model as a processing stall.
+                send_at = self.queue.admit(send_at, VirtualDuration::from_millis(1));
+            }
+        }
+        let oc = &mut self.outs[out_idx];
+        let suppress = self.skip[out_idx] > 0;
+        if suppress {
+            self.skip[out_idx] -= 1;
+        }
+        if oc.live && !suppress {
+            let msg = Msg::Data {
+                from: self.spec.id,
+                channel: oc.dest_in,
+                from_gen: self.gen,
+                dest_gen: oc.dest_gen,
+                buffer,
+            };
+            let to = oc.to;
+            ctx.send_data(self.spec.id, to, send_at, msg);
+        }
+        Ok(())
+    }
+
+    fn flush_all(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let at = self.queue.busy_until().max(ctx.sim.now());
+        for i in 0..self.outs.len() {
+            if !self.log.replaying_flushes(i as ChannelId) {
+                self.flush_channel(i, at, ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_flush_tick(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        if !self.replaying() {
+            self.flush_all(ctx)?;
+        }
+        ctx.sim.schedule_in(ctx.config.flush_interval, self.spec.id, Msg::FlushTick);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Watermarks & timers
+    // ------------------------------------------------------------------
+
+    fn advance_watermark(
+        &mut self,
+        ch: ChannelId,
+        ts: u64,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let in_ch = &mut self.ins[ch as usize];
+        in_ch.watermark = in_ch.watermark.max(ts);
+        let min_wm = self.ins.iter().map(|c| c.watermark).min().unwrap_or(0);
+        if min_wm <= self.watermark {
+            return Ok(());
+        }
+        self.watermark = min_wm;
+        // Fire due event-time timers (deterministic given input order).
+        let due = self.state.pop_due_event_timers(min_wm);
+        for t in due {
+            self.run_operator(|op, opctx| op.on_timer(t, TimerKind::EventTime, opctx), 0, ctx)?;
+        }
+        self.run_operator(|op, opctx| op.on_watermark(min_wm, opctx), 0, ctx)?;
+        // Forward the watermark on every output channel.
+        let at = self.queue.busy_until().max(ctx.sim.now());
+        for i in 0..self.outs.len() {
+            self.write_element(i, &StreamElement::Watermark(min_wm), false, at, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn on_proc_timer(&mut self, t: StateTimer, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        if self.replaying() {
+            return Ok(()); // fired from determinants instead
+        }
+        if !self.state.take_proc_timer(t) {
+            return Ok(()); // stale or already fired during replay
+        }
+        self.log.record(Determinant::Timer { timer_id: timer_id(&t), offset: self.step });
+        self.run_operator(|op, opctx| op.on_timer(t, TimerKind::ProcessingTime, opctx), 0, ctx)
+    }
+
+    // ------------------------------------------------------------------
+    // Sources
+    // ------------------------------------------------------------------
+
+    fn on_source_poll(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let Role::Source { spec, offset, .. } = &self.role else {
+            return Ok(());
+        };
+        let (batch, rate) = (spec.batch, spec.rate);
+        // The topic is pre-populated, but it models a steady external
+        // producer emitting `rate` records/second: the source consumes at
+        // that pace. When its offset falls behind the producer frontier
+        // (after a rollback rewound it, or after an outage), it catches up
+        // at several times the nominal rate — like a real consumer draining
+        // Kafka at full speed.
+        let frontier = (spec.rate * ctx.sim.now().as_micros()) / 1_000_000;
+        let behind = *offset + 4 * (batch as u64) < frontier;
+        if !self.replaying() {
+            let n = if behind { batch * 8 } else { batch };
+            for _ in 0..n {
+                if !self.emit_next_source_record(ctx)? {
+                    break;
+                }
+            }
+        }
+        let delay = VirtualDuration::from_micros((batch as u64 * 1_000_000) / rate.max(1));
+        ctx.sim.schedule_in(delay, self.spec.id, Msg::SourcePoll);
+        Ok(())
+    }
+
+    /// Emit the next record from the input topic. Returns false if none is
+    /// available yet.
+    fn emit_next_source_record(&mut self, ctx: &mut TaskCtx<'_>) -> Result<bool, EngineError> {
+        let Role::Source { spec, offset, .. } = &self.role else {
+            return Ok(false);
+        };
+        let (topic, part, off) = (spec.topic.clone(), self.spec.subtask, *offset);
+        // Respect the modelled producer frontier under normal operation
+        // (replay may read anything the predecessor already read).
+        if !self.replaying() {
+            let frontier =
+                (spec.rate * ctx.sim.now().as_micros()) / 1_000_000 + spec.batch as u64;
+            if off >= frontier {
+                return Ok(false);
+            }
+        }
+        let Some(log_rec) = ctx
+            .topics
+            .get(&topic)
+            .and_then(|t| t.partition(part % t.num_partitions()).get(off))
+            .cloned()
+        else {
+            return Ok(false);
+        };
+        let row = Row::decode(&mut ByteReader::new(&log_rec.payload))?;
+        let finish = self.queue.admit(ctx.sim.now(), ctx.config.record_cost);
+        // Ingestion timestamp through the causal service (logged/replayed).
+        let ingest_ts = self.services.timestamp(&mut self.log, finish, self.step)?;
+        let (event_time, key) = {
+            let Role::Source { spec, .. } = &self.role else { unreachable!() };
+            let event_time = match spec.timestamps {
+                TimestampMode::EventTimeField(i) => row.int(i).max(0) as u64,
+                TimestampMode::IngestionTime => ingest_ts,
+            };
+            let key = match spec.key_field {
+                Some(i) => hash_datum(row.get(i)),
+                None => off,
+            };
+            (event_time, key)
+        };
+        let ident = (self.spec.id << 40) | self.emit_seq;
+        self.emit_seq += 1;
+        if let Role::Source { offset, max_event_time, .. } = &mut self.role {
+            *offset += 1;
+            *max_event_time = (*max_event_time).max(event_time);
+        }
+        let rec = Record { key, event_time, create_ts: ingest_ts, ident, row };
+        ctx.metrics.records_in += 1;
+        self.route(rec, finish, ctx)?;
+        self.step += 1;
+        Ok(true)
+    }
+
+    /// During replay: emit exactly one source record (its service calls pop
+    /// the corresponding determinants). Returns false if the topic has no
+    /// record at the offset (cannot happen for data the predecessor read).
+    fn replay_emit_source(&mut self, ctx: &mut TaskCtx<'_>) -> Result<bool, EngineError> {
+        let emitted = self.emit_next_source_record(ctx)?;
+        if !emitted {
+            return Err(EngineError::Protocol(format!(
+                "source {} replay ran past the durable log",
+                self.spec.id
+            )));
+        }
+        self.fire_due_async(ctx)?;
+        Ok(true)
+    }
+
+    fn on_watermark_tick(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let Role::Source { spec, .. } = &self.role else {
+            return Ok(());
+        };
+        let interval = spec.watermark_interval_us;
+        if !self.replaying() {
+            self.log.record(Determinant::Timer { timer_id: WM_TIMER_ID, offset: self.step });
+            self.emit_source_watermark(ctx)?;
+        }
+        ctx.sim.schedule_in(
+            VirtualDuration::from_micros(interval),
+            self.spec.id,
+            Msg::WatermarkTick,
+        );
+        Ok(())
+    }
+
+    fn emit_source_watermark(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let Role::Source { spec, max_event_time, .. } = &self.role else {
+            return Ok(());
+        };
+        let fresh = max_event_time.saturating_sub(spec.out_of_orderness_us);
+        let wm = self.services.watermark(&mut self.log, fresh)?;
+        if wm == 0 || wm <= self.watermark {
+            return Ok(());
+        }
+        self.watermark = wm;
+        let at = self.queue.busy_until().max(ctx.sim.now());
+        for i in 0..self.outs.len() {
+            self.write_element(i, &StreamElement::Watermark(wm), false, at, ctx)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    fn on_trigger_checkpoint(&mut self, id: u64, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        if !self.is_source() || self.replaying() {
+            return Ok(()); // replay injects barriers from Rpc determinants
+        }
+        self.log.record(Determinant::Rpc {
+            kind: RpcKind::TriggerCheckpoint,
+            arg: id,
+            offset: self.step,
+        });
+        self.source_checkpoint(id, ctx)
+    }
+
+    /// Source barrier injection + snapshot.
+    fn source_checkpoint(&mut self, id: u64, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        self.emit_barrier_and_snapshot(id, ctx)
+    }
+
+    fn handle_barrier(
+        &mut self,
+        ch: ChannelId,
+        id: u64,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        self.ins[ch as usize].blocked = true;
+        let all = self.ins.iter().all(|c| c.blocked);
+        if !all {
+            return Ok(());
+        }
+        self.emit_barrier_and_snapshot(id, ctx)?;
+        for c in &mut self.ins {
+            c.blocked = false;
+        }
+        // Alignment may have left consumable buffers queued.
+        self.try_process(ctx)
+    }
+
+    /// Shared path: flush, forward the barrier, snapshot, ack, open epoch.
+    fn emit_barrier_and_snapshot(&mut self, id: u64, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let at = self.queue.busy_until().max(ctx.sim.now());
+        // Flush pending data, then the barrier, in dedicated buffers. In
+        // replay mode both cuts come from logged flush determinants.
+        for i in 0..self.outs.len() {
+            if !self.log.replaying_flushes(i as ChannelId) {
+                self.flush_channel(i, at, ctx)?;
+            }
+            self.write_element(i, &StreamElement::Barrier(id), false, at, ctx)?;
+            if !self.log.replaying_flushes(i as ChannelId) {
+                self.flush_channel(i, at, ctx)?;
+            }
+        }
+        // Snapshot state and ack.
+        let snap = self.make_snapshot();
+        ctx.send_ctrl(
+            0,
+            Msg::CheckpointAck { task: self.spec.id, id, snapshot: snap.encode() },
+        );
+        // Transactional sinks learn their epoch boundary from barriers.
+        // Open the next epoch.
+        self.epoch = id + 1;
+        self.log.set_epoch(self.epoch);
+        self.step = 0;
+        let entropy = ctx.entropy.next_u64();
+        self.services.renew_rng_seed(&mut self.log, entropy)?;
+        let epoch = self.epoch;
+        self.run_operator(|op, opctx| op.on_epoch(epoch, opctx), 0, ctx)?;
+        Ok(())
+    }
+
+    fn make_snapshot(&self) -> TaskSnapshot {
+        TaskSnapshot {
+            state: self.state.snapshot(),
+            emit_seq: self.emit_seq,
+            source_offset: self.source_offset(),
+            max_event_time: match &self.role {
+                Role::Source { max_event_time, .. } => *max_event_time,
+                _ => 0,
+            },
+            watermark: self.watermark,
+            channel_watermarks: self.ins.iter().map(|c| c.watermark).collect(),
+        }
+    }
+
+    fn on_checkpoint_complete(&mut self, id: u64, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        self.log.truncate_through(id);
+        if let Some(inflight) = &mut self.inflight {
+            inflight.truncate_through(id, &mut self.spill);
+        }
+        for c in &mut self.ins {
+            c.received.retain(|&e, _| e > id);
+        }
+        let mut to_write: Vec<Record> = Vec::new();
+        if let Role::Sink { mode, committed, pending, .. } = &mut self.role {
+            committed.retain(|&e, _| e > id);
+            if *mode == SinkMode::Transactional {
+                // Commit buffered epochs <= id.
+                let epochs: Vec<EpochId> = pending.keys().copied().filter(|&e| e <= id).collect();
+                for e in epochs {
+                    to_write.extend(pending.remove(&e).unwrap_or_default());
+                }
+            }
+        }
+        let now = ctx.sim.now();
+        for rec in to_write {
+            self.write_out(rec, now, ctx)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Sinks
+    // ------------------------------------------------------------------
+
+    fn sink_write(
+        &mut self,
+        rec: Record,
+        commit_at: VirtualTime,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let epoch = self.epoch;
+        let Role::Sink { mode, committed, pending, .. } = &mut self.role else {
+            return Ok(());
+        };
+        match *mode {
+            SinkMode::Immediate { dedup } => {
+                if dedup {
+                    // §5.5: determinants piggybacked on output records let a
+                    // recovered sink skip rewrites.
+                    if committed.values().any(|s| s.contains(&rec.ident)) {
+                        return Ok(());
+                    }
+                    committed.entry(epoch).or_default().insert(rec.ident);
+                }
+                self.write_out(rec, commit_at, ctx)
+            }
+            SinkMode::Transactional => {
+                pending.entry(epoch).or_default().push(rec);
+                Ok(())
+            }
+        }
+    }
+
+    /// Physically append to the output topic and record metrics.
+    fn write_out(
+        &mut self,
+        rec: Record,
+        commit_at: VirtualTime,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let Role::Sink { spec, .. } = &self.role else {
+            return Ok(());
+        };
+        let topic = spec.topic.clone();
+        let part = self.spec.subtask;
+        let mut meta = ByteWriter::new();
+        meta.put_u8(crate::task::META_DATA);
+        meta.put_varint(self.spec.id);
+        meta.put_varint(self.gen as u64);
+        meta.put_varint(self.epoch);
+        meta.put_varint(rec.ident);
+        let mut payload = ByteWriter::new();
+        rec.encode(&mut payload);
+        let t = ctx
+            .topics
+            .get_mut(&topic)
+            .ok_or_else(|| EngineError::Protocol(format!("missing output topic {topic}")))?;
+        let p = part % t.num_partitions();
+        t.partition_mut(p).append_with_meta(payload.freeze(), Some(meta.freeze()));
+        let latency = commit_at.saturating_sub(VirtualTime(rec.create_ts));
+        ctx.metrics.record_output(self.spec.id, commit_at, latency);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery protocol
+    // ------------------------------------------------------------------
+
+    /// Step 3 (survivor side): export the replica + received counts.
+    fn on_log_request(
+        &mut self,
+        origin: TaskId,
+        after_cp: u64,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let snapshot = self.log.export_replica(origin).unwrap_or_default();
+        let received_buffers: Vec<(ChannelId, u64)> = self
+            .ins
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.from == origin)
+            .map(|(i, c)| {
+                let count: u64 =
+                    c.received.iter().filter(|&(&e, _)| e > after_cp).map(|(_, &n)| n).sum();
+                (i as ChannelId, count)
+            })
+            .collect();
+        ctx.send_ctrl(
+            0,
+            Msg::LogResponse {
+                origin,
+                from: self.spec.id,
+                resp: LogRetrievalResponse {
+                    snapshot,
+                    received_buffers,
+                },
+            },
+        );
+        Ok(())
+    }
+
+    /// Steps 1–5 (recovering side): install state + determinant snapshot,
+    /// then request in-flight replay from upstream.
+    #[allow(clippy::too_many_arguments)]
+    fn on_begin_replay(
+        &mut self,
+        snapshot: TaskLogSnapshot,
+        skip: Vec<(ChannelId, u64)>,
+        resume_cp: u64,
+        state: Bytes,
+        rebuild_sink_dedup: bool,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        // Restore checkpointed state (empty bytes = fresh start, cp 0).
+        self.watermark = 0;
+        if !state.is_empty() {
+            let snap = TaskSnapshot::decode(&state)?;
+            self.state = StateStore::restore(&snap.state)?;
+            self.emit_seq = snap.emit_seq;
+            self.watermark = snap.watermark;
+            for (c, wm) in self.ins.iter_mut().zip(&snap.channel_watermarks) {
+                c.watermark = *wm;
+            }
+            if let Role::Source { offset, max_event_time, .. } = &mut self.role {
+                *offset = snap.source_offset;
+                *max_event_time = snap.max_event_time;
+            }
+        }
+        self.epoch = resume_cp + 1;
+        self.step = 0;
+        for (ch, n) in skip {
+            if self.flags.skip_dedup {
+                if let Some(s) = self.skip.get_mut(ch as usize) {
+                    *s = n;
+                }
+            }
+        }
+        self.log.begin_replay(snapshot, resume_cp + 1);
+        // Sinks rebuild their committed-ident sets from the output topic's
+        // determinant metadata (§5.5's "return them when requested").
+        if let Role::Sink { spec, mode, committed, .. } = &mut self.role {
+            if matches!(mode, SinkMode::Immediate { dedup: true }) {
+                committed.clear();
+                if rebuild_sink_dedup {
+                    if let Some(topic) = ctx.topics.get(&spec.topic) {
+                        let p = self.spec.subtask % topic.num_partitions();
+                        let me = self.spec.id;
+                        for m in effective_sink_meta(topic.partition(p), me) {
+                            if m.epoch > resume_cp {
+                                committed.entry(m.epoch).or_default().insert(m.ident);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.installed = true;
+        // Step 4: ask upstream tasks to replay their in-flight logs.
+        let me = self.spec.id;
+        let gen = self.gen;
+        let ups: Vec<(TaskId, ChannelId)> =
+            self.ins.iter().enumerate().map(|(i, c)| (c.from, i as ChannelId)).collect();
+        for (up, dest_in) in ups {
+            ctx.send_ctrl(
+                up,
+                Msg::ReplayRequest { from_task: me, dest_in, dest_gen: gen, from_epoch: resume_cp + 1 },
+            );
+        }
+        // Kick timers/polls/flushes for the new incarnation.
+        self.start(ctx);
+        // Sources with replay determinants start re-emitting immediately.
+        self.try_process(ctx)?;
+        if !self.replaying() {
+            self.finish_recovery(ctx);
+        }
+        Ok(())
+    }
+
+    fn finish_recovery(&mut self, ctx: &mut TaskCtx<'_>) {
+        if !self.installed {
+            return;
+        }
+        self.installed = false;
+        ctx.metrics.event(
+            ctx.sim.now(),
+            format!("task {} ({}) replay complete", self.spec.id, self.spec.name),
+        );
+        ctx.send_ctrl(0, Msg::RecoveryDone { task: self.spec.id });
+        // Any processing-time timers registered during replay but not yet
+        // fired need real simulator events now.
+        let me = self.spec.id;
+        let timers: Vec<StateTimer> = self.state.proc_timers().copied().collect();
+        for t in timers {
+            let at = VirtualTime(t.ts).max(ctx.sim.now());
+            ctx.sim.schedule_at(at, me, Msg::ProcTimerFire(t));
+        }
+    }
+
+    /// Step 4/5 (upstream side): switch the channel into replay mode.
+    fn on_replay_request(
+        &mut self,
+        from_task: TaskId,
+        dest_in: ChannelId,
+        dest_gen: u32,
+        from_epoch: EpochId,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let Some(idx) = self
+            .outs
+            .iter()
+            .position(|o| o.to == from_task && o.dest_in == dest_in)
+        else {
+            return Err(EngineError::Protocol(format!(
+                "replay request for unknown channel to task {from_task}"
+            )));
+        };
+        self.outs[idx].dest_gen = dest_gen;
+        match &self.inflight {
+            Some(inflight) => {
+                let cursor = inflight.open_replay(idx as ChannelId, from_epoch);
+                self.outs[idx].pump = Some(cursor);
+                self.outs[idx].live = false;
+                ctx.sim.schedule_in(
+                    VirtualDuration::from_micros(200),
+                    self.spec.id,
+                    Msg::ReplayPump { channel: idx as ChannelId },
+                );
+            }
+            None => {
+                // Gap recovery: no log to replay; resume live immediately.
+                self.outs[idx].live = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_replay_pump(&mut self, channel: ChannelId, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let idx = channel as usize;
+        let batch = ctx.config.replay_batch;
+        let me = self.spec.id;
+        for _ in 0..batch {
+            let Some(mut cursor) = self.outs[idx].pump else { return Ok(()) };
+            let Some(inflight) = &mut self.inflight else { return Ok(()) };
+            match inflight.replay_next(&mut cursor, &mut self.spill) {
+                Some((buffer, _io)) => {
+                    self.outs[idx].pump = Some(cursor);
+                    let oc = &self.outs[idx];
+                    let msg = Msg::Data {
+                        from: me,
+                        channel: oc.dest_in,
+                        from_gen: self.gen,
+                        dest_gen: oc.dest_gen,
+                        buffer,
+                    };
+                    let to = oc.to;
+                    let now = ctx.sim.now();
+                    ctx.send_data(me, to, now, msg);
+                }
+                None => {
+                    self.outs[idx].pump = Some(cursor);
+                    // Caught up. If we are ourselves mid-replay, more rebuilt
+                    // buffers may still be appended — check again shortly.
+                    if self.replaying() {
+                        ctx.sim.schedule_in(
+                            VirtualDuration::from_millis(2),
+                            me,
+                            Msg::ReplayPump { channel },
+                        );
+                    } else {
+                        self.outs[idx].pump = None;
+                        self.outs[idx].live = true;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        ctx.sim.schedule_in(VirtualDuration::from_millis(1), me, Msg::ReplayPump { channel });
+        Ok(())
+    }
+}
+
+/// Hash a datum into a partitioning key.
+///
+/// FNV-1a with a SplitMix64 avalanche finalizer: raw FNV's low bit is the
+/// XOR-parity of the input bytes (its multiplier is odd), which makes
+/// `hash % parallelism` catastrophically biased for small parallelism —
+/// the finalizer restores full low-bit diffusion.
+pub fn hash_datum(d: &Datum) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    match d {
+        Datum::Null => feed(&[0]),
+        Datum::Bool(b) => feed(&[1, *b as u8]),
+        Datum::Int(v) => feed(&v.to_le_bytes()),
+        Datum::Float(v) => feed(&v.to_bits().to_le_bytes()),
+        Datum::Str(s) => feed(s.as_bytes()),
+    }
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_datum_low_bits_are_unbiased() {
+        // Even integers must not all land on the same parity class.
+        let evens_on_zero = (0..1_000)
+            .filter(|&i| hash_datum(&Datum::Int(i * 2)) % 2 == 0)
+            .count();
+        assert!(
+            (350..=650).contains(&evens_on_zero),
+            "hash parity bias: {evens_on_zero}/1000"
+        );
+        // And modulo small parallelism spreads roughly evenly.
+        let mut counts = [0u32; 5];
+        for i in 0..10_000 {
+            counts[(hash_datum(&Datum::Int(i)) % 5) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((1_500..=2_500).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sink_meta_roundtrip_and_abort_filtering() {
+        let mut part = clonos_storage::log::LogPartition::default();
+        // Two records in epoch 2 by sink 7 gen 0, then an abort marker
+        // (gen < 1, epoch > 1), then a rewrite in gen 1.
+        let meta = |gen: u32, epoch: u64, ident: u64| {
+            let mut w = ByteWriter::new();
+            w.put_u8(META_DATA);
+            w.put_varint(7);
+            w.put_varint(gen as u64);
+            w.put_varint(epoch);
+            w.put_varint(ident);
+            w.freeze()
+        };
+        let payload = {
+            let rec = Record {
+                key: 1,
+                event_time: 0,
+                create_ts: 0,
+                ident: 100,
+                row: crate::record::Row::default(),
+            };
+            let mut w = ByteWriter::new();
+            rec.encode(&mut w);
+            w.freeze()
+        };
+        part.append_with_meta(payload.clone(), Some(meta(0, 1, 100))); // committed epoch 1
+        part.append_with_meta(payload.clone(), Some(meta(0, 2, 101))); // will be aborted
+        part.append_with_meta(bytes::Bytes::new(), Some(encode_abort_marker(7, 1, 1)));
+        part.append_with_meta(payload.clone(), Some(meta(1, 2, 102))); // rewrite
+        let effective = effective_sink_meta(&part, 7);
+        let idents: Vec<u64> = effective.iter().map(|m| m.ident).collect();
+        assert_eq!(idents, vec![100, 102]);
+        // Records of another sink are invisible.
+        assert!(effective_sink_meta(&part, 9).is_empty());
+        let recs = effective_sink_records(&part, 7);
+        assert_eq!(recs.len(), 2);
+    }
+}
+
+/// Sink-output metadata kinds (see `write_out` / abort markers).
+pub const META_DATA: u8 = 0;
+pub const META_ABORT: u8 = 1;
+
+/// Parsed sink metadata attached to an output record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SinkMeta {
+    pub task: TaskId,
+    pub gen: u32,
+    pub epoch: EpochId,
+    pub ident: u64,
+}
+
+fn parse_meta(meta: &[u8]) -> Option<(u8, SinkMeta)> {
+    let mut r = ByteReader::new(meta);
+    let kind = r.get_u8().ok()?;
+    Some((
+        kind,
+        SinkMeta {
+            task: r.get_varint().ok()?,
+            gen: r.get_varint().ok()? as u32,
+            epoch: r.get_varint().ok()?,
+            ident: r.get_varint().ok()?,
+        },
+    ))
+}
+
+/// Encode an abort marker: output of `task` from generations `< gen` in
+/// epochs `> epoch` is aborted (the global-rollback analogue of a Kafka
+/// transaction abort; read-committed consumers skip the records it covers).
+pub fn encode_abort_marker(task: TaskId, gen: u32, epoch: EpochId) -> Bytes {
+    let mut w = ByteWriter::new();
+    w.put_u8(META_ABORT);
+    w.put_varint(task);
+    w.put_varint(gen as u64);
+    w.put_varint(epoch);
+    w.put_varint(0);
+    w.freeze()
+}
+
+/// Walk a sink partition and yield the *effective* (read-committed) output
+/// metadata of `sink`: data records not covered by any abort marker.
+pub fn effective_sink_meta(
+    partition: &clonos_storage::log::LogPartition,
+    sink: TaskId,
+) -> Vec<SinkMeta> {
+    let records = partition.fetch(0, usize::MAX);
+    let mut aborts: Vec<(u32, EpochId)> = Vec::new();
+    for r in records {
+        if let Some((kind, m)) = r.meta.as_deref().and_then(parse_meta) {
+            if kind == META_ABORT && m.task == sink {
+                aborts.push((m.gen, m.epoch));
+            }
+        }
+    }
+    records
+        .iter()
+        .filter_map(|r| r.meta.as_deref().and_then(parse_meta))
+        .filter(|(kind, m)| *kind == META_DATA && m.task == sink)
+        .map(|(_, m)| m)
+        .filter(|m| !aborts.iter().any(|&(g, e)| m.gen < g && m.epoch > e))
+        .collect()
+}
+
+/// Like [`effective_sink_meta`] but returns the decoded records too.
+pub fn effective_sink_records(
+    partition: &clonos_storage::log::LogPartition,
+    sink: TaskId,
+) -> Vec<(SinkMeta, Record)> {
+    let records = partition.fetch(0, usize::MAX);
+    let mut aborts: Vec<(u32, EpochId)> = Vec::new();
+    for r in records {
+        if let Some((kind, m)) = r.meta.as_deref().and_then(parse_meta) {
+            if kind == META_ABORT && m.task == sink {
+                aborts.push((m.gen, m.epoch));
+            }
+        }
+    }
+    records
+        .iter()
+        .filter_map(|r| {
+            let (kind, m) = r.meta.as_deref().and_then(parse_meta)?;
+            if kind != META_DATA || m.task != sink {
+                return None;
+            }
+            if aborts.iter().any(|&(g, e)| m.gen < g && m.epoch > e) {
+                return None;
+            }
+            let rec = Record::decode(&mut ByteReader::new(&r.payload)).ok()?;
+            Some((m, rec))
+        })
+        .collect()
+}

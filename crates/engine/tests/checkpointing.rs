@@ -1,0 +1,144 @@
+//! Checkpoint-coordination mechanics: barrier alignment across multi-input
+//! operators, snapshot consistency, log truncation, and standby state
+//! dispatch.
+
+use clonos::config::{ClonosConfig, SharingDepth};
+use clonos_engine::operator::OpCtx;
+use clonos_engine::operators::ProcessOp;
+use clonos_engine::*;
+use clonos_sim::{VirtualDuration, VirtualTime};
+
+fn counting_stage() -> clonos_engine::operator::OperatorFactory {
+    factory(|| {
+        ProcessOp::new(|_i, rec: &Record, ctx: &mut OpCtx<'_>| {
+            let c = ctx.state.value(0, rec.key).map(|r| r.int(0)).unwrap_or(0) + 1;
+            ctx.state.set_value(0, rec.key, Row::new(vec![Datum::Int(c)]));
+            ctx.emit(rec.key, rec.event_time, Row::new(vec![rec.row.get(1).clone(), Datum::Int(c)]));
+            Ok(())
+        })
+    })
+}
+
+/// Two sources → one join-like two-input stage → sink (forces alignment
+/// across channels from *different* vertices).
+fn two_input_job() -> JobGraph {
+    let mut g = JobGraph::new("align");
+    let a = g.add_source("a", 1, SourceSpec::new("a").rate(4_000).key_field(0));
+    let b = g.add_source("b", 1, SourceSpec::new("b").rate(4_000).key_field(0));
+    let merge = g.add_operator("merge", 2, counting_stage());
+    let snk = g.add_sink("out", 1, SinkSpec { topic: "out".into() });
+    g.connect_input(a, merge, 0, Partitioning::Hash);
+    g.connect_input(b, merge, 1, Partitioning::Hash);
+    g.connect(merge, snk, Partitioning::Hash);
+    g
+}
+
+fn rows(n: i64) -> Vec<Row> {
+    (0..n).map(|i| Row::new(vec![Datum::Int(i % 16), Datum::Int(i)])).collect()
+}
+
+#[test]
+fn checkpoints_complete_steadily_with_multi_input_alignment() {
+    let cfg = EngineConfig::default().with_seed(3);
+    let mut runner = JobRunner::new(two_input_job(), cfg);
+    runner.populate("a", 0, rows(80_000));
+    runner.populate("b", 0, rows(80_000));
+    let report = runner.run_for(VirtualDuration::from_secs(31));
+    // 5 s interval → checkpoints 1..=6 complete within 31 s.
+    assert!(
+        report.last_completed_checkpoint >= 5,
+        "only {} checkpoints completed",
+        report.last_completed_checkpoint
+    );
+    assert!(report.duplicate_idents().is_empty());
+    assert!(report.ident_gaps().is_empty());
+}
+
+#[test]
+fn logs_are_truncated_after_checkpoints() {
+    let cfg = EngineConfig::default()
+        .with_seed(5)
+        .with_ft(FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Full)));
+    let mut runner = JobRunner::new(two_input_job(), cfg);
+    runner.populate("a", 0, rows(80_000));
+    runner.populate("b", 0, rows(80_000));
+    let report = runner.run_for(VirtualDuration::from_secs(31));
+    // Resident determinant bytes must be bounded by roughly one epoch's
+    // worth, not the whole run's (truncation works). The run records
+    // hundreds of thousands of determinants; resident keeps only the
+    // current epoch (plus replicas).
+    assert!(report.log_stats.determinants_recorded > 10_000);
+    assert!(
+        report.determinant_bytes < 4 * 1024 * 1024,
+        "causal logs grew unbounded: {} bytes resident",
+        report.determinant_bytes
+    );
+    // Same for the in-flight log: far smaller than total traffic.
+    assert!(report.inflight_bytes < 8 * 1024 * 1024);
+}
+
+#[test]
+fn failure_respects_checkpointed_state_not_later_state() {
+    // Kill long after a checkpoint; the per-key counters at the sink must be
+    // continuous (1, 2, 3, ... per key) — a restore to the *wrong* snapshot
+    // (too old without replay, or too new) would break continuity.
+    let cfg = EngineConfig::default()
+        .with_seed(7)
+        .with_ft(FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Full)));
+    let mut runner = JobRunner::new(two_input_job(), cfg);
+    runner.populate("a", 0, rows(60_000));
+    runner.populate("b", 0, rows(60_000));
+    let report = runner
+        .with_failures(FailurePlan::none().kill_at(VirtualTime(9_300_000), 3))
+        .run_for(VirtualDuration::from_secs(30));
+    use std::collections::BTreeMap;
+    // Output rows: [value, per-key-count]; group counts by the merge
+    // instance (ident producer) and key is implicit — check each producer's
+    // count stream per key is 1..n with no jumps. We reconstruct per (value
+    // mod 16) since both sources feed the same keys.
+    let mut seen: BTreeMap<(u64, i64), Vec<i64>> = BTreeMap::new();
+    for (_, _, rec) in &report.sink_output {
+        let producer = rec.ident >> 40;
+        let key = rec.row.int(0) % 16;
+        seen.entry((producer, key)).or_default().push(rec.row.int(1));
+    }
+    for ((producer, key), mut counts) in seen {
+        counts.sort_unstable();
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(
+                *c,
+                i as i64 + 1,
+                "producer {producer} key {key}: counter stream broken (dup or lost state update)"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoints_pause_during_recovery_and_resume_after() {
+    let cfg = EngineConfig::default()
+        .with_seed(9)
+        .with_ft(FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Full)));
+    let mut runner = JobRunner::new(two_input_job(), cfg);
+    runner.populate("a", 0, rows(80_000));
+    runner.populate("b", 0, rows(80_000));
+    let report = runner
+        .with_failures(FailurePlan::none().kill_at(VirtualTime(7_000_000), 3))
+        .run_for(VirtualDuration::from_secs(31));
+    // Recovery completed and checkpoints continued afterwards.
+    assert!(report.events.iter().any(|e| e.what.contains("replay complete")));
+    assert!(report.last_completed_checkpoint >= 4);
+    assert!(report.duplicate_idents().is_empty());
+    assert!(report.ident_gaps().is_empty());
+}
+
+#[test]
+fn no_checkpoints_without_fault_tolerance_mode() {
+    let cfg = EngineConfig::default().with_seed(11).with_ft(FtMode::None);
+    let mut runner = JobRunner::new(two_input_job(), cfg);
+    runner.populate("a", 0, rows(20_000));
+    runner.populate("b", 0, rows(20_000));
+    let report = runner.run_for(VirtualDuration::from_secs(12));
+    assert_eq!(report.last_completed_checkpoint, 0);
+    assert!(report.records_out > 0, "pipeline should still run");
+}

@@ -1,0 +1,128 @@
+//! End-to-end smoke tests of the engine: pipelines run, checkpoints
+//! complete, output is exact, and the basic recovery paths work.
+
+use clonos::config::{ClonosConfig, SharingDepth};
+use clonos_engine::operators::{map_op, ReduceOp};
+use clonos_engine::*;
+use clonos_sim::{VirtualDuration, VirtualTime};
+
+fn passthrough_job(rate: u64) -> JobGraph {
+    let mut g = JobGraph::new("smoke");
+    let src = g.add_source("src", 1, SourceSpec::new("in").rate(rate).key_field(0));
+    let m = g.add_operator(
+        "double",
+        1,
+        map_op(|rec| (rec.key, Row::new(vec![Datum::Int(rec.row.int(0)), Datum::Int(rec.row.int(0) * 2)]))),
+    );
+    let snk = g.add_sink("out", 1, SinkSpec { topic: "out".into() });
+    g.connect(src, m, Partitioning::Forward);
+    g.connect(m, snk, Partitioning::Hash);
+    g
+}
+
+fn input_rows(n: i64) -> Vec<Row> {
+    (0..n).map(|i| Row::new(vec![Datum::Int(i % 50), Datum::Int(i)])).collect()
+}
+
+#[test]
+fn pipeline_delivers_all_records_without_failures() {
+    let cfg = EngineConfig::default().with_seed(7);
+    let mut runner = JobRunner::new(passthrough_job(5_000), cfg);
+    runner.populate("in", 0, input_rows(2_000));
+    let report = runner.run_for(VirtualDuration::from_secs(10));
+    assert_eq!(report.records_in, 2_000, "source should ingest everything");
+    assert_eq!(report.records_out, 2_000, "sink should commit everything");
+    assert!(report.duplicate_idents().is_empty());
+    assert!(report.ident_gaps().is_empty());
+    assert!(report.last_completed_checkpoint >= 1, "checkpoints should complete");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let run = |seed| {
+        let cfg = EngineConfig::default().with_seed(seed);
+        let mut runner = JobRunner::new(passthrough_job(5_000), cfg);
+        runner.populate("in", 0, input_rows(1_000));
+        runner.run_for(VirtualDuration::from_secs(5)).output_multiset()
+    };
+    assert_eq!(run(3), run(3), "same seed, same output");
+    // Different seeds still deliver the same multiset for a deterministic
+    // pipeline (just in different interleavings).
+    assert_eq!(run(3), run(4));
+}
+
+#[test]
+fn single_failure_exactly_once_with_clonos() {
+    let cfg = EngineConfig::default()
+        .with_seed(11)
+        .with_ft(FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Full)));
+    let mut runner = JobRunner::new(passthrough_job(5_000), cfg);
+    runner.populate("in", 0, input_rows(40_000));
+    // Kill the map operator (task 2) mid-run, after the first checkpoint.
+    let runner = runner.with_failures(FailurePlan::none().kill_at(VirtualTime(7_000_000), 2));
+    let report = runner.run_for(VirtualDuration::from_secs(30));
+    assert!(report.records_out > 0);
+    assert_eq!(report.duplicate_idents(), Vec::<u64>::new(), "duplicates at sink");
+    assert_eq!(report.ident_gaps(), Vec::<(u64, u64)>::new(), "lost records");
+    assert!(
+        report.events.iter().any(|e| e.what.contains("replay complete")),
+        "recovery should have run: {:?}",
+        report.events
+    );
+}
+
+#[test]
+fn stateful_reduce_survives_failure_exactly_once() {
+    let mut g = JobGraph::new("reduce");
+    let src = g.add_source("src", 1, SourceSpec::new("in").rate(5_000).key_field(0));
+    let red = g.add_operator(
+        "sum",
+        2,
+        factory(|| {
+            ReduceOp::new(|acc: Option<&Row>, row: &Row| {
+                let prev = acc.map(|a| a.int(1)).unwrap_or(0);
+                Row::new(vec![row.get(0).clone(), Datum::Int(prev + row.int(1))])
+            })
+        }),
+    );
+    let snk = g.add_sink("out", 2, SinkSpec { topic: "out".into() });
+    g.connect(src, red, Partitioning::Hash);
+    g.connect(red, snk, Partitioning::Hash);
+
+    let cfg = EngineConfig::default()
+        .with_seed(5)
+        .with_ft(FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Full)));
+    let mut runner = JobRunner::new(g, cfg);
+    runner.populate("in", 0, input_rows(40_000));
+    let runner = runner.with_failures(FailurePlan::none().kill_at(VirtualTime(7_500_000), 2));
+    let report = runner.run_for(VirtualDuration::from_secs(30));
+    assert!(report.duplicate_idents().is_empty());
+    assert!(report.ident_gaps().is_empty());
+    // Stateful invariant: for each key, the sequence of sums at the sink is
+    // strictly increasing by the input values — duplicated application of a
+    // record would break monotone continuity. Check the final sum per key
+    // equals the sum of that key's delivered inputs.
+    use std::collections::BTreeMap;
+    let mut final_sum: BTreeMap<i64, i64> = BTreeMap::new();
+    for (_, _, rec) in &report.sink_output {
+        let k = rec.row.int(0);
+        let v = rec.row.int(1);
+        let e = final_sum.entry(k).or_insert(0);
+        *e = (*e).max(v);
+    }
+    // Reconstruct expected sums from the *number of reduce outputs per key*:
+    // input i has key i%50 and value i. The reduce emits one output per
+    // input, so per key the count of outputs tells how many inputs arrived.
+    let mut count: BTreeMap<i64, i64> = BTreeMap::new();
+    for (_, _, rec) in &report.sink_output {
+        *count.entry(rec.row.int(0)).or_insert(0) += 1;
+    }
+    for (k, n) in count {
+        // Values for key k are k, k+50, k+100, ...: sum of first n terms.
+        let expected: i64 = (0..n).map(|j| k + 50 * j).sum();
+        assert_eq!(
+            final_sum[&k], expected,
+            "key {k}: state diverged from exactly-once application"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared helpers for the workspace-level integration tests and examples.
+
+use clonos::config::{ClonosConfig, SharingDepth};
+use clonos_engine::{EngineConfig, FailurePlan, FtMode, JobRunner, RunReport};
+use clonos_nexmark::{build_query, populate_topics, GeneratorConfig, QueryId};
+use clonos_sim::{VirtualDuration, VirtualTime};
+
+/// Run one Nexmark query under the given fault-tolerance mode, optionally
+/// killing tasks, and return the report.
+pub fn run_nexmark(
+    q: QueryId,
+    ft: FtMode,
+    seed: u64,
+    parallelism: usize,
+    events: usize,
+    kills: &[(u64, u64)],
+    secs: u64,
+) -> RunReport {
+    let job = build_query(q, parallelism, 5_000);
+    let cfg = EngineConfig::default().with_seed(seed).with_ft(ft);
+    let mut runner = JobRunner::new(job, cfg);
+    populate_topics(&mut runner, events, GeneratorConfig { seed, ..Default::default() });
+    let mut plan = FailurePlan::none();
+    for &(at_us, task) in kills {
+        plan = plan.kill_at(VirtualTime(at_us), task);
+    }
+    runner.with_failures(plan).run_for(VirtualDuration::from_secs(secs))
+}
+
+/// Clonos exactly-once with full determinant sharing.
+pub fn clonos_full() -> FtMode {
+    FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Full))
+}
+
+/// Clonos exactly-once with a bounded sharing depth.
+pub fn clonos_dsd(d: u32) -> FtMode {
+    FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Depth(d)))
+}
+
+/// Assert the strongest checks that hold for any exactly-once run.
+pub fn assert_exactly_once(report: &RunReport, label: &str) {
+    let dups = report.duplicate_idents();
+    assert!(dups.is_empty(), "{label}: duplicate idents at sink: {dups:?}");
+    let gaps = report.ident_gaps();
+    assert!(gaps.is_empty(), "{label}: lost records: {gaps:?}");
+}

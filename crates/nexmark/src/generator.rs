@@ -1,0 +1,204 @@
+//! Deterministic Nexmark event generator.
+//!
+//! Follows the standard Nexmark proportions — out of every 50 events, 1 is a
+//! person, 3 are auctions, 46 are bids — with Zipf-skewed auction and bidder
+//! popularity (the skew is why the paper's Q5/Q7 use aggregation trees) and
+//! bounded out-of-order event times.
+
+use crate::model::*;
+use clonos_engine::Row;
+use clonos_sim::SimRng;
+
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    pub seed: u64,
+    /// Mean event-time gap between consecutive events, micros.
+    pub inter_event_us: u64,
+    /// Maximum out-of-order displacement of event times, micros.
+    pub max_skew_us: u64,
+    /// Number of "hot" auctions bid activity concentrates on.
+    pub hot_auctions: u64,
+    /// Zipf exponent for auction/bidder popularity.
+    pub theta: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            inter_event_us: 100,
+            max_skew_us: 50_000,
+            hot_auctions: 100,
+            theta: 0.75,
+        }
+    }
+}
+
+/// Generates the three entity streams.
+pub struct NexmarkGenerator {
+    cfg: GeneratorConfig,
+    rng: SimRng,
+    now: u64,
+    next_person: i64,
+    next_auction: i64,
+    events: u64,
+}
+
+/// One generated event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stream {
+    Persons,
+    Auctions,
+    Bids,
+}
+
+impl NexmarkGenerator {
+    pub fn new(cfg: GeneratorConfig) -> NexmarkGenerator {
+        let rng = SimRng::new(cfg.seed).fork(0x4E58);
+        NexmarkGenerator { cfg, rng, now: 1_000, next_person: 0, next_auction: 0, events: 0 }
+    }
+
+    fn skewed_ts(&mut self) -> u64 {
+        let skew = self.rng.gen_range(self.cfg.max_skew_us + 1);
+        self.now.saturating_sub(skew).max(1)
+    }
+
+    /// Produce the next event in proportion order.
+    pub fn next_event(&mut self) -> (Stream, Row) {
+        self.now += 1 + self.rng.gen_range(self.cfg.inter_event_us * 2);
+        let slot = self.events % 50;
+        self.events += 1;
+        if slot == 0 {
+            let id = self.next_person;
+            self.next_person += 1;
+            let ts = self.skewed_ts();
+            let name = format!("person-{id}");
+            let idx = (self.rng.next_u64() % US_STATES.len() as u64) as usize;
+            (Stream::Persons, person_row(ts, id, &name, CITIES[idx], US_STATES[idx]))
+        } else if slot <= 3 {
+            let id = self.next_auction;
+            self.next_auction += 1;
+            let ts = self.skewed_ts();
+            let seller = if self.next_person > 0 {
+                self.rng.gen_range(self.next_person as u64) as i64
+            } else {
+                0
+            };
+            let category = self.rng.gen_range(NUM_CATEGORIES as u64) as i64;
+            let initial = 1 + self.rng.gen_range(1_000) as i64;
+            let reserve = initial + self.rng.gen_range(1_000) as i64;
+            let expires = ts + 10_000_000 + self.rng.gen_range(50_000_000);
+            (Stream::Auctions, auction_row(ts, id, seller, category, initial, reserve, expires))
+        } else {
+            let ts = self.skewed_ts();
+            // Zipf over the live auction id space: low ids are hot.
+            let auction = if self.next_auction > 0 {
+                self.rng.gen_zipf(self.next_auction as u64, self.cfg.theta) as i64
+            } else {
+                0
+            };
+            let bidder = if self.next_person > 0 {
+                self.rng.gen_zipf(self.next_person as u64, self.cfg.theta) as i64
+            } else {
+                0
+            };
+            let price = 1 + self.rng.gen_range(10_000) as i64;
+            (Stream::Bids, bid_row(ts, auction, bidder, price))
+        }
+    }
+
+    /// Generate `n` events, returning the three streams separately.
+    pub fn generate(&mut self, n: usize) -> (Vec<Row>, Vec<Row>, Vec<Row>) {
+        let mut persons = Vec::new();
+        let mut auctions = Vec::new();
+        let mut bids = Vec::new();
+        for _ in 0..n {
+            match self.next_event() {
+                (Stream::Persons, r) => persons.push(r),
+                (Stream::Auctions, r) => auctions.push(r),
+                (Stream::Bids, r) => bids.push(r),
+            }
+        }
+        (persons, auctions, bids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportions_follow_1_3_46() {
+        let mut g = NexmarkGenerator::new(GeneratorConfig::default());
+        let (p, a, b) = g.generate(5_000);
+        assert_eq!(p.len(), 100);
+        assert_eq!(a.len(), 300);
+        assert_eq!(b.len(), 4_600);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let gen = |seed| {
+            let mut g = NexmarkGenerator::new(GeneratorConfig { seed, ..Default::default() });
+            g.generate(500)
+        };
+        let (p1, a1, b1) = gen(9);
+        let (p2, a2, b2) = gen(9);
+        assert_eq!(p1, p2);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (p3, _, _) = gen(10);
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn event_times_mostly_advance_with_bounded_skew() {
+        let mut g = NexmarkGenerator::new(GeneratorConfig::default());
+        let (_, _, bids) = g.generate(10_000);
+        let ts: Vec<i64> = bids.iter().map(|b| b.int(bid::TS)).collect();
+        // Times trend upward.
+        assert!(ts.last().unwrap() > ts.first().unwrap());
+        // Out-of-orderness is bounded by max_skew (plus inter-event jitter).
+        let mut max_seen = 0i64;
+        for &t in &ts {
+            assert!(t >= max_seen - 60_000, "skew beyond bound: {t} vs {max_seen}");
+            max_seen = max_seen.max(t);
+        }
+    }
+
+    #[test]
+    fn bids_reference_existing_entities() {
+        let mut g = NexmarkGenerator::new(GeneratorConfig::default());
+        let (persons, auctions, bids) = g.generate(20_000);
+        let np = persons.len() as i64;
+        let na = auctions.len() as i64;
+        for b in &bids {
+            assert!(b.int(bid::AUCTION) < na.max(1));
+            assert!(b.int(bid::BIDDER) < np.max(1));
+            assert!(b.int(bid::PRICE) > 0);
+        }
+        for a in &auctions {
+            assert!(a.int(auction::SELLER) < np.max(1));
+            assert!(a.int(auction::RESERVE) >= a.int(auction::INITIAL_BID));
+        }
+    }
+
+    #[test]
+    fn bid_traffic_is_skewed_to_hot_auctions() {
+        let mut g = NexmarkGenerator::new(GeneratorConfig::default());
+        let (_, _, bids) = g.generate(50_000);
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<i64, u64> = BTreeMap::new();
+        for b in &bids {
+            *counts.entry(b.int(bid::AUCTION)).or_insert(0) += 1;
+        }
+        let mut by_count: Vec<u64> = counts.values().copied().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = by_count.iter().take(10).sum();
+        let total: u64 = by_count.iter().sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.15,
+            "expected hot-key skew, top10 carried {top10}/{total}"
+        );
+    }
+}

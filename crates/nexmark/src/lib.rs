@@ -1,0 +1,20 @@
+//! # clonos-nexmark — the Nexmark benchmark for the Clonos reproduction
+//!
+//! The paper's overhead evaluation (§7.2–7.3, Figure 5) runs the Nexmark
+//! suite — an online-auction workload over three entity streams (persons,
+//! auctions, bids) — through Apache Beam's query set, excluding Q10 (it
+//! needs GCP). This crate provides:
+//!
+//! - [`model`] — the Person / Auction / Bid schemas as engine rows;
+//! - [`generator`] — a deterministic, seeded event generator with the
+//!   standard 1:3:46 person:auction:bid proportions, skewed keys, and
+//!   bounded out-of-order event times;
+//! - [`queries`] — [`queries::build_query`]: dataflow graphs for Q1–Q9 and
+//!   Q11–Q14 on the `clonos-engine` API.
+
+pub mod generator;
+pub mod model;
+pub mod queries;
+
+pub use generator::{GeneratorConfig, NexmarkGenerator};
+pub use queries::{build_query, populate_topics, query_depth, QueryId, ALL_QUERIES};

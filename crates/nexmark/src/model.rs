@@ -1,0 +1,108 @@
+//! The Nexmark entity schemas, encoded as engine rows.
+//!
+//! All three streams put the event time (micros) in field 0, which the
+//! sources read via `TimestampMode::EventTimeField(0)`.
+
+use clonos_engine::{Datum, Row};
+
+/// Row layout of the `persons` topic.
+/// `[ts, person_id, name, city, state]`
+pub mod person {
+    pub const TS: usize = 0;
+    pub const ID: usize = 1;
+    pub const NAME: usize = 2;
+    pub const CITY: usize = 3;
+    pub const STATE: usize = 4;
+}
+
+/// Row layout of the `auctions` topic.
+/// `[ts, auction_id, seller, category, initial_bid, reserve, expires]`
+pub mod auction {
+    pub const TS: usize = 0;
+    pub const ID: usize = 1;
+    pub const SELLER: usize = 2;
+    pub const CATEGORY: usize = 3;
+    pub const INITIAL_BID: usize = 4;
+    pub const RESERVE: usize = 5;
+    pub const EXPIRES: usize = 6;
+}
+
+/// Row layout of the `bids` topic.
+/// `[ts, auction_id, bidder, price]`
+pub mod bid {
+    pub const TS: usize = 0;
+    pub const AUCTION: usize = 1;
+    pub const BIDDER: usize = 2;
+    pub const PRICE: usize = 3;
+}
+
+pub const US_STATES: [&str; 10] =
+    ["OR", "ID", "CA", "WA", "AZ", "NV", "UT", "CO", "NM", "TX"];
+
+pub const CITIES: [&str; 10] = [
+    "Portland", "Boise", "San Francisco", "Seattle", "Phoenix", "Las Vegas", "Salt Lake City",
+    "Denver", "Santa Fe", "Austin",
+];
+
+pub const NUM_CATEGORIES: i64 = 5;
+
+pub fn person_row(ts: u64, id: i64, name: &str, city: &str, state: &str) -> Row {
+    Row::new(vec![
+        Datum::Int(ts as i64),
+        Datum::Int(id),
+        Datum::str(name),
+        Datum::str(city),
+        Datum::str(state),
+    ])
+}
+
+pub fn auction_row(
+    ts: u64,
+    id: i64,
+    seller: i64,
+    category: i64,
+    initial_bid: i64,
+    reserve: i64,
+    expires: u64,
+) -> Row {
+    Row::new(vec![
+        Datum::Int(ts as i64),
+        Datum::Int(id),
+        Datum::Int(seller),
+        Datum::Int(category),
+        Datum::Int(initial_bid),
+        Datum::Int(reserve),
+        Datum::Int(expires as i64),
+    ])
+}
+
+pub fn bid_row(ts: u64, auction: i64, bidder: i64, price: i64) -> Row {
+    Row::new(vec![
+        Datum::Int(ts as i64),
+        Datum::Int(auction),
+        Datum::Int(bidder),
+        Datum::Int(price),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_have_expected_arity_and_fields() {
+        let p = person_row(1_000, 7, "alice", "Portland", "OR");
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.int(person::ID), 7);
+        assert_eq!(p.str(person::STATE), "OR");
+        let a = auction_row(2_000, 3, 7, 1, 100, 200, 9_999);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a.int(auction::SELLER), 7);
+        assert_eq!(a.int(auction::RESERVE), 200);
+        let b = bid_row(3_000, 3, 11, 150);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.int(bid::AUCTION), 3);
+        assert_eq!(b.int(bid::PRICE), 150);
+        assert_eq!(b.int(bid::TS), 3_000);
+    }
+}

@@ -1,0 +1,200 @@
+//! The event queue at the heart of the simulation.
+//!
+//! [`Simulation`] is generic over the message type `M` and over the actor
+//! address type (a plain `u64` id). It owns only the clock and the pending
+//! event heap; the embedding system owns the actors and dispatches events
+//! popped from the queue. Ties in delivery time are broken by insertion
+//! sequence number, which makes the whole run deterministic.
+
+use crate::time::{VirtualDuration, VirtualTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Address of a simulated entity (task, coordinator, source, ...).
+pub type ActorId = u64;
+
+/// A scheduled delivery.
+struct Scheduled<M> {
+    at: VirtualTime,
+    seq: u64,
+    dest: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// An event popped from the queue, ready for dispatch.
+#[derive(Debug)]
+pub struct Delivery<M> {
+    pub at: VirtualTime,
+    pub dest: ActorId,
+    pub msg: M,
+}
+
+/// Deterministic discrete-event queue with a virtual clock.
+pub struct Simulation<M> {
+    now: VirtualTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    delivered: u64,
+}
+
+impl<M> Default for Simulation<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Simulation<M> {
+    pub fn new() -> Simulation<M> {
+        Simulation { now: VirtualTime::ZERO, seq: 0, queue: BinaryHeap::new(), delivered: 0 }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Number of events delivered so far (for loop/progress guards).
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `msg` for delivery to `dest` at absolute time `at`.
+    /// Scheduling in the past clamps to `now` (delivery still honours FIFO
+    /// among same-time events via the sequence number).
+    pub fn schedule_at(&mut self, at: VirtualTime, dest: ActorId, msg: M) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, dest, msg });
+    }
+
+    /// Schedule `msg` for delivery `delay` from now.
+    pub fn schedule_in(&mut self, delay: VirtualDuration, dest: ActorId, msg: M) {
+        self.schedule_at(self.now + delay, dest, msg);
+    }
+
+    /// Pop the next event, advancing the clock to its delivery time.
+    pub fn pop(&mut self) -> Option<Delivery<M>> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.delivered += 1;
+        Some(Delivery { at: ev.at, dest: ev.dest, msg: ev.msg })
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.queue.peek().map(|e| e.at)
+    }
+
+    /// Drop every pending event addressed to `dest` (used when a simulated
+    /// process is killed: in-flight deliveries to a dead process are lost).
+    pub fn drop_events_for(&mut self, dest: ActorId) -> usize {
+        let before = self.queue.len();
+        let retained: Vec<Scheduled<M>> =
+            std::mem::take(&mut self.queue).into_iter().filter(|e| e.dest != dest).collect();
+        self.queue = retained.into();
+        before - self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut sim: Simulation<&str> = Simulation::new();
+        sim.schedule_at(VirtualTime(30), 1, "c");
+        sim.schedule_at(VirtualTime(10), 1, "a");
+        sim.schedule_at(VirtualTime(20), 2, "b");
+        let order: Vec<_> = std::iter::from_fn(|| sim.pop()).map(|d| d.msg).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert_eq!(sim.now(), VirtualTime(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        for i in 0..10 {
+            sim.schedule_at(VirtualTime(5), 0, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| sim.pop()).map(|d| d.msg).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_monotonic_and_past_clamped() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        sim.schedule_at(VirtualTime(100), 0, 1);
+        sim.pop();
+        assert_eq!(sim.now(), VirtualTime(100));
+        // Scheduling "at 50" now clamps to 100.
+        sim.schedule_at(VirtualTime(50), 0, 2);
+        let d = sim.pop().unwrap();
+        assert_eq!(d.at, VirtualTime(100));
+        assert_eq!(sim.now(), VirtualTime(100));
+    }
+
+    #[test]
+    fn drop_events_for_dead_actor() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        for i in 0..5 {
+            sim.schedule_at(VirtualTime(i), 7, 0);
+            sim.schedule_at(VirtualTime(i), 8, 1);
+        }
+        let dropped = sim.drop_events_for(7);
+        assert_eq!(dropped, 5);
+        assert_eq!(sim.pending(), 5);
+        while let Some(d) = sim.pop() {
+            assert_eq!(d.dest, 8);
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        sim.schedule_at(VirtualTime(1_000), 0, 0);
+        sim.pop();
+        sim.schedule_in(VirtualDuration::from_micros(500), 0, 1);
+        assert_eq!(sim.pop().unwrap().at, VirtualTime(1_500));
+    }
+
+    #[test]
+    fn delivered_counter_counts() {
+        let mut sim: Simulation<u8> = Simulation::new();
+        sim.schedule_in(VirtualDuration::ZERO, 0, 0);
+        sim.schedule_in(VirtualDuration::ZERO, 0, 0);
+        assert_eq!(sim.delivered(), 0);
+        sim.pop();
+        sim.pop();
+        assert!(sim.pop().is_none());
+        assert_eq!(sim.delivered(), 2);
+    }
+}

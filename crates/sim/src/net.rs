@@ -1,0 +1,114 @@
+//! Network links: latency + seeded jitter with a FIFO guarantee.
+//!
+//! Clonos assumes reliable FIFO channels between each pair of tasks (§2.3).
+//! A [`Link`] models a TCP-like connection: each send experiences base
+//! latency plus jitter, but deliveries on the *same* link never reorder —
+//! the link remembers its last scheduled delivery and never schedules an
+//! earlier one. Cross-link arrival order *does* vary with the seed, which is
+//! exactly the "record arrival order" nondeterminism of §4.1.
+
+use crate::rng::SimRng;
+use crate::time::{VirtualDuration, VirtualTime};
+
+/// Latency model for one FIFO channel.
+#[derive(Clone, Debug)]
+pub struct Link {
+    base: VirtualDuration,
+    jitter: VirtualDuration,
+    rng: SimRng,
+    last_delivery: VirtualTime,
+    sends: u64,
+}
+
+impl Link {
+    pub fn new(base: VirtualDuration, jitter: VirtualDuration, rng: SimRng) -> Link {
+        Link { base, jitter, rng, last_delivery: VirtualTime::ZERO, sends: 0 }
+    }
+
+    /// Compute the delivery time of a message sent at `now`, preserving FIFO.
+    pub fn delivery_time(&mut self, now: VirtualTime) -> VirtualTime {
+        let j = if self.jitter.as_micros() == 0 {
+            0
+        } else {
+            self.rng.gen_range(self.jitter.as_micros() + 1)
+        };
+        let t = now + self.base + VirtualDuration::from_micros(j);
+        // FIFO: never deliver before (or at the same instant as) the previous
+        // message on this link; the event queue breaks exact ties by sequence
+        // anyway, but strict monotonicity keeps reasoning simple.
+        let t = t.max(self.last_delivery + VirtualDuration::from_micros(1));
+        self.last_delivery = t;
+        self.sends += 1;
+        t
+    }
+
+    /// Number of messages sent over this link.
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+
+    /// Reset FIFO bookkeeping, e.g. when a connection is re-established
+    /// during network reconfiguration (§6.2).
+    pub fn reset(&mut self) {
+        self.last_delivery = VirtualTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(base_us: u64, jitter_us: u64, seed: u64) -> Link {
+        Link::new(
+            VirtualDuration::from_micros(base_us),
+            VirtualDuration::from_micros(jitter_us),
+            SimRng::new(seed),
+        )
+    }
+
+    #[test]
+    fn fifo_is_preserved_despite_jitter() {
+        let mut l = link(100, 500, 42);
+        let mut prev = VirtualTime::ZERO;
+        for i in 0..1_000u64 {
+            let t = l.delivery_time(VirtualTime(i)); // sends 1us apart
+            assert!(t > prev, "reordered at send {i}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn latency_at_least_base() {
+        let mut l = link(250, 100, 7);
+        let t = l.delivery_time(VirtualTime(1_000));
+        assert!(t >= VirtualTime(1_250));
+        assert!(t <= VirtualTime(1_350));
+    }
+
+    #[test]
+    fn jitter_varies_with_seed() {
+        let mut a = link(100, 1_000, 1);
+        let mut b = link(100, 1_000, 2);
+        let ta: Vec<_> = (0..16).map(|i| a.delivery_time(VirtualTime(i * 10_000))).collect();
+        let tb: Vec<_> = (0..16).map(|i| b.delivery_time(VirtualTime(i * 10_000))).collect();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic_constant() {
+        let mut l = link(100, 0, 3);
+        assert_eq!(l.delivery_time(VirtualTime(0)), VirtualTime(100));
+        assert_eq!(l.delivery_time(VirtualTime(50)), VirtualTime(150));
+        assert_eq!(l.sends(), 2);
+    }
+
+    #[test]
+    fn reset_clears_fifo_floor() {
+        let mut l = link(10, 0, 3);
+        let t = l.delivery_time(VirtualTime(1_000_000));
+        assert_eq!(t, VirtualTime(1_000_010));
+        l.reset();
+        // After reconfiguration a fresh connection may deliver earlier again.
+        assert_eq!(l.delivery_time(VirtualTime(5)), VirtualTime(15));
+    }
+}

@@ -1,0 +1,105 @@
+//! Service-time accounting for simulated processes.
+//!
+//! A task in the stream engine has finite processing capacity: each record
+//! costs some CPU time. [`ServiceQueue`] models a single-server FIFO queue —
+//! work admitted while the server is busy completes after the backlog drains.
+//! This is what makes recovery *catch-up* time (§7.4 of the paper: the system
+//! must re-process the replayed epoch and drain the backlog that accumulated
+//! during the outage) emerge naturally from the model.
+
+use crate::time::{VirtualDuration, VirtualTime};
+
+#[derive(Clone, Debug, Default)]
+pub struct ServiceQueue {
+    busy_until: VirtualTime,
+    total_busy: VirtualDuration,
+    jobs: u64,
+}
+
+impl ServiceQueue {
+    pub fn new() -> ServiceQueue {
+        ServiceQueue::default()
+    }
+
+    /// Admit a job of the given cost at time `now`; returns its completion
+    /// time. Jobs are served FIFO, one at a time.
+    pub fn admit(&mut self, now: VirtualTime, cost: VirtualDuration) -> VirtualTime {
+        let start = self.busy_until.max(now);
+        let done = start + cost;
+        self.busy_until = done;
+        self.total_busy = self.total_busy + cost;
+        self.jobs += 1;
+        done
+    }
+
+    /// Time at which the server goes idle given no further arrivals.
+    pub fn busy_until(&self) -> VirtualTime {
+        self.busy_until
+    }
+
+    /// Backlog (time to drain) as seen at `now`.
+    pub fn backlog(&self, now: VirtualTime) -> VirtualDuration {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// Cumulative busy time (for utilization reporting).
+    pub fn total_busy(&self) -> VirtualDuration {
+        self.total_busy
+    }
+
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Forget all backlog — used when a process is killed and its replacement
+    /// starts fresh.
+    pub fn reset(&mut self, now: VirtualTime) {
+        self.busy_until = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: fn(u64) -> VirtualDuration = VirtualDuration::from_millis;
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut q = ServiceQueue::new();
+        let done = q.admit(VirtualTime(1_000), MS(2));
+        assert_eq!(done, VirtualTime(1_000) + MS(2));
+    }
+
+    #[test]
+    fn backlog_accumulates_fifo() {
+        let mut q = ServiceQueue::new();
+        let d1 = q.admit(VirtualTime::ZERO, MS(10));
+        let d2 = q.admit(VirtualTime::ZERO, MS(10));
+        let d3 = q.admit(VirtualTime(5_000), MS(10)); // arrives while busy
+        assert_eq!(d1, VirtualTime::ZERO + MS(10));
+        assert_eq!(d2, VirtualTime::ZERO + MS(20));
+        assert_eq!(d3, VirtualTime::ZERO + MS(30));
+        assert_eq!(q.backlog(VirtualTime(5_000)), MS(25));
+        assert_eq!(q.jobs(), 3);
+    }
+
+    #[test]
+    fn gap_in_arrivals_leaves_idle_period() {
+        let mut q = ServiceQueue::new();
+        q.admit(VirtualTime::ZERO, MS(1));
+        let done = q.admit(VirtualTime(10_000), MS(1));
+        assert_eq!(done, VirtualTime(10_000) + MS(1));
+        assert_eq!(q.total_busy(), MS(2));
+    }
+
+    #[test]
+    fn reset_discards_backlog() {
+        let mut q = ServiceQueue::new();
+        q.admit(VirtualTime::ZERO, MS(100));
+        q.reset(VirtualTime(1_000));
+        assert_eq!(q.backlog(VirtualTime(1_000)), VirtualDuration::ZERO);
+        let done = q.admit(VirtualTime(1_000), MS(1));
+        assert_eq!(done, VirtualTime(1_000) + MS(1));
+    }
+}

@@ -1,0 +1,160 @@
+//! Checkpoint snapshot store — the HDFS substitute.
+//!
+//! Stores operator-state snapshots keyed by `(checkpoint id, task key)` and
+//! models the transfer cost that governs standby state dispatch (§6.4): a
+//! snapshot "should not take longer to dispatch to a standby task than the
+//! job's checkpoint frequency".
+
+use bytes::Bytes;
+use clonos_sim::{VirtualDuration, VirtualTime};
+use std::collections::HashMap;
+
+/// Identifies a completed (or in-progress) checkpoint.
+pub type SnapshotId = u64;
+
+/// Cost model for writing/reading snapshots over the network.
+#[derive(Clone, Copy, Debug)]
+pub struct TransferModel {
+    /// Fixed per-transfer latency (connection setup, namenode round trip).
+    pub latency: VirtualDuration,
+    /// Sustained throughput in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl TransferModel {
+    pub fn transfer_time(&self, bytes: u64) -> VirtualDuration {
+        let stream = if self.bytes_per_sec == 0 {
+            VirtualDuration::ZERO
+        } else {
+            VirtualDuration::from_micros(bytes.saturating_mul(1_000_000) / self.bytes_per_sec)
+        };
+        self.latency + stream
+    }
+}
+
+impl Default for TransferModel {
+    fn default() -> Self {
+        // ~10 ms setup + 200 MB/s sustained: a modest distributed FS.
+        TransferModel { latency: VirtualDuration::from_millis(10), bytes_per_sec: 200_000_000 }
+    }
+}
+
+/// The store itself.
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    snapshots: HashMap<(SnapshotId, u64), Bytes>,
+    model: TransferModel,
+    writes: u64,
+    reads: u64,
+}
+
+impl SnapshotStore {
+    pub fn new() -> SnapshotStore {
+        SnapshotStore::default()
+    }
+
+    pub fn with_model(model: TransferModel) -> SnapshotStore {
+        SnapshotStore { model, ..Default::default() }
+    }
+
+    /// Persist a task's state for a checkpoint; returns the modelled time the
+    /// write completes if started at `now`.
+    pub fn put(
+        &mut self,
+        now: VirtualTime,
+        checkpoint: SnapshotId,
+        task: u64,
+        state: Bytes,
+    ) -> VirtualTime {
+        let done = now + self.model.transfer_time(state.len() as u64);
+        self.snapshots.insert((checkpoint, task), state);
+        self.writes += 1;
+        done
+    }
+
+    /// Fetch a task's snapshot; returns the bytes plus modelled completion
+    /// time of the read if started at `now`.
+    pub fn get(
+        &mut self,
+        now: VirtualTime,
+        checkpoint: SnapshotId,
+        task: u64,
+    ) -> Option<(Bytes, VirtualTime)> {
+        let bytes = self.snapshots.get(&(checkpoint, task))?.clone();
+        let done = now + self.model.transfer_time(bytes.len() as u64);
+        self.reads += 1;
+        Some((bytes, done))
+    }
+
+    pub fn contains(&self, checkpoint: SnapshotId, task: u64) -> bool {
+        self.snapshots.contains_key(&(checkpoint, task))
+    }
+
+    /// Drop all snapshots belonging to checkpoints older than `keep_from`
+    /// (checkpoint GC — Flink retains only the latest completed checkpoint).
+    pub fn truncate_before(&mut self, keep_from: SnapshotId) {
+        self.snapshots.retain(|&(cp, _), _| cp >= keep_from);
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.snapshots.values().map(|b| b.len() as u64).sum()
+    }
+
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = SnapshotStore::new();
+        let done = s.put(VirtualTime::ZERO, 1, 42, Bytes::from_static(b"state"));
+        assert!(done > VirtualTime::ZERO);
+        let (bytes, _) = s.get(VirtualTime::ZERO, 1, 42).unwrap();
+        assert_eq!(&bytes[..], b"state");
+        assert!(s.get(VirtualTime::ZERO, 1, 43).is_none());
+        assert!(s.get(VirtualTime::ZERO, 2, 42).is_none());
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let m = TransferModel { latency: VirtualDuration::from_millis(10), bytes_per_sec: 1_000_000 };
+        let small = m.transfer_time(1_000);
+        let big = m.transfer_time(100_000_000); // 100 MB at 1 MB/s = 100 s
+        assert!(big.as_secs_f64() > 99.0);
+        assert!(small.as_millis() >= 10);
+        assert!(small < big);
+    }
+
+    #[test]
+    fn truncation_gc() {
+        let mut s = SnapshotStore::new();
+        for cp in 0..5 {
+            s.put(VirtualTime::ZERO, cp, 1, Bytes::from_static(b"x"));
+        }
+        s.truncate_before(3);
+        assert!(!s.contains(2, 1));
+        assert!(s.contains(3, 1));
+        assert!(s.contains(4, 1));
+        assert_eq!(s.total_bytes(), 2);
+    }
+
+    #[test]
+    fn overwrite_same_key_replaces() {
+        let mut s = SnapshotStore::new();
+        s.put(VirtualTime::ZERO, 1, 1, Bytes::from_static(b"old"));
+        s.put(VirtualTime::ZERO, 1, 1, Bytes::from_static(b"newer"));
+        let (b, _) = s.get(VirtualTime::ZERO, 1, 1).unwrap();
+        assert_eq!(&b[..], b"newer");
+        assert_eq!(s.writes(), 2);
+        assert_eq!(s.reads(), 1);
+    }
+}

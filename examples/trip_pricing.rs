@@ -1,0 +1,78 @@
+//! Car-trip fare aggregation with **processing-time windows** — the paper's
+//! second motivating workload. Processing-time windowing is inherently
+//! nondeterministic (§4.1): window assignment reads the local clock and
+//! firing depends on timers. This example compares recovery under Clonos
+//! and under the Flink-style global rollback for the same failure.
+//!
+//! Run with: `cargo run -p clonos-integration --release --example trip_pricing`
+
+use clonos::config::{ClonosConfig, SharingDepth};
+use clonos_engine::operators::{WindowAggregate, WindowOp, WindowTime};
+use clonos_engine::*;
+use clonos_sim::{VirtualDuration, VirtualTime};
+
+fn build() -> JobGraph {
+    let mut graph = JobGraph::new("trip-pricing");
+    // Trips: [driver, fare_cents]
+    let src =
+        graph.add_source("trips", 2, SourceSpec::new("trips").rate(4_000).key_field(0));
+    let windows = graph.add_operator(
+        "fare-per-driver-1s",
+        2,
+        factory(|| {
+            WindowOp::tumbling(WindowTime::Processing, 1_000_000, WindowAggregate::SumInt(1))
+        }),
+    );
+    let sink = graph.add_sink("fares", 2, SinkSpec { topic: "fares".into() });
+    graph.connect(src, windows, Partitioning::Hash);
+    graph.connect(windows, sink, Partitioning::Hash);
+    graph
+}
+
+fn run(ft: FtMode, label: &str) {
+    let config = EngineConfig::default().with_seed(99).with_ft(ft);
+    let mut runner = JobRunner::new(build(), config);
+    for p in 0..2 {
+        runner.populate(
+            "trips",
+            p,
+            (0..200_000i64)
+                .filter(|i| (*i as usize) % 2 == p)
+                .map(|i| Row::new(vec![Datum::Int(i % 200), Datum::Int(500 + i % 3_000)])),
+        );
+    }
+    let report = runner
+        .with_failures(FailurePlan::none().kill_at(VirtualTime(12_000_000), 3))
+        .run_for(VirtualDuration::from_secs(40));
+    let recovery = report
+        .recovery_time(1.25)
+        .map(|d| format!("{:.2}s", d.as_secs_f64()))
+        .unwrap_or_else(|| "<0.25s (no sustained deviation)".into());
+    println!("--- {label} ---");
+    println!("window results committed: {}", report.records_out);
+    println!("duplicates: {}  losses: {}", report.duplicate_idents().len(), report.ident_gaps().len());
+    println!("p50 output latency: {:?}", report.latency_p50);
+    println!("recovery time (latency back within 25% of baseline): {recovery}");
+    for e in report
+        .events
+        .iter()
+        .filter(|e| e.what.contains("FAILURE") || e.what.contains("replay complete") || e.what.contains("rollback"))
+    {
+        println!("  {} {}", e.at, e.what);
+    }
+    assert!(report.duplicate_idents().is_empty(), "{label}: duplicated window results");
+    assert!(report.ident_gaps().is_empty(), "{label}: lost window results");
+    println!();
+}
+
+fn main() {
+    println!("Processing-time windows + one operator failure, two FT stacks:\n");
+    run(
+        FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Full)),
+        "Clonos (causal local recovery)",
+    );
+    run(FtMode::GlobalRollback, "Flink baseline (global rollback, transactional sink)");
+    println!("✓ both are exactly-once; Clonos recovered locally in well under a");
+    println!("  second of availability loss, the baseline restarted the world and");
+    println!("  its output latency is dominated by the transactional sink commit.");
+}

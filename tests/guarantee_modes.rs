@@ -1,0 +1,96 @@
+//! §5.4's guarantee spectrum on a Nexmark query, verified relative to the
+//! failure-free output of the same seed:
+//!   exactly-once  → output multiset equals the clean run,
+//!   at-least-once → superset (duplicates allowed, no loss),
+//!   at-most-once  → subset (loss allowed, no duplicates),
+//!   baseline      → equals the clean run (transactional sinks).
+
+use clonos::config::ClonosConfig;
+use clonos_engine::FtMode;
+use clonos_integration::{clonos_full, run_nexmark};
+use clonos_nexmark::QueryId;
+use std::collections::BTreeMap;
+
+/// Multiset of output rows, as canonical bytes → count.
+fn multiset(r: &clonos_engine::RunReport) -> BTreeMap<bytes::Bytes, u64> {
+    let mut m = BTreeMap::new();
+    for b in r.output_multiset() {
+        *m.entry(b).or_insert(0) += 1;
+    }
+    m
+}
+
+fn is_subset(a: &BTreeMap<bytes::Bytes, u64>, b: &BTreeMap<bytes::Bytes, u64>) -> bool {
+    a.iter().all(|(k, &n)| b.get(k).copied().unwrap_or(0) >= n)
+}
+
+const Q: QueryId = QueryId::Q1; // deterministic operator → clean comparisons
+const KILL: (u64, u64) = (7_000_000, 3); // the first map instance
+const SEED: u64 = 17;
+const EVENTS: usize = 120_000;
+
+fn clean() -> BTreeMap<bytes::Bytes, u64> {
+    multiset(&run_nexmark(Q, clonos_full(), SEED, 2, EVENTS, &[], 30))
+}
+
+#[test]
+fn exactly_once_equals_clean_run() {
+    let failed = run_nexmark(Q, clonos_full(), SEED, 2, EVENTS, &[KILL], 30);
+    assert_eq!(multiset(&failed), clean());
+}
+
+#[test]
+fn baseline_equals_clean_run() {
+    let failed = run_nexmark(Q, FtMode::GlobalRollback, SEED, 2, EVENTS, &[KILL], 60);
+    assert_eq!(multiset(&failed), clean());
+}
+
+#[test]
+fn at_least_once_is_a_superset_with_duplicates() {
+    let failed = run_nexmark(
+        Q,
+        FtMode::Clonos(ClonosConfig::at_least_once()),
+        SEED,
+        2,
+        EVENTS,
+        &[KILL],
+        30,
+    );
+    let m = multiset(&failed);
+    let c = clean();
+    assert!(is_subset(&c, &m), "at-least-once lost records");
+    let extra: u64 = m.values().sum::<u64>() - c.values().sum::<u64>();
+    assert!(extra > 0, "expected duplicated records from divergent replay");
+}
+
+#[test]
+fn at_most_once_is_a_subset_with_losses() {
+    let failed = run_nexmark(
+        Q,
+        FtMode::Clonos(ClonosConfig::at_most_once()),
+        SEED,
+        2,
+        EVENTS,
+        &[KILL],
+        30,
+    );
+    let m = multiset(&failed);
+    let c = clean();
+    assert!(is_subset(&m, &c), "at-most-once duplicated records");
+    let missing: u64 = c.values().sum::<u64>() - m.values().sum::<u64>();
+    assert!(missing > 0, "expected losses from gap recovery");
+}
+
+#[test]
+fn guarantee_ordering_no_failure_all_modes_agree() {
+    // Without failures, all four modes produce the same output multiset.
+    let c = clean();
+    for ft in [
+        FtMode::Clonos(ClonosConfig::at_most_once()),
+        FtMode::Clonos(ClonosConfig::at_least_once()),
+        FtMode::GlobalRollback,
+    ] {
+        let r = run_nexmark(Q, ft, SEED, 2, EVENTS, &[], 60);
+        assert_eq!(multiset(&r), c);
+    }
+}

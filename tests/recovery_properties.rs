@@ -1,0 +1,144 @@
+//! Property-based tests of the recovery machinery across randomized
+//! topologies, failure sets, and failure timings.
+
+use clonos::config::{ClonosConfig, SharingDepth};
+use clonos::recovery::{analyze_failure, RecoveryDecision, TopologyInfo};
+use clonos_engine::FtMode;
+use clonos_integration::{assert_exactly_once, run_nexmark};
+use clonos_nexmark::QueryId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Random layered DAG: `widths[i]` tasks per layer, every task connected to
+/// 1..=all tasks of the next layer.
+fn arb_topology() -> impl Strategy<Value = (TopologyInfo, Vec<u64>)> {
+    (2usize..5, 1usize..4).prop_flat_map(|(layers, width)| {
+        let widths: Vec<usize> = vec![width; layers];
+        let n: u64 = widths.iter().map(|&w| w as u64).sum();
+        proptest::collection::vec(any::<u64>(), (n as usize).min(64)).prop_map(move |edges_seed| {
+            let mut topo = TopologyInfo::new();
+            let mut ids: Vec<Vec<u64>> = Vec::new();
+            let mut next = 1u64;
+            for &w in &widths {
+                let layer: Vec<u64> = (0..w).map(|_| {
+                    let id = next;
+                    next += 1;
+                    topo.add_task(id);
+                    id
+                })
+                .collect();
+                ids.push(layer);
+            }
+            for li in 0..ids.len() - 1 {
+                for (i, &u) in ids[li].iter().enumerate() {
+                    for (j, &d) in ids[li + 1].iter().enumerate() {
+                        // Deterministic pseudo-random connectivity; always at
+                        // least one edge per upstream task.
+                        let h = edges_seed
+                            .get((i * 7 + j * 13) % edges_seed.len())
+                            .copied()
+                            .unwrap_or(0);
+                        if j == i % ids[li + 1].len() || h % 3 == 0 {
+                            topo.add_edge(u, d);
+                        }
+                    }
+                }
+            }
+            let all: Vec<u64> = topo.tasks().collect();
+            (topo, all)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Figure 4, case 1: with DSD = graph depth, no failure set ever forces
+    /// a global rollback.
+    #[test]
+    fn full_dsd_never_rolls_back((topo, all) in arb_topology(), mask in any::<u64>()) {
+        let failed: BTreeSet<u64> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> (i % 64) & 1 == 1)
+            .map(|(_, &t)| t)
+            .collect();
+        prop_assume!(!failed.is_empty());
+        let depth = topo.depth();
+        let decision = analyze_failure(&topo, &failed, depth.max(1));
+        prop_assert!(
+            matches!(decision, RecoveryDecision::Local { .. }),
+            "rolled back under full DSD: {decision:?}"
+        );
+    }
+
+    /// Holders returned by the analysis are always alive, downstream of the
+    /// failed task, and within DSD hops.
+    #[test]
+    fn holders_are_alive_and_in_range((topo, all) in arb_topology(), mask in any::<u64>(), dsd in 1u32..4) {
+        let failed: BTreeSet<u64> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> (i % 64) & 1 == 1)
+            .map(|(_, &t)| t)
+            .collect();
+        prop_assume!(!failed.is_empty());
+        if let RecoveryDecision::Local { with_determinants, .. } =
+            analyze_failure(&topo, &failed, dsd)
+        {
+            for (f, holders) in with_determinants {
+                let cone = topo.downstream_cone(f);
+                for h in holders {
+                    prop_assert!(!failed.contains(&h), "holder {h} is dead");
+                    let hops = cone.get(&h).copied().unwrap_or(u32::MAX);
+                    prop_assert!(hops <= dsd, "holder {h} at {hops} hops > dsd {dsd}");
+                }
+            }
+        }
+    }
+
+    /// Free recovery is only declared when no survivor depends on the task.
+    #[test]
+    fn free_tasks_have_no_surviving_dependents((topo, all) in arb_topology(), mask in any::<u64>()) {
+        let failed: BTreeSet<u64> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> (i % 64) & 1 == 1)
+            .map(|(_, &t)| t)
+            .collect();
+        prop_assume!(!failed.is_empty());
+        if let RecoveryDecision::Local { free, .. } = analyze_failure(&topo, &failed, 1) {
+            for f in free {
+                let survivors: Vec<u64> = topo
+                    .downstream_cone(f)
+                    .keys()
+                    .copied()
+                    .filter(|t| !failed.contains(t))
+                    .collect();
+                prop_assert!(
+                    survivors.is_empty(),
+                    "task {f} declared free but {survivors:?} depend on it"
+                );
+            }
+        }
+    }
+}
+
+/// Randomized kill times on a real pipeline: whatever the instant (before,
+/// during, or between checkpoints), Clonos exactly-once holds. Expensive, so
+/// few cases.
+#[test]
+fn random_kill_times_keep_exactly_once() {
+    for (i, kill_ms) in [1_500u64, 4_900, 5_100, 9_800, 12_345, 15_000].iter().enumerate() {
+        let report = run_nexmark(
+            QueryId::Q13, // nondeterministic external calls
+            FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Full)),
+            100 + i as u64,
+            2,
+            120_000,
+            &[(kill_ms * 1_000, 3)],
+            30,
+        );
+        assert_exactly_once(&report, &format!("kill at {kill_ms}ms"));
+    }
+}
