@@ -1,0 +1,82 @@
+//! Criterion micro-benchmark for encode-once delta collection under output
+//! fanout: a three-task chain (a → b → c) populates causal logs, then task
+//! `c` collects piggyback deltas on each of its `fanout` output channels.
+//! With the encoded arena, each collect memcpys stored bytes instead of
+//! re-encoding every determinant per channel, so per-entry cost stays flat
+//! as fanout and DSD grow. The `bench_delta` binary measures the same
+//! workload against a re-encoding baseline and emits `BENCH_delta.json`.
+
+use clonos::causal_log::CausalLogManager;
+use clonos::determinant::Determinant;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Entries recorded per task before collection.
+const ENTRIES: usize = 256;
+
+/// A steady-load determinant mix: dominated by `Order` runs (compressed on
+/// the wire) with periodic timestamps/timers/externals (memcpy'd spans).
+fn record_batch(m: &mut CausalLogManager, n: usize) {
+    let mut i = 0u64;
+    while (i as usize) < n {
+        match i % 16 {
+            0..=9 => m.record(Determinant::Order { channel: (i % 3) as u32 }),
+            10..=11 => m.record(Determinant::Order { channel: 7 }),
+            12 => m.record(Determinant::Timestamp { ts: 1_616_000_000 + i, offset: i }),
+            13 => m.record(Determinant::Timer { timer_id: i, offset: i * 3 }),
+            14 => m.record(Determinant::RngSeed { seed: i.wrapping_mul(0x9E37) }),
+            _ => m.record(Determinant::External { payload: vec![i as u8; 8] }),
+        }
+        i += 1;
+    }
+}
+
+/// Build the chain a → b → c and return `c` with `fanout` output channels,
+/// its own log populated and (for DSD > 1) upstream replicas installed.
+fn populated_tail(fanout: usize, dsd: u32) -> CausalLogManager {
+    let mut a = CausalLogManager::new(1, 1, dsd);
+    record_batch(&mut a, ENTRIES);
+    let da = a.collect_delta(0);
+    let mut b = CausalLogManager::new(2, 1, dsd);
+    b.ingest_delta(&da).unwrap();
+    record_batch(&mut b, ENTRIES);
+    let db = b.collect_delta(0);
+    let mut c = CausalLogManager::new(3, fanout, dsd);
+    c.ingest_delta(&db).unwrap();
+    record_batch(&mut c, ENTRIES);
+    c
+}
+
+fn bench_delta_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_fanout");
+    for dsd in [1u32, 2, 3] {
+        for fanout in [1usize, 4, 16] {
+            // Entries shipped per collect round: own log on every channel,
+            // plus forwarded upstream logs within sharing depth.
+            let origins = dsd.min(3) as usize;
+            g.throughput(Throughput::Elements((fanout * origins * ENTRIES) as u64));
+            g.bench_with_input(
+                BenchmarkId::new("collect", format!("fanout{fanout}_dsd{dsd}")),
+                &(fanout, dsd),
+                |b, &(fanout, dsd)| {
+                    b.iter(|| {
+                        let mut tail = populated_tail(fanout, dsd);
+                        let mut total = 0usize;
+                        for ch in 0..fanout {
+                            total += tail.collect_delta(ch as u32).len();
+                        }
+                        black_box(total)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_delta_fanout
+);
+criterion_main!(benches);

@@ -89,6 +89,7 @@ pub fn populate_for(runner: &mut JobRunner, seed: u64, p: usize, rate: u64, secs
 
 /// Run one Nexmark query with failure injection, with inputs sized to keep
 /// the sources busy for the whole experiment.
+#[allow(clippy::too_many_arguments)]
 pub fn run_query_with_kills(
     q: QueryId,
     cfg: Config,
@@ -157,6 +158,7 @@ pub fn synthetic_rows(n: i64, keys: i64) -> Vec<Row> {
 }
 
 /// Run the synthetic chain.
+#[allow(clippy::too_many_arguments)]
 pub fn run_synthetic(
     depth: usize,
     parallelism: usize,

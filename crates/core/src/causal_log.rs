@@ -42,14 +42,84 @@ pub fn channel_log(ch: ChannelId) -> u32 {
     ch + 1
 }
 
+/// Arena chunks are sealed (frozen into shareable [`Bytes`]) once the active
+/// tail grows past this size; an entry is always encoded entirely within one
+/// chunk so delta collection can bulk-copy whole ranges.
+const ARENA_CHUNK_BYTES: usize = 4096;
+
+/// Per-entry metadata in an [`EpochLog`]'s arena index. `index[i]` describes
+/// the entry with sequence number `base_seq + i`.
+#[derive(Clone, Copy, Debug)]
+struct IndexEntry {
+    epoch: EpochId,
+    /// Logical arena offset of the entry's first byte (its epoch varint).
+    /// Logical offsets are monotone over the log's lifetime; truncation only
+    /// retires dead prefixes, it never renumbers.
+    offset: u64,
+    /// Width of the epoch varint prefix.
+    epoch_len: u8,
+    /// Width of the encoded determinant (tag + payload).
+    det_len: u32,
+    /// `Some(channel)` iff the determinant is `Order { channel }` — delta
+    /// collection detects run-length-compressible runs from the index alone,
+    /// without decoding.
+    order_channel: Option<u32>,
+}
+
+impl IndexEntry {
+    #[inline]
+    fn end(&self) -> u64 {
+        self.offset + self.epoch_len as u64 + self.det_len as u64
+    }
+}
+
+/// A sealed arena chunk: immutable encoded entries starting at logical
+/// offset `start`.
+#[derive(Clone, Debug)]
+struct Chunk {
+    start: u64,
+    bytes: Bytes,
+}
+
+impl Chunk {
+    #[inline]
+    fn end(&self) -> u64 {
+        self.start + self.bytes.len() as u64
+    }
+}
+
 /// An epoch-segmented, sequence-numbered determinant log.
 ///
 /// Entries are appended with nondecreasing epochs; truncation drops whole
 /// epoch prefixes (safe once a checkpoint made them stable).
+///
+/// Storage is an **encoded arena**: `append` serializes the entry
+/// (`varint(epoch)` followed by the determinant encoding — exactly the
+/// delta wire format for an uncompressed entry) into an append-only chunked
+/// byte arena, and keeps a per-entry [`IndexEntry`] carrying the epoch,
+/// offsets, and the `Order`-channel needed for run detection. Everything
+/// else derives from the index:
+///
+/// - delta collection bulk-copies contiguous arena ranges instead of
+///   re-encoding each determinant per output channel;
+/// - `encoded_bytes` accounting sums indexed lengths (no re-encode);
+/// - truncation pops index entries and retires whole dead chunks;
+/// - `get`/`since` decode on demand (cold paths: tests, snapshots, replay
+///   installation).
+///
+/// Invariants: index offsets are strictly increasing and contiguous
+/// (`index[i].end() == index[i+1].offset`); an entry never spans chunks;
+/// live bytes are covered by `sealed` chunks plus the `active` tail, with
+/// `active` starting at `active_start == sealed.back().end()` (when sealed
+/// chunks exist).
 #[derive(Clone, Debug, Default)]
 pub struct EpochLog {
     base_seq: u64,
-    entries: VecDeque<(EpochId, Determinant)>,
+    index: VecDeque<IndexEntry>,
+    sealed: VecDeque<Chunk>,
+    active: ByteWriter,
+    /// Logical offset of `active`'s first byte.
+    active_start: u64,
     encoded_bytes: u64,
     /// Times this replica resynchronized over a forward gap (diagnostics).
     gap_resyncs: u64,
@@ -63,7 +133,7 @@ impl EpochLog {
     /// Sequence number the next appended entry will get.
     #[inline]
     pub fn next_seq(&self) -> u64 {
-        self.base_seq + self.entries.len() as u64
+        self.base_seq + self.index.len() as u64
     }
 
     #[inline]
@@ -73,58 +143,135 @@ impl EpochLog {
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
-    /// Total encoded size of resident entries (determinant-pool accounting).
+    /// Total encoded size of resident determinants (determinant-pool
+    /// accounting; excludes the epoch prefixes).
     pub fn encoded_bytes(&self) -> u64 {
         self.encoded_bytes
     }
 
+    /// Logical offset one past the last arena byte.
+    #[inline]
+    fn next_offset(&self) -> u64 {
+        self.active_start + self.active.len() as u64
+    }
+
     pub fn append(&mut self, epoch: EpochId, det: Determinant) -> u64 {
-        if let Some(&(last, _)) = self.entries.back() {
-            debug_assert!(epoch >= last, "epochs must be nondecreasing");
+        if let Some(last) = self.index.back() {
+            debug_assert!(epoch >= last.epoch, "epochs must be nondecreasing");
         }
         let seq = self.next_seq();
-        self.encoded_bytes += det.encoded_len() as u64;
-        self.entries.push_back((epoch, det));
+        if self.active.len() >= ARENA_CHUNK_BYTES {
+            self.seal_active();
+        }
+        let offset = self.next_offset();
+        self.active.put_varint(epoch);
+        let epoch_len = (self.next_offset() - offset) as u8;
+        det.encode(&mut self.active);
+        let det_len = (self.next_offset() - offset) as u32 - epoch_len as u32;
+        let order_channel = match det {
+            Determinant::Order { channel } => Some(channel),
+            _ => None,
+        };
+        self.index.push_back(IndexEntry { epoch, offset, epoch_len, det_len, order_channel });
+        self.encoded_bytes += det_len as u64;
         seq
     }
 
-    /// Entry at absolute sequence number `seq`, if resident.
-    pub fn get(&self, seq: u64) -> Option<&(EpochId, Determinant)> {
-        let idx = seq.checked_sub(self.base_seq)?;
-        self.entries.get(idx as usize)
+    fn seal_active(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        let frozen = self.active.take_frozen();
+        let start = self.active_start;
+        self.active_start += frozen.len() as u64;
+        self.sealed.push_back(Chunk { start, bytes: frozen });
     }
 
-    /// Iterate entries with `seq >= from`, yielding `(seq, epoch, det)`.
-    pub fn since(&self, from: u64) -> impl Iterator<Item = (u64, EpochId, &Determinant)> {
+    /// The encoded bytes of one indexed entry (`varint(epoch)` + determinant).
+    fn entry_bytes(&self, e: &IndexEntry) -> &[u8] {
+        let len = (e.end() - e.offset) as usize;
+        if e.offset >= self.active_start {
+            let s = (e.offset - self.active_start) as usize;
+            &self.active.as_slice()[s..s + len]
+        } else {
+            let i = self.sealed.partition_point(|c| c.end() <= e.offset);
+            let c = &self.sealed[i];
+            let s = (e.offset - c.start) as usize;
+            &c.bytes[s..s + len]
+        }
+    }
+
+    fn decode_entry(&self, e: &IndexEntry) -> Determinant {
+        let bytes = self.entry_bytes(e);
+        let mut r = ByteReader::new(&bytes[e.epoch_len as usize..]);
+        Determinant::decode(&mut r).expect("arena entry decodes")
+    }
+
+    /// Entry at absolute sequence number `seq`, if resident (decoded from
+    /// the arena).
+    pub fn get(&self, seq: u64) -> Option<(EpochId, Determinant)> {
+        let idx = seq.checked_sub(self.base_seq)? as usize;
+        let e = self.index.get(idx)?;
+        Some((e.epoch, self.decode_entry(e)))
+    }
+
+    /// Iterate entries with `seq >= from`, yielding `(seq, epoch, det)`
+    /// decoded from the arena.
+    pub fn since(&self, from: u64) -> impl Iterator<Item = (u64, EpochId, Determinant)> + '_ {
         let start = from.saturating_sub(self.base_seq) as usize;
-        self.entries
+        self.index
             .iter()
             .enumerate()
             .skip(start)
-            .map(move |(i, (e, d))| (self.base_seq + i as u64, *e, d))
+            .map(move |(i, e)| (self.base_seq + i as u64, e.epoch, self.decode_entry(e)))
     }
 
     /// Drop all entries belonging to epochs `<= epoch`. Returns dropped count.
     pub fn truncate_through(&mut self, epoch: EpochId) -> usize {
         let mut dropped = 0;
-        while let Some(&(e, _)) = self.entries.front() {
-            if e > epoch {
+        while let Some(front) = self.index.front() {
+            if front.epoch > epoch {
                 break;
             }
-            let (_, d) = self.entries.pop_front().expect("front exists");
-            self.encoded_bytes -= d.encoded_len() as u64;
+            let e = self.index.pop_front().expect("front exists");
+            self.encoded_bytes -= e.det_len as u64;
             self.base_seq += 1;
             dropped += 1;
         }
+        self.retire_dead_chunks();
         dropped
+    }
+
+    /// Release arena chunks that hold no live entry. Bytes of truncated
+    /// entries inside the active tail (or a partially-live front chunk)
+    /// remain as slack until the chunk itself dies.
+    fn retire_dead_chunks(&mut self) {
+        match self.index.front() {
+            None => {
+                // No live entries: the whole arena is dead. Restart the
+                // active buffer at the current logical offset so numbering
+                // stays monotone.
+                self.sealed.clear();
+                self.active_start = self.next_offset();
+                self.active.clear();
+            }
+            Some(front) => {
+                while let Some(c) = self.sealed.front() {
+                    if c.end() > front.offset {
+                        break;
+                    }
+                    self.sealed.pop_front();
+                }
+            }
+        }
     }
 
     /// Idempotent insert of an entry with a known sequence number.
@@ -156,7 +303,8 @@ impl EpochLog {
             // resident prefix (it remains contiguous elsewhere or is
             // checkpoint-stable) and continue from the incoming sequence.
             self.encoded_bytes = 0;
-            self.entries.clear();
+            self.index.clear();
+            self.retire_dead_chunks();
             self.base_seq = seq;
             self.gap_resyncs += 1;
         }
@@ -166,7 +314,83 @@ impl EpochLog {
 
     /// Full copy of resident entries, `(seq, epoch, det)` triplets.
     pub fn snapshot(&self) -> Vec<(u64, EpochId, Determinant)> {
-        self.since(self.base_seq).map(|(s, e, d)| (s, e, d.clone())).collect()
+        self.since(self.base_seq).collect()
+    }
+
+    /// Length of a maximal run of same-epoch, same-channel `Order` entries
+    /// starting at index position `i`, counting at most `cap` (0 when the
+    /// entry is not an `Order`). Index-only — no decoding.
+    fn run_len_at(&self, i: usize, cap: usize) -> usize {
+        let Some(channel) = self.index[i].order_channel else {
+            return 0;
+        };
+        let epoch = self.index[i].epoch;
+        let mut run = 1;
+        while run < cap
+            && i + run < self.index.len()
+            && self.index[i + run].epoch == epoch
+            && self.index[i + run].order_channel == Some(channel)
+        {
+            run += 1;
+        }
+        run
+    }
+
+    /// Append the wire encoding of entries `seq >= from` to `w`: maximal
+    /// runs (>= 3) of same-channel same-epoch `Order` entries are emitted
+    /// as [`WIRE_ORDER_RUN`] items; everything between runs is bulk-copied
+    /// straight out of the arena (the entries are already stored in wire
+    /// format). Returns the number of logical entries written.
+    fn encode_since(&self, from: u64, w: &mut ByteWriter, stats: &mut CausalLogStats) -> u64 {
+        let n = self.index.len();
+        let mut i = from.saturating_sub(self.base_seq) as usize;
+        let emitted = (n - i.min(n)) as u64;
+        while i < n {
+            let run = self.run_len_at(i, usize::MAX);
+            if run >= 3 {
+                let e = &self.index[i];
+                w.put_varint(e.epoch);
+                w.put_u8(WIRE_ORDER_RUN);
+                w.put_varint(e.order_channel.expect("run entries are Order") as u64);
+                w.put_varint(run as u64);
+                i += run;
+                continue;
+            }
+            // Contiguous non-run span: extend until the next compressible
+            // run, then copy its arena bytes wholesale.
+            let span_start = i;
+            i += 1;
+            while i < n && self.run_len_at(i, 3) < 3 {
+                i += 1;
+            }
+            let a = self.index[span_start].offset;
+            let b = self.index[i - 1].end();
+            self.copy_arena_range(a, b, w);
+            stats.delta_bytes_memcpy += b - a;
+        }
+        emitted
+    }
+
+    /// Copy the logical arena range `[a, b)` into `w`, chunk by chunk.
+    fn copy_arena_range(&self, mut a: u64, b: u64, w: &mut ByteWriter) {
+        let mut ci = self.sealed.partition_point(|c| c.end() <= a);
+        while a < b {
+            match self.sealed.get(ci) {
+                Some(c) if c.start <= a => {
+                    let end = c.end().min(b);
+                    w.put_raw(&c.bytes[(a - c.start) as usize..(end - c.start) as usize]);
+                    a = end;
+                    ci += 1;
+                }
+                _ => {
+                    debug_assert!(a >= self.active_start, "live range below active tail");
+                    let s = (a - self.active_start) as usize;
+                    let e = (b - self.active_start) as usize;
+                    w.put_raw(&self.active.as_slice()[s..e]);
+                    a = b;
+                }
+            }
+        }
     }
 }
 
@@ -232,6 +456,10 @@ impl TaskLog {
         std::iter::once(MAIN_LOG).chain((0..self.channels.len() as u32).map(channel_log))
     }
 
+    fn num_logs(&self) -> usize {
+        1 + self.channels.len()
+    }
+
     pub fn encoded_bytes(&self) -> u64 {
         self.main.encoded_bytes() + self.channels.iter().map(|c| c.encoded_bytes()).sum::<u64>()
     }
@@ -244,12 +472,14 @@ impl TaskLog {
     }
 }
 
+/// One log inside a [`TaskLogSnapshot`]: `(log_id, base_seq, entries)`.
+pub type SnapshotLog = (u32, u64, Vec<(EpochId, Determinant)>);
+
 /// A portable full copy of a task's logs, exchanged during recovery
 /// (step 3 of the protocol: "Retrieve Determinant Log").
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TaskLogSnapshot {
-    /// `(log_id, base_seq, entries)` per log.
-    pub logs: Vec<(u32, u64, Vec<(EpochId, Determinant)>)>,
+    pub logs: Vec<SnapshotLog>,
 }
 
 impl TaskLogSnapshot {
@@ -299,7 +529,7 @@ pub type LogDelta = Bytes;
 
 /// Statistics for overhead accounting (§7.3, §7.5, E9).
 #[derive(Clone, Copy, Debug, Default)]
-pub struct LogStats {
+pub struct CausalLogStats {
     pub determinants_recorded: u64,
     pub delta_bytes_shipped: u64,
     pub delta_entries_shipped: u64,
@@ -308,7 +538,19 @@ pub struct LogStats {
     /// Logical `Order` entries shipped inside run-length-compressed wire
     /// items (the §9 compression extension).
     pub order_entries_compressed: u64,
+    /// Entries serialized into a log arena (each exactly once, at append).
+    pub entries_encoded: u64,
+    /// Entries serialized again at delta-collection time. The arena path
+    /// ships stored bytes, so this stays 0; it exists to catch regressions
+    /// that reintroduce per-channel re-encoding.
+    pub entries_reencoded: u64,
+    /// Delta payload bytes bulk-copied out of log arenas (as opposed to the
+    /// freshly written framing/run varints).
+    pub delta_bytes_memcpy: u64,
 }
+
+/// Former name of [`CausalLogStats`], kept for downstream callers.
+pub type LogStats = CausalLogStats;
 
 /// Replay source installed on a recovering task: the merged snapshot of its
 /// predecessor's logs, consumed as the task re-executes.
@@ -330,7 +572,7 @@ pub struct CausalLogManager {
     /// cursors[channel] maps (origin, log_id) -> next seq to ship.
     cursors: Vec<BTreeMap<(TaskId, u32), u64>>,
     replay: Option<ReplaySource>,
-    pub stats: LogStats,
+    pub stats: CausalLogStats,
 }
 
 impl CausalLogManager {
@@ -343,7 +585,7 @@ impl CausalLogManager {
             replicated: BTreeMap::new(),
             cursors: vec![BTreeMap::new(); num_out_channels],
             replay: None,
-            stats: LogStats::default(),
+            stats: CausalLogStats::default(),
         }
     }
 
@@ -380,6 +622,7 @@ impl CausalLogManager {
         }
         debug_assert!(det.is_main_thread());
         self.stats.determinants_recorded += 1;
+        self.stats.entries_encoded += 1;
         self.own.main.append(self.epoch, det);
     }
 
@@ -389,6 +632,7 @@ impl CausalLogManager {
             return;
         }
         self.stats.determinants_recorded += 1;
+        self.stats.entries_encoded += 1;
         self.own.log_mut(channel_log(channel)).append(self.epoch, Determinant::BufferFlush {
             size,
             records,
@@ -415,7 +659,6 @@ impl CausalLogManager {
         debug_assert!(ch < self.cursors.len());
         let mut origins: u64 = 0;
         let mut body = ByteWriter::new();
-        let mut shipped_entries: u64 = 0;
 
         // Own logs always ship (receiver is 1 hop from us).
         Self::encode_origin_delta(
@@ -424,7 +667,7 @@ impl CausalLogManager {
             0,
             &self.own,
             &mut self.cursors[ch],
-            &mut shipped_entries,
+            &mut self.stats,
         );
         origins += 1;
 
@@ -440,7 +683,7 @@ impl CausalLogManager {
                     replica.hops,
                     &replica.log,
                     &mut self.cursors[ch],
-                    &mut shipped_entries,
+                    &mut self.stats,
                 );
                 origins += 1;
             }
@@ -450,61 +693,33 @@ impl CausalLogManager {
         w.put_raw(body.as_slice());
         let delta = w.freeze();
         self.stats.delta_bytes_shipped += delta.len() as u64;
-        self.stats.delta_entries_shipped += shipped_entries;
         delta
     }
 
+    /// Encode one origin's per-log deltas. The per-log entry bytes come
+    /// straight out of each log's encoded arena ([`EpochLog::encode_since`]);
+    /// only the framing varints and compressed-run items are written fresh.
     fn encode_origin_delta(
         w: &mut ByteWriter,
         origin: TaskId,
         hops_at_sender: u32,
         logs: &TaskLog,
         cursors: &mut BTreeMap<(TaskId, u32), u64>,
-        shipped: &mut u64,
+        stats: &mut CausalLogStats,
     ) {
         w.put_varint(origin);
         w.put_varint(hops_at_sender as u64);
-        let ids: Vec<u32> = logs.log_ids().collect();
-        w.put_varint(ids.len() as u64);
-        for id in ids {
+        w.put_varint(logs.num_logs() as u64);
+        for id in logs.log_ids() {
             let log = logs.log(id).expect("log id from log_ids");
             let cursor = cursors.entry((origin, id)).or_insert(log.base_seq());
             let from = (*cursor).max(log.base_seq());
-            let entries: Vec<_> = log.since(from).collect();
             w.put_varint(id as u64);
             w.put_varint(from);
-            w.put_varint(entries.len() as u64);
-            // Run-length-compress consecutive same-channel Order entries
-            // within an epoch (wire-level only; the receiver re-expands).
-            let mut i = 0;
-            while i < entries.len() {
-                let (_, epoch, det) = entries[i];
-                if let Determinant::Order { channel } = det {
-                    let mut run = 1;
-                    while i + run < entries.len() {
-                        let (_, e2, d2) = entries[i + run];
-                        let same = e2 == epoch
-                            && matches!(d2, Determinant::Order { channel: c2 } if c2 == channel);
-                        if !same {
-                            break;
-                        }
-                        run += 1;
-                    }
-                    if run >= 3 {
-                        w.put_varint(epoch);
-                        w.put_u8(WIRE_ORDER_RUN);
-                        w.put_varint(*channel as u64);
-                        w.put_varint(run as u64);
-                        i += run;
-                        continue;
-                    }
-                }
-                w.put_varint(epoch);
-                det.encode(w);
-                i += 1;
-            }
-            *cursor = from + entries.len() as u64;
-            *shipped += entries.len() as u64;
+            w.put_varint(log.next_seq() - from);
+            let shipped = log.encode_since(from, w, stats);
+            *cursor = from + shipped;
+            stats.delta_entries_shipped += shipped;
         }
     }
 
@@ -557,6 +772,7 @@ impl CausalLogManager {
         }
         self.stats.deltas_ingested += 1;
         self.stats.entries_ingested += added;
+        self.stats.entries_encoded += added; // replica arenas encode on ingest
         Ok(added)
     }
 
@@ -593,7 +809,7 @@ impl CausalLogManager {
             snap.logs.push((
                 id,
                 log.base_seq(),
-                log.since(log.base_seq()).map(|(_, e, d)| (e, d.clone())).collect(),
+                log.since(log.base_seq()).map(|(_, e, d)| (e, d)).collect(),
             ));
         }
         snap
@@ -653,6 +869,7 @@ impl CausalLogManager {
     /// own log (Listing 3: `causalLog.append(determinant)` on both paths).
     pub fn pop_replay(&mut self) -> Option<Determinant> {
         let (epoch, det) = self.replay.as_mut()?.main.pop_front()?;
+        self.stats.entries_encoded += 1;
         self.own.main.append(epoch, det.clone());
         self.check_replay_done();
         Some(det)
@@ -681,6 +898,7 @@ impl CausalLogManager {
                 return None;
             }
         };
+        self.stats.entries_encoded += 1;
         self.own
             .log_mut(channel_log(channel))
             .append(epoch, Determinant::BufferFlush { size, records });

@@ -398,7 +398,7 @@ mod tests {
         let mut log2 = CausalLogManager::new(1, 1, 1);
         log2.begin_replay(down.export_replica(1).unwrap(), 0);
         let mut svc2 = CausalServices::new(0);
-        assert_eq!(svc2.user_service(&mut log2, || vec![]).unwrap(), b"custom-nondet");
+        assert_eq!(svc2.user_service(&mut log2, Vec::new).unwrap(), b"custom-nondet");
     }
 
     #[test]

@@ -653,8 +653,8 @@ impl Cluster {
     }
 
     /// Aggregate causal-log statistics.
-    pub fn log_stats(&self) -> clonos::causal_log::LogStats {
-        let mut total = clonos::causal_log::LogStats::default();
+    pub fn log_stats(&self) -> clonos::causal_log::CausalLogStats {
+        let mut total = clonos::causal_log::CausalLogStats::default();
         for t in self.tasks.values().flatten() {
             let s = t.log.stats;
             total.determinants_recorded += s.determinants_recorded;
@@ -662,6 +662,22 @@ impl Cluster {
             total.delta_entries_shipped += s.delta_entries_shipped;
             total.deltas_ingested += s.deltas_ingested;
             total.entries_ingested += s.entries_ingested;
+            total.order_entries_compressed += s.order_entries_compressed;
+            total.entries_encoded += s.entries_encoded;
+            total.entries_reencoded += s.entries_reencoded;
+            total.delta_bytes_memcpy += s.delta_bytes_memcpy;
+        }
+        total
+    }
+
+    /// Aggregate routing hot-path counters.
+    pub fn routing_stats(&self) -> crate::metrics::RoutingStats {
+        let mut total = crate::metrics::RoutingStats::default();
+        for t in self.tasks.values().flatten() {
+            total.records_routed += t.routing.records_routed;
+            total.channel_writes += t.routing.channel_writes;
+            total.route_encodes += t.routing.route_encodes;
+            total.record_clones += t.routing.record_clones;
         }
         total
     }

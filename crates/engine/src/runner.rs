@@ -42,7 +42,9 @@ pub struct RunReport {
     pub latency_p50: Option<VirtualDuration>,
     pub latency_p99: Option<VirtualDuration>,
     pub events: Vec<crate::metrics::RunEvent>,
-    pub log_stats: clonos::causal_log::LogStats,
+    pub log_stats: clonos::causal_log::CausalLogStats,
+    /// Routing hot-path counters aggregated across tasks.
+    pub routing_stats: crate::metrics::RoutingStats,
     pub ts_service_calls: u64,
     pub ts_service_determinants: u64,
     pub inflight_bytes: u64,
@@ -243,6 +245,7 @@ impl JobRunner {
             latency_p99,
             events: self.cluster.metrics.events.clone(),
             log_stats: self.cluster.log_stats(),
+            routing_stats: self.cluster.routing_stats(),
             ts_service_calls: ts_calls,
             ts_service_determinants: ts_dets,
             inflight_bytes: self.cluster.total_inflight_bytes(),

@@ -20,7 +20,7 @@ use crate::config::{EngineConfig, FtMode};
 use crate::error::EngineError;
 use crate::graph::{Partitioning, SinkSpec, SourceSpec, TaskSpec, TimestampMode, VertexKind};
 use crate::messages::Msg;
-use crate::metrics::JobMetrics;
+use crate::metrics::{JobMetrics, RoutingStats};
 use crate::operator::{timer_id, OpCtx, Operator, TimerKind};
 use crate::record::{decode_buffer, Datum, Record, Row, StreamElement};
 use crate::state::{StateStore, StateTimer};
@@ -204,8 +204,9 @@ pub struct Task {
     pub gen: u32,
     role: Role,
     edge_partitioning: Vec<Partitioning>,
-    /// Out-channel indices grouped by edge (ordered by downstream subtask).
-    edge_channels: BTreeMap<usize, Vec<usize>>,
+    /// Out-channel indices grouped by edge, indexed by edge id (ordered by
+    /// downstream subtask within each edge).
+    edge_channels: Vec<Vec<usize>>,
     ins: Vec<InChannel>,
     outs: Vec<OutChannel>,
     arrivals: VecDeque<u32>,
@@ -226,6 +227,11 @@ pub struct Task {
     installed: bool,
     pub dead: bool,
     buffer_size: usize,
+    /// Scratch encoder for the routing fast path: a routed record is
+    /// serialized once here, then its bytes are copied to each destination
+    /// channel's builder.
+    route_scratch: ByteWriter,
+    pub routing: RoutingStats,
 }
 
 impl Task {
@@ -283,9 +289,12 @@ impl Task {
                 }
             }
         };
-        let mut edge_channels: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut edge_channels: Vec<Vec<usize>> = vec![Vec::new(); edge_partitioning.len()];
         for (i, &(_, _, edge, _)) in spec.outputs.iter().enumerate() {
-            edge_channels.entry(edge).or_default().push(i);
+            if edge >= edge_channels.len() {
+                edge_channels.resize_with(edge + 1, Vec::new);
+            }
+            edge_channels[edge].push(i);
         }
         let ins = spec
             .inputs
@@ -343,6 +352,8 @@ impl Task {
             installed: true,
             dead: false,
             buffer_size: config.buffer_size,
+            route_scratch: ByteWriter::new(),
+            routing: RoutingStats::default(),
         }
     }
 
@@ -754,50 +765,70 @@ impl Task {
 
     /// Route a record to output channels per each outgoing edge's
     /// partitioning strategy.
+    ///
+    /// Hot path: the record is serialized exactly once into `route_scratch`;
+    /// every destination channel (one per edge, or all of them on broadcast)
+    /// receives a byte copy of that encoding. No per-record allocation, no
+    /// deep `Record` clones, no per-channel re-encode.
     fn route(&mut self, rec: Record, at: VirtualTime, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
-        let edges: Vec<usize> = self.edge_channels.keys().copied().collect();
-        for edge in edges {
-            let chans = self.edge_channels[&edge].clone();
+        let key = rec.key;
+        self.route_scratch.clear();
+        StreamElement::Record(rec).encode(&mut self.route_scratch);
+        self.routing.records_routed += 1;
+        self.routing.route_encodes += 1;
+        for edge in 0..self.edge_channels.len() {
+            let nchans = self.edge_channels[edge].len();
+            if nchans == 0 {
+                continue;
+            }
             match self.edge_partitioning[edge] {
                 Partitioning::Forward => {
-                    self.write_element(chans[0], &StreamElement::Record(rec.clone()), true, at, ctx)?;
+                    let c = self.edge_channels[edge][0];
+                    self.write_routed(c, at, ctx)?;
                 }
                 Partitioning::Hash => {
-                    let idx = (rec.key % chans.len() as u64) as usize;
-                    self.write_element(
-                        chans[idx],
-                        &StreamElement::Record(rec.clone()),
-                        true,
-                        at,
-                        ctx,
-                    )?;
+                    let c = self.edge_channels[edge][(key % nchans as u64) as usize];
+                    self.write_routed(c, at, ctx)?;
                 }
                 Partitioning::Broadcast => {
-                    for &c in &chans {
-                        self.write_element(c, &StreamElement::Record(rec.clone()), true, at, ctx)?;
+                    for i in 0..nchans {
+                        let c = self.edge_channels[edge][i];
+                        self.write_routed(c, at, ctx)?;
                     }
                 }
                 Partitioning::Rebalance => {
                     // Round-robin counter lives on the first channel of the
                     // edge group.
                     let rr = {
-                        let oc = &mut self.outs[chans[0]];
+                        let oc = &mut self.outs[self.edge_channels[edge][0]];
                         let v = oc.rr;
                         oc.rr += 1;
                         v
                     };
-                    let idx = (rr % chans.len() as u64) as usize;
-                    self.write_element(
-                        chans[idx],
-                        &StreamElement::Record(rec.clone()),
-                        true,
-                        at,
-                        ctx,
-                    )?;
+                    let c = self.edge_channels[edge][(rr % nchans as u64) as usize];
+                    self.write_routed(c, at, ctx)?;
                 }
             }
         }
         Ok(())
+    }
+
+    /// Append the pre-encoded record bytes in `route_scratch` to a channel's
+    /// buffer builder (a memcpy) and apply flush policy.
+    fn write_routed(
+        &mut self,
+        out_idx: usize,
+        at: VirtualTime,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        {
+            let scratch = self.route_scratch.as_slice();
+            let oc = &mut self.outs[out_idx];
+            oc.writer.put_raw(scratch);
+            oc.records += 1;
+        }
+        self.routing.channel_writes += 1;
+        self.after_append(out_idx, at, ctx)
     }
 
     /// Append one element to an out channel's buffer builder and apply flush
@@ -817,6 +848,17 @@ impl Task {
                 oc.records += 1;
             }
         }
+        self.after_append(out_idx, at, ctx)
+    }
+
+    /// Flush policy shared by the routing fast path and `write_element`
+    /// (size-triggered in normal mode; logged-size cuts in replay).
+    fn after_append(
+        &mut self,
+        out_idx: usize,
+        at: VirtualTime,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
         let chan = out_idx as ChannelId;
         if self.log.replaying_flushes(chan) {
             self.drain_replay_flushes_for(out_idx, at, ctx)?;
@@ -884,7 +926,9 @@ impl Task {
             if oc.writer.is_empty() {
                 return Ok(());
             }
-            let payload = std::mem::take(&mut oc.writer).freeze();
+            // Freeze-and-reset keeps the builder's allocation: each channel
+            // reuses one pooled writer across every buffer it cuts.
+            let payload = oc.writer.take_frozen();
             let records = oc.records;
             oc.records = 0;
             (payload, records)
@@ -1553,7 +1597,7 @@ mod tests {
     fn hash_datum_low_bits_are_unbiased() {
         // Even integers must not all land on the same parity class.
         let evens_on_zero = (0..1_000)
-            .filter(|&i| hash_datum(&Datum::Int(i * 2)) % 2 == 0)
+            .filter(|&i| hash_datum(&Datum::Int(i * 2)).is_multiple_of(2))
             .count();
         assert!(
             (350..=650).contains(&evens_on_zero),

@@ -1,0 +1,65 @@
+//! Integration coverage for the encode-once hot paths: the record router
+//! must never deep-clone records (even under broadcast fanout) and delta
+//! collection must never re-encode a stored determinant. Both invariants
+//! are observable through `RunReport` counters.
+
+use clonos::config::{ClonosConfig, SharingDepth};
+use clonos_engine::operators::map_op;
+use clonos_engine::*;
+use clonos_sim::VirtualDuration;
+
+/// src → stage —broadcast→ fan(×3) → sink: every stage record is routed to
+/// all three downstream instances.
+fn broadcast_job(rate: u64) -> JobGraph {
+    let mut g = JobGraph::new("broadcast-counters");
+    let src = g.add_source("src", 1, SourceSpec::new("in").rate(rate).key_field(0));
+    let stage = g.add_operator("stage", 1, map_op(|rec| (rec.key, rec.row.clone())));
+    let fan = g.add_operator(
+        "fan",
+        3,
+        map_op(|rec| (rec.key, Row::new(vec![Datum::Int(rec.row.int(0)), Datum::Int(1)]))),
+    );
+    let snk = g.add_sink("out", 1, SinkSpec { topic: "out".into() });
+    g.connect(src, stage, Partitioning::Forward);
+    g.connect(stage, fan, Partitioning::Broadcast);
+    g.connect(fan, snk, Partitioning::Hash);
+    g
+}
+
+#[test]
+fn broadcast_routes_without_record_clones_or_reencoding() {
+    let cfg = EngineConfig::default()
+        .with_seed(13)
+        .with_ft(FtMode::Clonos(ClonosConfig::exactly_once(SharingDepth::Depth(1))));
+    let mut runner = JobRunner::new(broadcast_job(5_000), cfg);
+    let rows: Vec<Row> =
+        (0..3_000).map(|i| Row::new(vec![Datum::Int(i % 40), Datum::Int(i)])).collect();
+    runner.populate("in", 0, rows);
+    let report = runner.run_for(VirtualDuration::from_secs(10));
+
+    assert_eq!(report.records_in, 3_000);
+    assert!(report.records_out > 0, "sink should commit output");
+
+    let r = report.routing_stats;
+    assert!(r.records_routed > 0, "router should have seen records");
+    // Encode-once: one serialization per routed record, zero deep clones —
+    // broadcast shares the encoded payload across destination channels.
+    assert_eq!(r.record_clones, 0, "routing must not deep-clone records");
+    assert_eq!(r.route_encodes, r.records_routed, "exactly one encode per routed record");
+    // The broadcast stage writes each record to all 3 'fan' instances, so
+    // job-wide channel writes must exceed routed records.
+    assert!(
+        r.channel_writes > r.records_routed,
+        "broadcast fanout should multiply channel writes ({} vs {})",
+        r.channel_writes,
+        r.records_routed
+    );
+
+    let l = report.log_stats;
+    assert!(l.determinants_recorded > 0, "causal logging should be active");
+    assert!(l.delta_entries_shipped > 0, "deltas should piggyback downstream");
+    // Encode-once for determinants: every shipped delta entry came out of
+    // the encoded arena; nothing was re-encoded at collect time.
+    assert_eq!(l.entries_reencoded, 0, "collect_delta must not re-encode entries");
+    assert!(l.entries_encoded >= l.determinants_recorded);
+}

@@ -130,7 +130,7 @@ fn sliding_windows_count_each_record_per_overlap() {
     let mut interior = 0;
     for (_, _, rec) in &report.sink_output {
         let start = rec.row.int(1);
-        if start >= 1_000_000 && start < 2_500_000 {
+        if (1_000_000..2_500_000).contains(&start) {
             assert_eq!(rec.row.int(2), 250, "window {start}");
             interior += 1;
         }

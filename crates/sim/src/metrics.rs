@@ -107,7 +107,7 @@ impl ThroughputSeries {
     /// Mean rate over buckets fully inside `[from, to)`.
     pub fn mean_rate_in(&self, from: VirtualTime, to: VirtualTime) -> f64 {
         let w = self.window.as_micros();
-        let lo = (from.as_micros() + w - 1) / w;
+        let lo = from.as_micros().div_ceil(w);
         let hi = to.as_micros() / w;
         if hi <= lo {
             return 0.0;

@@ -40,7 +40,7 @@ impl fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Append-only encoder over a `BytesMut`.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct ByteWriter {
     buf: BytesMut,
 }
@@ -117,6 +117,24 @@ impl ByteWriter {
 
     pub fn freeze(self) -> Bytes {
         self.buf.freeze()
+    }
+
+    /// Freeze the current contents into a [`Bytes`] and reset the writer for
+    /// reuse, retaining its allocation. This is what lets a pooled per-channel
+    /// writer serve many buffers without reallocating on every flush.
+    pub fn take_frozen(&mut self) -> Bytes {
+        let frozen = Bytes::copy_from_slice(&self.buf);
+        self.buf.clear();
+        frozen
+    }
+
+    /// Drop the contents but keep the allocation (pooled-writer reuse).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     pub fn as_slice(&self) -> &[u8] {

@@ -23,11 +23,11 @@ pub struct TransferModel {
 
 impl TransferModel {
     pub fn transfer_time(&self, bytes: u64) -> VirtualDuration {
-        let stream = if self.bytes_per_sec == 0 {
-            VirtualDuration::ZERO
-        } else {
-            VirtualDuration::from_micros(bytes.saturating_mul(1_000_000) / self.bytes_per_sec)
-        };
+        let stream = bytes
+            .saturating_mul(1_000_000)
+            .checked_div(self.bytes_per_sec)
+            .map(VirtualDuration::from_micros)
+            .unwrap_or(VirtualDuration::ZERO);
         self.latency + stream
     }
 }

@@ -35,11 +35,11 @@ impl Default for IoModel {
 
 impl IoModel {
     pub fn cost(&self, bytes: u64, ops: u64) -> VirtualDuration {
-        let stream = if self.bytes_per_sec == 0 {
-            VirtualDuration::ZERO
-        } else {
-            VirtualDuration::from_micros(bytes.saturating_mul(1_000_000) / self.bytes_per_sec)
-        };
+        let stream = bytes
+            .saturating_mul(1_000_000)
+            .checked_div(self.bytes_per_sec)
+            .map(VirtualDuration::from_micros)
+            .unwrap_or(VirtualDuration::ZERO);
         VirtualDuration::from_micros(self.per_op.as_micros() * ops) + stream
     }
 }

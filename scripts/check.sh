@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo gate: tier-1 build + tests, then a warning-free clippy pass.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: test suite =="
+cargo test -q
+
+echo "== lint: clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== OK =="

@@ -1,0 +1,275 @@
+//! Offline drop-in subset of the `bytes` crate.
+//!
+//! The build environment is hermetic (no crates.io access), so the workspace
+//! vendors the small slice of the `bytes` API it actually uses: [`Bytes`]
+//! (cheaply cloneable, cheaply sliceable shared byte buffers), [`BytesMut`]
+//! (append-only builder), and the [`BufMut`] write trait. Semantics follow
+//! the real crate for this subset; anything not used by the workspace is
+//! intentionally absent.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+///
+/// Clones and [`Bytes::slice`] are reference-count bumps plus offset
+/// arithmetic — no copying. This is what makes arena-backed delta slicing
+/// and no-copy in-flight logging cheap.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wrap a static slice (copies once into shared storage; the real crate
+    /// borrows, but for this workspace's test-only uses a copy is fine).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+
+    /// Copy a slice into a fresh shared buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(s), off: 0, len: s.len() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-slice sharing the same backing storage (no copy).
+    ///
+    /// Panics if the range is out of bounds, matching the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice {start}..{end} out of bounds (len {})", self.len);
+        Bytes { data: Arc::clone(&self.data), off: self.off + start, len: end - start }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes { data: Arc::from(v), off: 0, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Write interface used by encoders. Only the methods the workspace's codec
+/// needs are present.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+/// An append-only growable buffer that freezes into a [`Bytes`].
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+
+    /// Convert the written contents into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut(len={})", self.buf.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_storage_without_copy() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(&s2[..], &[3, 4]);
+        assert_eq!(Arc::strong_count(&b.data), 3);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(7);
+        m.put_u64_le(0x0102);
+        m.put_slice(b"xyz");
+        assert_eq!(m.len(), 12);
+        let b = m.freeze();
+        assert_eq!(b[0], 7);
+        assert_eq!(&b[9..12], b"xyz");
+    }
+
+    #[test]
+    fn equality_and_empty() {
+        assert_eq!(Bytes::new(), Bytes::from(vec![]));
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from_static(b"abc"), Bytes::copy_from_slice(b"abc"));
+    }
+}

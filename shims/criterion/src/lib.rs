@@ -1,0 +1,275 @@
+//! Offline drop-in subset of the `criterion` benchmarking crate.
+//!
+//! The build environment is hermetic (no crates.io access), so the workspace
+//! vendors the slice of the criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: a warm-up pass sizes the batch, then
+//! `sample_size` timed batches produce a mean ns/iter (plus min/max), printed
+//! in a `name ... time: [mean]` line. There is no statistical analysis, HTML
+//! report, or baseline comparison — benches exist here to produce relative
+//! numbers for `BENCH_*.json` artifacts and to keep `--all-targets` compiling.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+const WARM_UP: Duration = Duration::from_millis(300);
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// Throughput annotation; recorded and echoed, not used for analysis.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a bench name: `&str` or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and times it.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean ns/iter of the last `iter` call, for the caller to report.
+    pub(crate) result_ns: f64,
+    pub(crate) min_ns: f64,
+    pub(crate) max_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until WARM_UP elapses to stabilise caches/branch
+        // predictors, and learn the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            total_ns += ns;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        self.result_ns = total_ns / self.sample_size as f64;
+        self.min_ns = min_ns;
+        self.max_ns = max_ns;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+fn run_bench(group: Option<&str>, id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher { sample_size, result_ns: 0.0, min_ns: 0.0, max_ns: 0.0 };
+    f(&mut b);
+    println!(
+        "{full:<48} time: [{} {} {}]",
+        fmt_ns(b.min_ns),
+        fmt_ns(b.result_ns),
+        fmt_ns(b.max_ns),
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(Some(&self.name), &id.into_id(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(Some(&self.name), &id.into_id(), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Parse CLI args the way cargo-bench invokes harnesses (`--bench`,
+    /// filters). This shim accepts and ignores them.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { name: name.into(), sample_size, _parent: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(None, &id.into_id(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).into_id(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.5), "12.5000 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5000 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.0000 ms");
+    }
+}
