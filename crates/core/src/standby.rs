@@ -127,6 +127,53 @@ impl StandbyManager {
         Some((state, cp, ready))
     }
 
+    /// Interrupt an in-flight state transfer for `task`'s standby: if a
+    /// transfer is still in transit at `now`, the partially-received state is
+    /// discarded and the standby reverts to empty, so the next activation
+    /// falls back to a cold start from the snapshot store. Returns `true`
+    /// when a transfer was actually interrupted.
+    pub fn interrupt_transfer(&mut self, task: TaskId, now: VirtualTime) -> bool {
+        let Some(sb) = self.standbys.get_mut(&task) else { return false };
+        if sb.state.is_some() && sb.transfer_done_at > now {
+            sb.state = None;
+            sb.snapshot_checkpoint = None;
+            sb.transfer_done_at = now;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A node crashed: every standby hosted there loses its preloaded state
+    /// and is re-provisioned on the next node (skipping `primary_of(task)` so
+    /// anti-affinity survives relocation). Returns the affected tasks.
+    pub fn fail_node(
+        &mut self,
+        node: u32,
+        num_nodes: u32,
+        now: VirtualTime,
+        primary_of: impl Fn(TaskId) -> u32,
+    ) -> Vec<TaskId> {
+        let mut lost = Vec::new();
+        for (&task, sb) in self.standbys.iter_mut() {
+            if sb.node != node {
+                continue;
+            }
+            lost.push(task);
+            sb.state = None;
+            sb.snapshot_checkpoint = None;
+            sb.transfer_done_at = now;
+            if num_nodes > 1 {
+                let mut next = (node + 1) % num_nodes;
+                if next == primary_of(task) && num_nodes > 2 {
+                    next = (next + 1) % num_nodes;
+                }
+                sb.node = next;
+            }
+        }
+        lost
+    }
+
     /// Tasks whose standby lives on `node` (all lost if that node fails).
     pub fn standbys_on_node(&self, node: u32) -> Vec<TaskId> {
         self.standbys.iter().filter(|(_, s)| s.node == node).map(|(&t, _)| t).collect()
@@ -189,6 +236,42 @@ mod tests {
         assert_eq!(ready, VirtualTime(2_000_000)); // transfer long done
         assert_eq!(m.dispatches(), 2);
         assert_eq!(m.bytes_dispatched(), 6);
+    }
+
+    #[test]
+    fn interrupt_drops_only_in_transit_transfers() {
+        let mut m = StandbyManager::new();
+        m.register(1, 0, 2, AllocationStrategy::AntiAffinity);
+        m.dispatch_state(1, 0, Bytes::from_static(b"s"), VirtualTime(1_000_000), VirtualDuration::from_secs(3));
+        // Transfer completes at t=4s; interrupting at t=5s is a no-op.
+        assert!(!m.interrupt_transfer(1, VirtualTime(5_000_000)));
+        assert!(m.activate(1, VirtualTime(5_000_000)).is_some());
+        // A fresh transfer interrupted mid-flight loses the state: the next
+        // activation must cold-start.
+        m.dispatch_state(1, 1, Bytes::from_static(b"s2"), VirtualTime(6_000_000), VirtualDuration::from_secs(3));
+        assert!(m.interrupt_transfer(1, VirtualTime(7_000_000)));
+        assert!(m.activate(1, VirtualTime(7_000_000)).is_none());
+        assert!(!m.interrupt_transfer(99, VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn node_failure_wipes_and_relocates_hosted_standbys() {
+        let mut m = StandbyManager::new();
+        // Primaries on nodes 0 and 1; anti-affinity puts standbys on 1 and 2.
+        m.register(1, 0, 4, AllocationStrategy::AntiAffinity);
+        m.register(2, 1, 4, AllocationStrategy::AntiAffinity);
+        m.dispatch_state(1, 0, Bytes::from_static(b"a"), VirtualTime::ZERO, VirtualDuration::ZERO);
+        m.dispatch_state(2, 0, Bytes::from_static(b"b"), VirtualTime::ZERO, VirtualDuration::ZERO);
+        let lost = m.fail_node(1, 4, VirtualTime(1_000_000), |t| if t == 1 { 0 } else { 1 });
+        assert_eq!(lost, vec![1]);
+        // Task 1's standby lost its state and moved off the dead node — and
+        // not onto its primary's node either.
+        assert!(m.activate(1, VirtualTime(1_000_000)).is_none());
+        let relocated = m.get(1).unwrap().node;
+        assert_ne!(relocated, 1);
+        assert_ne!(relocated, 0);
+        // Task 2's standby (node 2) is untouched.
+        assert!(m.activate(2, VirtualTime(1_000_000)).is_some());
     }
 
     #[test]

@@ -35,12 +35,17 @@ pub const JM: TaskId = 0;
 /// Gathering state for one recovering task's determinant logs.
 #[derive(Debug, Default)]
 struct LogGather {
+    /// Unique id: stale `LogResponse`s from a superseded gather (e.g. the
+    /// previous recovery attempt of a re-failed task) are discarded by it.
+    id: u64,
     expected: BTreeSet<TaskId>,
     snapshot: TaskLogSnapshot,
     /// (reporter, reporter's input channel) → received-buffer count.
     counts: BTreeMap<(TaskId, ChannelId), u64>,
     resume_cp: u64,
     state: Bytes,
+    /// Retry rounds already spent on this gather.
+    attempts: u32,
 }
 
 #[derive(Debug, Default)]
@@ -54,6 +59,7 @@ struct JmState {
     /// Tasks whose determinant replay has not finished yet.
     recovering: BTreeSet<TaskId>,
     gathers: BTreeMap<TaskId, LogGather>,
+    gather_seq: u64,
     rollback_scheduled: bool,
     standby: StandbyManager,
 }
@@ -71,6 +77,8 @@ pub struct Cluster {
     pub graph: ExecutionGraph,
     job: JobGraph,
     tasks: BTreeMap<TaskId, Option<Task>>,
+    /// Task → hosting node (round-robin placement; standbys anti-affine).
+    nodes: BTreeMap<TaskId, u32>,
     gens: BTreeMap<TaskId, u32>,
     jm: JmState,
     depth: u32,
@@ -94,6 +102,7 @@ impl Cluster {
             graph,
             job,
             tasks: BTreeMap::new(),
+            nodes: BTreeMap::new(),
             gens: BTreeMap::new(),
             jm: JmState::default(),
             depth,
@@ -147,17 +156,18 @@ impl Cluster {
 
     fn deploy(&mut self) {
         let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
-        for &id in &ids {
+        let num_nodes = self.config.num_nodes;
+        for (i, &id) in ids.iter().enumerate() {
             let task = self.build_task(id, 0);
             self.tasks.insert(id, Some(task));
+            self.nodes.insert(id, (i as u32) % num_nodes);
             self.gens.insert(id, 0);
         }
         // Standbys.
         if let FtMode::Clonos(c) = &self.config.ft {
             if c.standby_tasks {
-                let num_nodes = self.config.num_nodes;
-                for (i, &id) in ids.iter().enumerate() {
-                    let node = (i as u32) % num_nodes;
+                for &id in &ids {
+                    let node = self.nodes[&id];
                     self.jm.standby.register(id, node, num_nodes, AllocationStrategy::AntiAffinity);
                 }
             }
@@ -239,7 +249,9 @@ impl Cluster {
     }
 
     /// Inject a failure: kill the task at the current instant. Detection is
-    /// scheduled per the configured mode's detection delay.
+    /// scheduled per the configured mode's detection delay plus seeded
+    /// jitter, and carries the dying incarnation so the JM can discard stale
+    /// notifications about already-replaced incarnations.
     pub fn kill_task(&mut self, id: TaskId) {
         let Some(slot) = self.tasks.get_mut(&id) else { return };
         if slot.is_none() {
@@ -247,9 +259,78 @@ impl Cluster {
         }
         *slot = None;
         self.sim.drop_events_for(id);
-        self.metrics.event(self.sim.now(), format!("FAILURE task {id}"));
-        let delay = self.config.detection_delay();
-        self.sim.schedule_in(delay, JM, Msg::FailureDetected { task: id });
+        let now = self.sim.now();
+        self.metrics.event(now, format!("FAILURE task {id}"));
+        let gen = self.gens.get(&id).copied().unwrap_or(0);
+        let mut delay = self.config.detection_delay();
+        let jitter = self.config.detection_jitter.as_micros();
+        if jitter > 0 {
+            delay = delay + VirtualDuration::from_micros(self.entropy.gen_range(jitter));
+        }
+        self.sim
+            .schedule_in(delay, JM, Msg::FailureDetected { task: id, gen, killed_at: now });
+    }
+
+    /// Crash a whole node: every live task hosted there dies at once, and
+    /// standbys hosted there lose their preloaded state and relocate (their
+    /// next activation falls back to a cold snapshot load).
+    pub fn kill_node(&mut self, node: u32) {
+        let now = self.sim.now();
+        self.metrics.event(now, format!("NODE FAILURE node {node}"));
+        self.metrics.recovery.node_crashes += 1;
+        let nodes = self.nodes.clone();
+        let lost = self.jm.standby.fail_node(node, self.config.num_nodes, now, |t| {
+            nodes.get(&t).copied().unwrap_or(0)
+        });
+        for t in lost {
+            self.metrics.event(now, format!("standby of task {t} lost with node {node}"));
+        }
+        let victims: Vec<TaskId> =
+            nodes.iter().filter(|&(_, &n)| n == node).map(|(&t, _)| t).collect();
+        for t in victims {
+            self.kill_task(t);
+        }
+    }
+
+    /// Interrupt an in-flight standby state transfer (no-op if none is in
+    /// transit); the standby reverts to empty and the next activation
+    /// cold-starts from the snapshot store.
+    pub fn interrupt_standby(&mut self, task: TaskId) {
+        let now = self.sim.now();
+        if self.jm.standby.interrupt_transfer(task, now) {
+            self.metrics.recovery.standby_interrupts += 1;
+            self.metrics
+                .event(now, format!("standby state transfer for task {task} interrupted"));
+        }
+    }
+
+    /// Node hosting `task` (placement is fixed at deploy time).
+    pub fn node_of(&self, task: TaskId) -> Option<u32> {
+        self.nodes.get(&task).copied()
+    }
+
+    /// Send a recovery-path control message from the JM, subject to the
+    /// configured control-plane chaos (loss / extra delay). Entropy is only
+    /// drawn when chaos is enabled, so default runs keep their exact
+    /// pre-chaos event sequences.
+    fn send_recovery_ctrl(&mut self, base_delay: VirtualDuration, dest: TaskId, msg: Msg) {
+        let mut delay = base_delay;
+        if self.config.ctrl_loss_prob > 0.0 && self.entropy.gen_bool(self.config.ctrl_loss_prob)
+        {
+            self.metrics.recovery.ctrl_dropped += 1;
+            return;
+        }
+        if self.config.ctrl_delay_prob > 0.0
+            && self.config.ctrl_max_delay > VirtualDuration::ZERO
+            && self.entropy.gen_bool(self.config.ctrl_delay_prob)
+        {
+            self.metrics.recovery.ctrl_delayed += 1;
+            delay = delay
+                + VirtualDuration::from_micros(
+                    self.entropy.gen_range(self.config.ctrl_max_delay.as_micros().max(1)),
+                );
+        }
+        self.sim.schedule_in(delay, dest, msg);
     }
 
     /// Drive the simulation until virtual time `until` (or event exhaustion).
@@ -283,11 +364,19 @@ impl Cluster {
         match msg {
             Msg::CheckpointTick => self.jm_checkpoint_tick(),
             Msg::CheckpointAck { task, id, snapshot } => self.jm_ack(task, id, snapshot),
-            Msg::FailureDetected { task } => self.jm_failure(task),
+            Msg::FailureDetected { task, gen, killed_at } => {
+                self.jm_failure(task, gen, killed_at)
+            }
             Msg::InstallRecovery { task } => self.jm_install(task),
-            Msg::LogResponse { origin, from, resp } => self.jm_log_response(origin, from, resp),
+            Msg::GatherTimeout { task, attempt } => self.jm_gather_timeout(task, attempt),
+            Msg::RecoveryWatchdog { task, gen } => self.jm_recovery_watchdog(task, gen),
+            Msg::LogResponse { origin, from, gather_id, resp } => {
+                self.jm_log_response(origin, from, gather_id, resp)
+            }
             Msg::RecoveryDone { task } => {
-                self.jm.recovering.remove(&task);
+                if self.jm.recovering.remove(&task) {
+                    self.metrics.recovery.recoveries_completed += 1;
+                }
                 self.jm.failed.remove(&task);
             }
             Msg::RestartAll => self.jm_restart_all(),
@@ -356,13 +445,52 @@ impl Cluster {
         }
     }
 
-    fn jm_failure(&mut self, task: TaskId) {
-        if self.jm.failed.contains(&task) || self.jm.rollback_scheduled {
+    fn jm_failure(&mut self, task: TaskId, gen: u32, killed_at: VirtualTime) {
+        let now = self.sim.now();
+        // Stale notification about an incarnation the JM already replaced
+        // (possible when detections race with an in-progress re-install).
+        if gen < self.gens.get(&task).copied().unwrap_or(0) {
             return;
         }
+        self.metrics.recovery.failures_detected += 1;
+        self.metrics.recovery.detection_latency_us_total +=
+            now.saturating_sub(killed_at).as_micros();
+        self.metrics.recovery.detection_samples += 1;
+        if !self.jm.failed.is_empty()
+            || !self.jm.recovering.is_empty()
+            || self.jm.rollback_scheduled
+        {
+            self.metrics.recovery.concurrent_failures += 1;
+        }
+        if self.jm.rollback_scheduled {
+            // A kill landed between rollback scheduling and restart. The
+            // restart rebuilds every task anyway, but the failed set must
+            // stay complete: any decision made before `RestartAll` fires
+            // (another detection, an analysis) sees a consistent picture.
+            self.jm.failed.insert(task);
+            self.metrics.event(
+                now,
+                format!("failure of task {task} during scheduled rollback: folded into restart"),
+            );
+            return;
+        }
+        let refailed = self.jm.failed.contains(&task);
         self.jm.failed.insert(task);
-        let now = self.sim.now();
-        self.metrics.event(now, format!("failure of task {task} detected"));
+        if refailed {
+            // The replacement died before its recovery finished: tear down
+            // the in-progress gather/replay bookkeeping and re-run the
+            // failure analysis over the enlarged failed set instead of
+            // dropping the notification (which would leave `recovering`
+            // non-empty forever and stall checkpointing).
+            self.jm.recovering.remove(&task);
+            self.jm.gathers.remove(&task);
+            self.metrics.event(
+                now,
+                format!("replacement for task {task} died mid-recovery: restarting recovery"),
+            );
+        } else {
+            self.metrics.event(now, format!("failure of task {task} detected"));
+        }
         // A pending determinant-log gather can no longer expect a response
         // from the newly failed task.
         let mut ready = Vec::new();
@@ -424,7 +552,9 @@ impl Cluster {
                 }
             }
         };
-        let gather = LogGather { resume_cp: cp, state, ..Default::default() };
+        self.jm.gather_seq += 1;
+        let gather =
+            LogGather { id: self.jm.gather_seq, resume_cp: cp, state, ..Default::default() };
         self.jm.gathers.insert(task, gather);
         self.sim.schedule_at(ready, JM, Msg::InstallRecovery { task });
     }
@@ -477,7 +607,18 @@ impl Cluster {
                 }
             }
         }
-        let resume_cp = self.jm.gathers.get(&task).map(|g| g.resume_cp).unwrap_or(0);
+        let (resume_cp, gather_id) = self
+            .jm
+            .gathers
+            .get(&task)
+            .map(|g| (g.resume_cp, g.id))
+            .unwrap_or((0, 0));
+        // Never-hang guarantee: whatever happens to the gather and replay
+        // below (lost requests, a survivor dying mid-response, an upstream
+        // that never serves the replay), this incarnation either reports
+        // `RecoveryDone` or the watchdog escalates to a global rollback.
+        self.sim
+            .schedule_in(self.config.recovery_timeout, JM, Msg::RecoveryWatchdog { task, gen });
         if expected.is_empty() {
             self.jm_dispatch_begin_replay(task);
         } else {
@@ -485,22 +626,96 @@ impl Cluster {
                 g.expected = expected.clone();
             }
             for t in expected {
-                self.sim.schedule_in(
+                self.send_recovery_ctrl(
                     VirtualDuration::from_micros(150),
                     t,
-                    Msg::LogRequest { origin: task, after_cp: resume_cp },
+                    Msg::LogRequest { origin: task, after_cp: resume_cp, gather_id },
                 );
             }
+            self.sim
+                .schedule_in(self.config.gather_timeout, JM, Msg::GatherTimeout { task, attempt: 0 });
         }
+    }
+
+    /// A gather round timed out: re-request the stragglers with doubled
+    /// timeout, or — once the retry budget is exhausted — escalate to a
+    /// global rollback rather than leaving the recovery hanging.
+    fn jm_gather_timeout(&mut self, task: TaskId, attempt: u32) {
+        let now = self.sim.now();
+        let (remaining, resume_cp, gather_id) = {
+            let Some(g) = self.jm.gathers.get(&task) else { return };
+            if g.attempts != attempt || g.expected.is_empty() {
+                return; // superseded or already complete
+            }
+            (g.expected.iter().copied().collect::<Vec<_>>(), g.resume_cp, g.id)
+        };
+        if attempt >= self.config.max_gather_retries {
+            self.jm.gathers.remove(&task);
+            self.metrics.recovery.escalations += 1;
+            self.metrics.event(
+                now,
+                format!(
+                    "determinant gather for task {task} incomplete after {attempt} retries \
+                     ({} stragglers): escalating to global rollback",
+                    remaining.len()
+                ),
+            );
+            self.schedule_rollback();
+            return;
+        }
+        if let Some(g) = self.jm.gathers.get_mut(&task) {
+            g.attempts = attempt + 1;
+        }
+        self.metrics.recovery.gather_retries += 1;
+        self.metrics.event(
+            now,
+            format!("gather retry {} for task {task} ({} stragglers)", attempt + 1, remaining.len()),
+        );
+        for t in remaining {
+            self.send_recovery_ctrl(
+                VirtualDuration::from_micros(150),
+                t,
+                Msg::LogRequest { origin: task, after_cp: resume_cp, gather_id },
+            );
+        }
+        let backoff =
+            VirtualDuration::from_micros(self.config.gather_timeout.as_micros() << (attempt + 1));
+        self.sim.schedule_in(backoff, JM, Msg::GatherTimeout { task, attempt: attempt + 1 });
+    }
+
+    /// The whole-recovery watchdog: a local recovery that has not reported
+    /// `RecoveryDone` within the recovery timeout (for the installed
+    /// incarnation) escalates to a global rollback.
+    fn jm_recovery_watchdog(&mut self, task: TaskId, gen: u32) {
+        if self.jm.rollback_scheduled {
+            return;
+        }
+        if self.gens.get(&task).copied().unwrap_or(0) != gen {
+            return; // a newer incarnation took over; its own watchdog is armed
+        }
+        if !self.jm.recovering.contains(&task) && !self.jm.gathers.contains_key(&task) {
+            return; // recovery completed
+        }
+        self.metrics.recovery.escalations += 1;
+        self.metrics.recovery.watchdog_escalations += 1;
+        self.metrics.event(
+            self.sim.now(),
+            format!("recovery of task {task} exceeded the recovery timeout: escalating to global rollback"),
+        );
+        self.schedule_rollback();
     }
 
     fn jm_log_response(
         &mut self,
         origin: TaskId,
         from: TaskId,
+        gather_id: u64,
         resp: clonos::recovery::LogRetrievalResponse,
     ) {
         let Some(g) = self.jm.gathers.get_mut(&origin) else { return };
+        if g.id != gather_id {
+            return; // response to a superseded gather (earlier recovery attempt)
+        }
         g.expected.remove(&from);
         g.snapshot.merge(&resp.snapshot);
         for (ch, n) in resp.received_buffers {

@@ -56,6 +56,38 @@ pub struct EngineConfig {
     /// Failure-detection delay for the global-rollback baseline (heartbeat
     /// timeout — the paper tunes Flink to 4 s interval / 6 s timeout).
     pub detection_global: VirtualDuration,
+    /// Seeded jitter bound added to the detection delay: each detection draws
+    /// uniformly from `[0, detection_jitter)` out of the cluster entropy
+    /// stream, so detection ordering varies across seeds but is reproducible
+    /// within one. Zero (the default) keeps the legacy fixed delay —
+    /// concurrent kills then produce concurrent detections, which several
+    /// multi-failure scenarios rely on; chaos plans always set it nonzero.
+    pub detection_jitter: VirtualDuration,
+    /// Determinant-log gather round timeout: if any expected survivor has not
+    /// responded within this window, the JM re-requests the stragglers
+    /// (doubling the window each retry).
+    pub gather_timeout: VirtualDuration,
+    /// Gather retry rounds before the JM gives up and escalates the recovery
+    /// to a global rollback.
+    pub max_gather_retries: u32,
+    /// Recovering-task replay-request timeout: if an upstream has not started
+    /// replaying within this window the request is re-sent (doubling each
+    /// retry; upstreams dedup by requester incarnation).
+    pub replay_request_timeout: VirtualDuration,
+    pub max_replay_request_retries: u32,
+    /// Whole-recovery watchdog: a local recovery still incomplete after this
+    /// long escalates to a global rollback (the never-hang guarantee).
+    pub recovery_timeout: VirtualDuration,
+    /// Chaos: probability that an eligible recovery control message
+    /// (LogRequest / LogResponse / ReplayRequest) is dropped in transit.
+    /// Checkpoint-coordination RPCs are exempt — they model Flink's reliable
+    /// coordinator RPC, and dropping barriers would stall alignment forever
+    /// rather than exercise recovery.
+    pub ctrl_loss_prob: f64,
+    /// Chaos: probability that an eligible recovery control message is
+    /// delayed by up to `ctrl_max_delay`.
+    pub ctrl_delay_prob: f64,
+    pub ctrl_max_delay: VirtualDuration,
     /// Baseline full-restart cost: tearing down and redeploying the whole
     /// execution graph before state restore begins.
     pub restart_delay: VirtualDuration,
@@ -83,6 +115,15 @@ impl Default for EngineConfig {
             link_jitter: VirtualDuration::from_micros(400),
             detection_local: VirtualDuration::from_millis(200),
             detection_global: VirtualDuration::from_secs(6),
+            detection_jitter: VirtualDuration::ZERO,
+            gather_timeout: VirtualDuration::from_millis(400),
+            max_gather_retries: 3,
+            replay_request_timeout: VirtualDuration::from_millis(800),
+            max_replay_request_retries: 3,
+            recovery_timeout: VirtualDuration::from_secs(20),
+            ctrl_loss_prob: 0.0,
+            ctrl_delay_prob: 0.0,
+            ctrl_max_delay: VirtualDuration::ZERO,
             restart_delay: VirtualDuration::from_secs(8),
             num_nodes: 8,
             replay_batch: 16,
@@ -123,5 +164,21 @@ mod tests {
         let b = c.with_ft(FtMode::GlobalRollback);
         assert_eq!(b.detection_delay(), VirtualDuration::from_secs(6));
         assert!(b.ft.clonos().is_none());
+    }
+
+    #[test]
+    fn chaos_defaults_off_and_retry_ladder_bounded() {
+        let c = EngineConfig::default();
+        // Control-plane chaos must be opt-in: default runs are lossless.
+        assert_eq!(c.ctrl_loss_prob, 0.0);
+        assert_eq!(c.ctrl_delay_prob, 0.0);
+        // Retry ladder must terminate well inside the recovery watchdog:
+        // worst-case gather time = sum of timeout * 2^i over all rounds.
+        let worst_gather: u64 = (0..=c.max_gather_retries)
+            .map(|i| c.gather_timeout.as_micros() << i)
+            .sum();
+        assert!(worst_gather < c.recovery_timeout.as_micros());
+        // Jitter is opt-in too: zero keeps concurrent detections concurrent.
+        assert_eq!(c.detection_jitter, VirtualDuration::ZERO);
     }
 }

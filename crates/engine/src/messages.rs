@@ -47,15 +47,30 @@ pub enum Msg {
     // ----- failure & recovery -----
     /// Cluster → task: die now (failure injection).
     Kill,
-    /// → JM: a task failure was detected.
-    FailureDetected { task: TaskId },
+    /// → JM: a task failure was detected. `gen` is the incarnation that died
+    /// (the JM discards stale notifications about already-replaced
+    /// incarnations); `killed_at` is the actual failure instant, for
+    /// detection-latency accounting.
+    FailureDetected { task: TaskId, gen: u32, killed_at: clonos_sim::VirtualTime },
     /// JM self-message: a standby/replacement for `task` is ready to install.
     InstallRecovery { task: TaskId },
+    /// JM self-message: the gather round `attempt` for `task` timed out —
+    /// re-request stragglers or escalate.
+    GatherTimeout { task: TaskId, attempt: u32 },
+    /// JM self-message: a local recovery of `task` (incarnation `gen`) has
+    /// run longer than the recovery timeout — escalate to global rollback.
+    RecoveryWatchdog { task: TaskId, gen: u32 },
+    /// Recovering-task self-message: check whether upstream replay started;
+    /// re-send `ReplayRequest`s if not.
+    ReplayRetryTick { attempt: u32 },
     /// JM → surviving task: report your replica of `origin`'s determinant
     /// logs and your received-buffer counts for epochs after `after_cp`.
-    LogRequest { origin: TaskId, after_cp: u64 },
+    /// `gather_id` identifies the gather round; survivors echo it so the JM
+    /// can discard responses to a superseded gather (requests are re-sent on
+    /// timeout, and a recovery attempt can itself be superseded).
+    LogRequest { origin: TaskId, after_cp: u64, gather_id: u64 },
     /// Survivor → JM.
-    LogResponse { origin: TaskId, from: TaskId, resp: LogRetrievalResponse },
+    LogResponse { origin: TaskId, from: TaskId, gather_id: u64, resp: LogRetrievalResponse },
     /// JM → recovering task: install the merged determinant snapshot and
     /// start replaying. `skip` carries per-output-channel already-received
     /// buffer counts (sender-side dedup, step 6).

@@ -29,6 +29,53 @@ pub struct RoutingStats {
     pub record_clones: u64,
 }
 
+/// Robustness counters for the failure/recovery machinery: how often the
+/// retry ladders fired, how often recovery escalated to a global rollback,
+/// and how overlapped the failures were. Surfaced through `RunReport` so
+/// chaos sweeps can assert on protocol behaviour, not just output bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Failure notifications the JM acted on (stale-generation ones excluded).
+    pub failures_detected: u64,
+    /// Failures that arrived while another failure was still being handled
+    /// (non-empty failed set, active recovery, or scheduled rollback).
+    pub concurrent_failures: u64,
+    /// Whole-node crash events injected.
+    pub node_crashes: u64,
+    /// Standby state-transfer interruptions injected.
+    pub standby_interrupts: u64,
+    /// Determinant-log gather rounds re-sent after a timeout.
+    pub gather_retries: u64,
+    /// Upstream replay requests re-sent by recovering tasks after a timeout.
+    pub replay_request_retries: u64,
+    /// Recoveries that gave up (gather exhausted / watchdog fired) and
+    /// escalated to a global rollback.
+    pub escalations: u64,
+    /// Subset of `escalations` triggered by the whole-recovery watchdog.
+    pub watchdog_escalations: u64,
+    /// Recovery control messages dropped by injected control-plane chaos.
+    pub ctrl_dropped: u64,
+    /// Recovery control messages delayed by injected control-plane chaos.
+    pub ctrl_delayed: u64,
+    /// Local (Clonos) recoveries that ran to completion.
+    pub recoveries_completed: u64,
+    /// Sum of kill→detection latencies, for averaging.
+    pub detection_latency_us_total: u64,
+    pub detection_samples: u64,
+}
+
+impl RecoveryStats {
+    /// Mean failure-detection latency over the run, if any failure occurred.
+    pub fn mean_detection_latency(&self) -> Option<VirtualDuration> {
+        if self.detection_samples == 0 {
+            return None;
+        }
+        Some(VirtualDuration::from_micros(
+            self.detection_latency_us_total / self.detection_samples,
+        ))
+    }
+}
+
 /// Collected during a run by sinks and the job manager.
 #[derive(Debug)]
 pub struct JobMetrics {
@@ -43,6 +90,8 @@ pub struct JobMetrics {
     pub records_out: u64,
     /// Records ingested at sources.
     pub records_in: u64,
+    /// Failure/recovery robustness counters.
+    pub recovery: RecoveryStats,
 }
 
 impl JobMetrics {
@@ -54,6 +103,7 @@ impl JobMetrics {
             events: Vec::new(),
             records_out: 0,
             records_in: 0,
+            recovery: RecoveryStats::default(),
         }
     }
 

@@ -8,13 +8,25 @@ use crate::graph::{JobGraph, VertexKind};
 use crate::record::{Record, Row};
 use crate::task::{effective_sink_records, SinkMeta};
 use clonos::TaskId;
+use clonos_sim::chaos::{ChaosEvent, ChaosPlan};
 use clonos_sim::{VirtualDuration, VirtualTime};
 use std::collections::BTreeMap;
 
-/// Failure injection plan: kills at given instants.
+/// One injectable fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Kill whatever incarnation of the task is live at that instant.
+    KillTask(TaskId),
+    /// Crash a node: co-located tasks and standbys die together.
+    KillNode(u32),
+    /// Interrupt an in-flight standby state transfer for the task.
+    InterruptStandby(TaskId),
+}
+
+/// Failure injection plan: faults at given instants.
 #[derive(Clone, Debug, Default)]
 pub struct FailurePlan {
-    pub kills: Vec<(VirtualTime, TaskId)>,
+    pub faults: Vec<(VirtualTime, Fault)>,
 }
 
 impl FailurePlan {
@@ -23,8 +35,34 @@ impl FailurePlan {
     }
 
     pub fn kill_at(mut self, at: VirtualTime, task: TaskId) -> FailurePlan {
-        self.kills.push((at, task));
+        self.faults.push((at, Fault::KillTask(task)));
         self
+    }
+
+    pub fn node_crash_at(mut self, at: VirtualTime, node: u32) -> FailurePlan {
+        self.faults.push((at, Fault::KillNode(node)));
+        self
+    }
+
+    pub fn interrupt_standby_at(mut self, at: VirtualTime, task: TaskId) -> FailurePlan {
+        self.faults.push((at, Fault::InterruptStandby(task)));
+        self
+    }
+
+    /// Translate a generated chaos scenario's discrete injections into a
+    /// plan (the plan's control-plane knobs are applied separately by
+    /// [`JobRunner::with_chaos`]).
+    pub fn from_chaos(plan: &ChaosPlan) -> FailurePlan {
+        let mut fp = FailurePlan::none();
+        for inj in &plan.injections {
+            let fault = match inj.event {
+                ChaosEvent::KillTask(t) => Fault::KillTask(t),
+                ChaosEvent::KillNode(n) => Fault::KillNode(n),
+                ChaosEvent::InterruptStandby(t) => Fault::InterruptStandby(t),
+            };
+            fp.faults.push((inj.at, fault));
+        }
+        fp
     }
 }
 
@@ -51,6 +89,9 @@ pub struct RunReport {
     pub inflight_stats: clonos::inflight::InFlightStats,
     pub determinant_bytes: u64,
     pub last_completed_checkpoint: u64,
+    /// Failure/recovery robustness counters (retries, escalations,
+    /// concurrent failures, detection latency).
+    pub recovery_stats: crate::metrics::RecoveryStats,
     /// Host wall-clock seconds spent driving the simulation (the Figure-5
     /// overhead metric: causal logging is real CPU work here).
     pub wall_seconds: f64,
@@ -178,6 +219,20 @@ impl JobRunner {
         self
     }
 
+    /// Apply a generated chaos scenario: its discrete injections become the
+    /// failure plan, and its control-plane knobs (message loss/delay,
+    /// detection jitter) are written into the cluster config. Must be called
+    /// before `run_for` (the knobs are read at event-dispatch time, but a
+    /// consistent run needs them fixed from the start).
+    pub fn with_chaos(mut self, chaos: &ChaosPlan) -> JobRunner {
+        self.plan = FailurePlan::from_chaos(chaos);
+        self.cluster.config.ctrl_loss_prob = chaos.ctrl_loss_prob;
+        self.cluster.config.ctrl_delay_prob = chaos.ctrl_delay_prob;
+        self.cluster.config.ctrl_max_delay = chaos.ctrl_max_delay;
+        self.cluster.config.detection_jitter = chaos.detection_jitter;
+        self
+    }
+
     /// Append pre-generated rows to an input topic partition.
     pub fn populate(&mut self, topic: &str, partition: usize, rows: impl IntoIterator<Item = Row>) {
         let log = self
@@ -194,14 +249,18 @@ impl JobRunner {
     pub fn run_for(mut self, duration: VirtualDuration) -> RunReport {
         let wall_start = std::time::Instant::now();
         let end = VirtualTime::ZERO + duration;
-        let mut kills = self.plan.kills.clone();
-        kills.sort_by_key(|&(t, _)| t);
-        for (at, task) in kills {
+        let mut faults = self.plan.faults.clone();
+        faults.sort_by_key(|&(t, _)| t);
+        for (at, fault) in faults {
             if at > end {
                 break;
             }
             self.cluster.run_until(at);
-            self.cluster.kill_task(task);
+            match fault {
+                Fault::KillTask(task) => self.cluster.kill_task(task),
+                Fault::KillNode(node) => self.cluster.kill_node(node),
+                Fault::InterruptStandby(task) => self.cluster.interrupt_standby(task),
+            }
         }
         self.cluster.run_until(end);
         let wall_seconds = wall_start.elapsed().as_secs_f64();
@@ -252,6 +311,7 @@ impl JobRunner {
             inflight_stats: self.cluster.inflight_stats(),
             determinant_bytes: self.cluster.total_determinant_bytes(),
             last_completed_checkpoint: self.cluster.last_completed_checkpoint(),
+            recovery_stats: self.cluster.metrics.recovery,
             wall_seconds,
         }
     }

@@ -78,6 +78,31 @@ impl<'a> TaskCtx<'a> {
     pub fn send_ctrl(&mut self, to: TaskId, msg: Msg) {
         self.sim.schedule_in(VirtualDuration::from_micros(100), to, msg);
     }
+
+    /// Send a recovery-path control message (LogResponse / ReplayRequest),
+    /// subject to the configured control-plane chaos: the message may be
+    /// dropped or delayed. Senders own the retry; receivers dedup. Entropy
+    /// is only drawn when chaos is enabled, so default runs keep their exact
+    /// pre-chaos event sequences.
+    pub fn send_recovery_ctrl(&mut self, to: TaskId, msg: Msg) {
+        let mut delay = VirtualDuration::from_micros(100);
+        if self.config.ctrl_loss_prob > 0.0 && self.entropy.gen_bool(self.config.ctrl_loss_prob)
+        {
+            self.metrics.recovery.ctrl_dropped += 1;
+            return;
+        }
+        if self.config.ctrl_delay_prob > 0.0
+            && self.config.ctrl_max_delay > VirtualDuration::ZERO
+            && self.entropy.gen_bool(self.config.ctrl_delay_prob)
+        {
+            self.metrics.recovery.ctrl_delayed += 1;
+            delay = delay
+                + VirtualDuration::from_micros(
+                    self.entropy.gen_range(self.config.ctrl_max_delay.as_micros().max(1)),
+                );
+        }
+        self.sim.schedule_in(delay, to, msg);
+    }
 }
 
 /// Serialized per-task checkpoint payload.
@@ -188,6 +213,18 @@ struct OutChannel {
     /// False while pumping: fresh flushes are logged but not sent directly.
     live: bool,
     rr: u64,
+    /// Downstream incarnation whose replay request was already served on
+    /// this channel. Recovering tasks re-send `ReplayRequest` on a timeout
+    /// (the original may have been dropped by control-plane chaos); serving
+    /// a duplicate would re-deliver the whole in-flight log.
+    served_replay_gen: Option<u32>,
+    /// Buffers delivered to the *current* `dest_gen` incarnation. A replay
+    /// request from an incarnation this channel has already been streaming
+    /// to live is stale — the channel is reliable FIFO, so that incarnation
+    /// has missed nothing — and serving it would re-deliver every buffer
+    /// sent since it resumed (seen when a chaos-delayed `ReplayRequest`
+    /// lands after a global restart has already resumed live traffic).
+    sent_to_gen: u64,
 }
 
 /// Whether the task participates in in-flight logging / causal logging.
@@ -225,6 +262,8 @@ pub struct Task {
     skip: Vec<u64>,
     /// Set once BeginReplay installed; false again when replay drains.
     installed: bool,
+    /// First epoch of the current replay; re-sent verbatim by retry ticks.
+    replay_from_epoch: EpochId,
     pub dead: bool,
     buffer_size: usize,
     /// Scratch encoder for the routing fast path: a routed record is
@@ -321,6 +360,8 @@ impl Task {
                 pump: None,
                 live: true,
                 rr: 0,
+                served_replay_gen: None,
+                sent_to_gen: 0,
             })
             .collect();
         let inflight = flags
@@ -350,6 +391,7 @@ impl Task {
             flags,
             skip: vec![0; num_outs],
             installed: true,
+            replay_from_epoch: 1,
             dead: false,
             buffer_size: config.buffer_size,
             route_scratch: ByteWriter::new(),
@@ -366,6 +408,7 @@ impl Task {
         }
         for o in &mut self.outs {
             o.dest_gen = gen_of(o.to);
+            o.sent_to_gen = 0;
         }
     }
 
@@ -467,12 +510,18 @@ impl Task {
                 self.dead = true;
                 Ok(())
             }
-            Msg::LogRequest { origin, after_cp } => self.on_log_request(origin, after_cp, ctx),
+            Msg::LogRequest { origin, after_cp, gather_id } => {
+                self.on_log_request(origin, after_cp, gather_id, ctx)
+            }
             Msg::BeginReplay { snapshot, skip, resume_cp, state, rebuild_sink_dedup } => {
                 self.on_begin_replay(snapshot, skip, resume_cp, state, rebuild_sink_dedup, ctx)
             }
             Msg::ReplayRequest { from_task, dest_in, dest_gen, from_epoch } => {
                 self.on_replay_request(from_task, dest_in, dest_gen, from_epoch, ctx)
+            }
+            Msg::ReplayRetryTick { attempt } => {
+                self.on_replay_retry_tick(attempt, ctx);
+                Ok(())
             }
             Msg::ReplayPump { channel } => self.on_replay_pump(channel, ctx),
             Msg::ChannelReset { from, new_gen } => {
@@ -964,6 +1013,7 @@ impl Task {
             self.skip[out_idx] -= 1;
         }
         if oc.live && !suppress {
+            oc.sent_to_gen += 1;
             let msg = Msg::Data {
                 from: self.spec.id,
                 channel: oc.dest_in,
@@ -1349,11 +1399,15 @@ impl Task {
     // Recovery protocol
     // ------------------------------------------------------------------
 
-    /// Step 3 (survivor side): export the replica + received counts.
+    /// Step 3 (survivor side): export the replica + received counts. The
+    /// export is a pure read, so answering a re-sent (duplicate) request is
+    /// harmless — the JM merges responses idempotently and drops responses
+    /// carrying a stale `gather_id`.
     fn on_log_request(
         &mut self,
         origin: TaskId,
         after_cp: u64,
+        gather_id: u64,
         ctx: &mut TaskCtx<'_>,
     ) -> Result<(), EngineError> {
         let snapshot = self.log.export_replica(origin).unwrap_or_default();
@@ -1368,11 +1422,12 @@ impl Task {
                 (i as ChannelId, count)
             })
             .collect();
-        ctx.send_ctrl(
+        ctx.send_recovery_ctrl(
             0,
             Msg::LogResponse {
                 origin,
                 from: self.spec.id,
+                gather_id,
                 resp: LogRetrievalResponse {
                     snapshot,
                     received_buffers,
@@ -1438,15 +1493,27 @@ impl Task {
             }
         }
         self.installed = true;
-        // Step 4: ask upstream tasks to replay their in-flight logs.
+        self.replay_from_epoch = resume_cp + 1;
+        // Step 4: ask upstream tasks to replay their in-flight logs. The
+        // requests travel over the chaos-subject control plane; a retry tick
+        // re-sends them if replay has not finished by then (upstreams dedup
+        // by requester incarnation, so duplicates are no-ops).
         let me = self.spec.id;
         let gen = self.gen;
         let ups: Vec<(TaskId, ChannelId)> =
             self.ins.iter().enumerate().map(|(i, c)| (c.from, i as ChannelId)).collect();
+        let has_upstreams = !ups.is_empty();
         for (up, dest_in) in ups {
-            ctx.send_ctrl(
+            ctx.send_recovery_ctrl(
                 up,
                 Msg::ReplayRequest { from_task: me, dest_in, dest_gen: gen, from_epoch: resume_cp + 1 },
+            );
+        }
+        if has_upstreams {
+            ctx.sim.schedule_in(
+                ctx.config.replay_request_timeout,
+                me,
+                Msg::ReplayRetryTick { attempt: 0 },
             );
         }
         // Kick timers/polls/flushes for the new incarnation.
@@ -1457,6 +1524,36 @@ impl Task {
             self.finish_recovery(ctx);
         }
         Ok(())
+    }
+
+    /// Replay still not drained when the retry timer fired: the original
+    /// `ReplayRequest`s may have been lost. Re-send them all (upstreams dedup
+    /// by incarnation) with doubled timeouts, up to the retry budget; past
+    /// that, the JM's recovery watchdog owns escalation.
+    fn on_replay_retry_tick(&mut self, attempt: u32, ctx: &mut TaskCtx<'_>) {
+        if !self.installed || attempt >= ctx.config.max_replay_request_retries {
+            return;
+        }
+        let me = self.spec.id;
+        let gen = self.gen;
+        let from_epoch = self.replay_from_epoch;
+        ctx.metrics.recovery.replay_request_retries += 1;
+        ctx.metrics.event(
+            ctx.sim.now(),
+            format!("task {me} replay retry {} (re-requesting upstream replay)", attempt + 1),
+        );
+        let ups: Vec<(TaskId, ChannelId)> =
+            self.ins.iter().enumerate().map(|(i, c)| (c.from, i as ChannelId)).collect();
+        for (up, dest_in) in ups {
+            ctx.send_recovery_ctrl(
+                up,
+                Msg::ReplayRequest { from_task: me, dest_in, dest_gen: gen, from_epoch },
+            );
+        }
+        let backoff = VirtualDuration::from_micros(
+            ctx.config.replay_request_timeout.as_micros() << (attempt + 1),
+        );
+        ctx.sim.schedule_in(backoff, me, Msg::ReplayRetryTick { attempt: attempt + 1 });
     }
 
     fn finish_recovery(&mut self, ctx: &mut TaskCtx<'_>) {
@@ -1497,7 +1594,22 @@ impl Task {
                 "replay request for unknown channel to task {from_task}"
             )));
         };
+        if self.outs[idx].served_replay_gen == Some(dest_gen) {
+            return Ok(()); // duplicate of a request already being served
+        }
+        if self.outs[idx].dest_gen == dest_gen && self.outs[idx].sent_to_gen > 0 {
+            // Stale request: this channel has already been streaming live to
+            // the requesting incarnation, so (reliable FIFO) it has missed
+            // nothing — replaying the in-flight log now would re-deliver
+            // every buffer sent since it resumed. Happens when a chaos-
+            // delayed `ReplayRequest` from a global restart arrives after
+            // live traffic has resumed.
+            self.outs[idx].served_replay_gen = Some(dest_gen);
+            return Ok(());
+        }
+        self.outs[idx].served_replay_gen = Some(dest_gen);
         self.outs[idx].dest_gen = dest_gen;
+        self.outs[idx].sent_to_gen = 0;
         match &self.inflight {
             Some(inflight) => {
                 let cursor = inflight.open_replay(idx as ChannelId, from_epoch);
@@ -1527,6 +1639,7 @@ impl Task {
             match inflight.replay_next(&mut cursor, &mut self.spill) {
                 Some((buffer, _io)) => {
                     self.outs[idx].pump = Some(cursor);
+                    self.outs[idx].sent_to_gen += 1;
                     let oc = &self.outs[idx];
                     let msg = Msg::Data {
                         from: me,

@@ -1,9 +1,19 @@
-//! Shared helpers for the workspace-level integration tests and examples.
+//! Shared helpers for the workspace-level integration tests and examples,
+//! including the chaos-sweep exactly-once oracle: a deterministic keyed
+//! pipeline whose per-key sink output under any exactly-once run must be a
+//! byte-identical prefix of a failure-free reference execution.
 
 use clonos::config::{ClonosConfig, SharingDepth};
-use clonos_engine::{EngineConfig, FailurePlan, FtMode, JobRunner, RunReport};
+use clonos_engine::operator::OpCtx;
+use clonos_engine::operators::ProcessOp;
+use clonos_engine::{
+    factory, Datum, EngineConfig, FailurePlan, FtMode, JobGraph, JobRunner, Partitioning, Record,
+    Row, RunReport, SinkSpec, SourceSpec,
+};
 use clonos_nexmark::{build_query, populate_topics, GeneratorConfig, QueryId};
+use clonos_sim::chaos::{ChaosPlan, ChaosSpace};
 use clonos_sim::{VirtualDuration, VirtualTime};
+use std::collections::BTreeMap;
 
 /// Run one Nexmark query under the given fault-tolerance mode, optionally
 /// killing tasks, and return the report.
@@ -43,4 +53,180 @@ pub fn assert_exactly_once(report: &RunReport, label: &str) {
     assert!(dups.is_empty(), "{label}: duplicate idents at sink: {dups:?}");
     let gaps = report.ident_gaps();
     assert!(gaps.is_empty(), "{label}: lost records: {gaps:?}");
+}
+
+/// Clonos exactly-once at DSD 1, but on an orphan-producing failure set the
+/// job trades consistency for availability (§5.4 last paragraph): orphans
+/// continue at-least-once instead of forcing a global rollback. Duplicates
+/// are permitted in this mode; losses are not.
+pub fn at_least_once_orphan() -> FtMode {
+    let mut c = ClonosConfig::exactly_once(SharingDepth::Depth(1));
+    c.prefer_availability_on_orphans = true;
+    FtMode::Clonos(c)
+}
+
+// ---------------------------------------------------------------------------
+// Chaos oracle
+// ---------------------------------------------------------------------------
+
+/// Distinct key values in the oracle input. Even and divisible by the oracle
+/// parallelism so every key lives in exactly one source partition — per-key
+/// arrival order at each stage is then fully determined by the input, not by
+/// cross-partition interleaving.
+pub const ORACLE_KEYS: i64 = 48;
+/// Per-source-subtask ingest rate (records/s).
+pub const ORACLE_RATE: u64 = 1_000;
+/// Oracle job parallelism per stage.
+pub const ORACLE_PARALLELISM: usize = 2;
+/// Cluster nodes for oracle runs — small enough that a node crash takes out
+/// co-located tasks (8 tasks over 4 nodes).
+pub const ORACLE_NODES: u32 = 4;
+/// Virtual seconds the oracle run covers; input spans the first 18 s.
+pub const ORACLE_SECS: u64 = 30;
+
+const ORACLE_INPUT_SECS: i64 = 18;
+
+/// Fold a row into a running per-key checksum (FNV-1a over canonical bytes).
+/// Chained across stages, the value emitted at the sink fingerprints the
+/// entire per-key record history — any duplicate, loss, or reorder anywhere
+/// upstream changes every subsequent checksum.
+pub fn fold_checksum(prev: i64, row: &Row) -> i64 {
+    let mut h = (prev as u64) ^ 0xcbf2_9ce4_8422_2325;
+    for b in row.to_bytes().iter() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h as i64
+}
+
+/// One oracle stage: per-key count + running checksum over the input row,
+/// emitting `[key, count, checksum]`. The emitted values are pure functions
+/// of the per-key input sequence; the discarded `ctx.timestamp()` read keeps
+/// the stage nondeterministic from the recovery protocol's point of view, so
+/// replay correctness is actually exercised.
+fn oracle_stage() -> clonos_engine::operator::OperatorFactory {
+    factory(|| {
+        ProcessOp::new(|_i, rec: &Record, ctx: &mut OpCtx<'_>| {
+            let key = rec.row.int(0);
+            let (n, cs) =
+                ctx.state.value(0, rec.key).map(|r| (r.int(0), r.int(1))).unwrap_or((0, 0));
+            let n = n + 1;
+            let cs = fold_checksum(cs, &rec.row);
+            ctx.state.set_value(0, rec.key, Row::new(vec![Datum::Int(n), Datum::Int(cs)]));
+            let _ = ctx.timestamp()?;
+            ctx.emit(
+                rec.key,
+                rec.event_time,
+                Row::new(vec![Datum::Int(key), Datum::Int(n), Datum::Int(cs)]),
+            );
+            Ok(())
+        })
+    })
+}
+
+/// Depth-4 chain (source → a → b → sink) of oracle stages. With the default
+/// `ORACLE_PARALLELISM` of 2 the task ids are: JM 0, src 1-2, a 3-4, b 5-6,
+/// sink 7-8.
+pub fn oracle_job(parallelism: usize) -> JobGraph {
+    let mut g = JobGraph::new("chaos-oracle");
+    let src = g.add_source(
+        "src",
+        parallelism,
+        SourceSpec::new("in").rate(ORACLE_RATE).key_field(0),
+    );
+    let a = g.add_operator("a", parallelism, oracle_stage());
+    let b = g.add_operator("b", parallelism, oracle_stage());
+    let snk = g.add_sink("sink", parallelism, SinkSpec { topic: "out".into() });
+    g.connect(src, a, Partitioning::Hash);
+    g.connect(a, b, Partitioning::Hash);
+    g.connect(b, snk, Partitioning::Hash);
+    g
+}
+
+/// The chaos sampling domain matching [`oracle_job`] at the default scale.
+pub fn oracle_space() -> ChaosSpace {
+    ChaosSpace {
+        tasks: (1..=(4 * ORACLE_PARALLELISM as u64)).collect(),
+        num_nodes: ORACLE_NODES,
+        horizon: VirtualDuration::from_secs(ORACLE_SECS),
+        // The first checkpoint completes at ~5 s; injecting only after 6 s
+        // guarantees every mode has a committed prefix to recover from.
+        warmup: VirtualDuration::from_secs(6),
+        cooldown: VirtualDuration::from_secs(8),
+        checkpoint_interval: VirtualDuration::from_secs(5),
+        max_events: 3,
+    }
+}
+
+/// Run the oracle job under `ft` with an optional chaos plan applied.
+pub fn run_oracle(ft: FtMode, seed: u64, chaos: Option<&ChaosPlan>) -> RunReport {
+    let parallelism = ORACLE_PARALLELISM;
+    let mut cfg = EngineConfig::default().with_seed(seed).with_ft(ft);
+    cfg.num_nodes = ORACLE_NODES;
+    let mut runner = JobRunner::new(oracle_job(parallelism), cfg);
+    let n = ORACLE_RATE as i64 * parallelism as i64 * ORACLE_INPUT_SECS;
+    let rows: Vec<Row> =
+        (0..n).map(|i| Row::new(vec![Datum::Int(i % ORACLE_KEYS), Datum::Int(i)])).collect();
+    for p in 0..parallelism {
+        let slice: Vec<Row> = rows.iter().skip(p).step_by(parallelism).cloned().collect();
+        runner.populate("in", p, slice);
+    }
+    if let Some(plan) = chaos {
+        runner = runner.with_chaos(plan);
+    }
+    runner.run_for(VirtualDuration::from_secs(ORACLE_SECS))
+}
+
+/// Committed sink rows grouped by key, in per-key commit order.
+pub fn per_key_rows(report: &RunReport) -> BTreeMap<i64, Vec<bytes::Bytes>> {
+    let mut m: BTreeMap<i64, Vec<bytes::Bytes>> = BTreeMap::new();
+    for (_, _, rec) in &report.sink_output {
+        m.entry(rec.row.int(0)).or_default().push(rec.row.to_bytes());
+    }
+    m
+}
+
+/// The failure-free reference execution every chaos run is compared against.
+pub struct OracleReference {
+    pub per_key: BTreeMap<i64, Vec<bytes::Bytes>>,
+    pub total: u64,
+}
+
+/// Produce the reference by running the oracle job with fault tolerance (and
+/// chaos) disabled and draining the input completely. Reference content is
+/// seed-independent: per-key sink rows depend only on per-key input order,
+/// which the input layout pins down.
+pub fn oracle_reference() -> OracleReference {
+    let report = run_oracle(FtMode::None, 1, None);
+    let expected = (ORACLE_RATE as i64 * ORACLE_PARALLELISM as i64 * ORACLE_INPUT_SECS) as u64;
+    assert_eq!(
+        report.records_out, expected,
+        "reference run did not drain its input — widen the horizon"
+    );
+    OracleReference { per_key: per_key_rows(&report), total: report.records_out }
+}
+
+/// The exactly-once content oracle: every per-key output sequence of the
+/// chaos run must be a byte-identical prefix of the reference run's. A
+/// duplicate shows up as a repeated count, a loss as a checksum mismatch on
+/// every later record, a replay divergence as a different byte sequence.
+pub fn assert_matches_reference(report: &RunReport, reference: &OracleReference, label: &str) {
+    let got = per_key_rows(report);
+    for (key, rows) in &got {
+        let expect = reference.per_key.get(key).unwrap_or_else(|| {
+            panic!("{label}: sink emitted unknown key {key}");
+        });
+        assert!(
+            rows.len() <= expect.len(),
+            "{label}: key {key} produced {} rows, reference only {}",
+            rows.len(),
+            expect.len()
+        );
+        for (i, (g, e)) in rows.iter().zip(expect.iter()).enumerate() {
+            assert_eq!(
+                g, e,
+                "{label}: key {key} record {i} diverges from the reference execution"
+            );
+        }
+    }
 }

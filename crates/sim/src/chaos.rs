@@ -1,0 +1,285 @@
+//! Seeded chaos-plan generation: randomized failure scenarios sampled from a
+//! single seed, FoundationDB-style.
+//!
+//! A [`ChaosPlan`] is a pure function of `(seed, space)`: the same seed over
+//! the same [`ChaosSpace`] always yields the same injections and the same
+//! control-plane chaos knobs, so every divergence a sweep finds reproduces
+//! from its seed alone. The plan speaks only the simulator's vocabulary
+//! (actor ids, node indices, virtual times); the embedding engine maps the
+//! events onto its own task/standby/control-plane machinery.
+//!
+//! The generator deliberately over-samples the scenarios the Clonos paper
+//! (§5.3–§5.5) claims to survive and single-kill plans never exercise:
+//! concurrent kills of connected tasks, a *follow-up* kill landing while the
+//! first recovery is still in progress, node crashes that take out co-located
+//! tasks and standbys together, kills aligned with checkpoint barriers, and
+//! interrupted standby state transfers.
+
+use crate::rng::SimRng;
+use crate::time::{VirtualDuration, VirtualTime};
+
+/// Address of a simulated entity (mirror of [`crate::events::ActorId`]).
+pub type ActorId = u64;
+
+/// One discrete chaos injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Kill one task process (whatever incarnation is live at that instant —
+    /// a kill landing mid-recovery kills the replacement).
+    KillTask(ActorId),
+    /// Crash a whole node: every co-located task *and* every standby hosted
+    /// there dies at once.
+    KillNode(u32),
+    /// Interrupt an in-flight standby state transfer for this task: the
+    /// standby's preloaded state is lost and the next activation must
+    /// cold-start from the snapshot store.
+    InterruptStandby(ActorId),
+}
+
+/// A timed injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosInjection {
+    pub at: VirtualTime,
+    pub event: ChaosEvent,
+}
+
+/// The sampling domain for a chaos plan.
+#[derive(Clone, Debug)]
+pub struct ChaosSpace {
+    /// Killable task ids.
+    pub tasks: Vec<ActorId>,
+    /// Number of cluster nodes (node indices are `0..num_nodes`).
+    pub num_nodes: u32,
+    /// Run horizon; injections land in `[warmup, horizon - cooldown]`.
+    pub horizon: VirtualDuration,
+    /// No injection before this instant (let the job reach steady state and
+    /// complete a checkpoint first).
+    pub warmup: VirtualDuration,
+    /// No injection after `horizon - cooldown` (leave time to recover so the
+    /// output oracle sees a drained pipeline).
+    pub cooldown: VirtualDuration,
+    /// Checkpoint interval of the run, used to align some kills with barrier
+    /// propagation (failures during alignment are a distinct scenario class).
+    pub checkpoint_interval: VirtualDuration,
+    /// Upper bound on discrete injections per plan (at least 1 is generated).
+    pub max_events: usize,
+}
+
+/// A complete, reproducible chaos scenario: discrete injections plus the
+/// control-plane degradation knobs the run should apply.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosPlan {
+    /// Time-sorted injections.
+    pub injections: Vec<ChaosInjection>,
+    /// Probability that an eligible recovery control message is dropped.
+    pub ctrl_loss_prob: f64,
+    /// Probability that an eligible recovery control message is delayed.
+    pub ctrl_delay_prob: f64,
+    /// Maximum extra delay applied to a delayed control message.
+    pub ctrl_max_delay: VirtualDuration,
+    /// Seeded jitter bound added to the failure-detection delay.
+    pub detection_jitter: VirtualDuration,
+}
+
+impl ChaosPlan {
+    /// Sample a plan from a single seed. Deterministic: same `(seed, space)`
+    /// in, same plan out.
+    pub fn generate(seed: u64, space: &ChaosSpace) -> ChaosPlan {
+        assert!(!space.tasks.is_empty(), "chaos space needs at least one task");
+        let mut rng = SimRng::new(seed).fork(0xCA05);
+        let lo = space.warmup.as_micros();
+        let hi = space
+            .horizon
+            .as_micros()
+            .saturating_sub(space.cooldown.as_micros())
+            .max(lo + 1);
+        let n = 1 + rng.gen_range(space.max_events.max(1) as u64) as usize;
+        let mut injections: Vec<ChaosInjection> = Vec::with_capacity(n + 2);
+
+        for _ in 0..n {
+            let at = VirtualTime(sample_instant(&mut rng, lo, hi, space.checkpoint_interval));
+            let roll = rng.gen_f64();
+            if roll < 0.15 && space.num_nodes > 1 {
+                injections.push(ChaosInjection {
+                    at,
+                    event: ChaosEvent::KillNode(rng.gen_range(space.num_nodes as u64) as u32),
+                });
+            } else if roll < 0.30 {
+                let t = pick(&mut rng, &space.tasks);
+                injections.push(ChaosInjection { at, event: ChaosEvent::InterruptStandby(t) });
+            } else {
+                let t = pick(&mut rng, &space.tasks);
+                injections.push(ChaosInjection { at, event: ChaosEvent::KillTask(t) });
+                // A third of kills get a companion: either a concurrent kill
+                // of another task (multi-failure) or a follow-up kill landing
+                // while the first recovery is still in flight.
+                let companion = rng.gen_f64();
+                if companion < 0.18 {
+                    let other = pick(&mut rng, &space.tasks);
+                    injections.push(ChaosInjection { at, event: ChaosEvent::KillTask(other) });
+                } else if companion < 0.34 {
+                    // 150 µs – 1.2 s later: inside detection + gather + replay
+                    // for any of the supported fault-tolerance modes.
+                    let gap = rng.gen_range_in(150, 1_200_000);
+                    injections.push(ChaosInjection {
+                        at: VirtualTime((at.as_micros() + gap).min(hi)),
+                        event: ChaosEvent::KillTask(t),
+                    });
+                }
+            }
+        }
+
+        injections.sort_by_key(|i| (i.at, event_rank(&i.event)));
+
+        // Control-plane degradation: half the plans run over a clean control
+        // plane, the rest drop/delay recovery messages at a seeded rate.
+        let (loss, delay_p) = if rng.gen_bool(0.5) {
+            (0.0, 0.0)
+        } else {
+            (rng.gen_f64() * 0.25, rng.gen_f64() * 0.35)
+        };
+        ChaosPlan {
+            injections,
+            ctrl_loss_prob: loss,
+            ctrl_delay_prob: delay_p,
+            ctrl_max_delay: VirtualDuration::from_micros(rng.gen_range_in(50_000, 600_000)),
+            detection_jitter: VirtualDuration::from_micros(rng.gen_range_in(1_000, 150_000)),
+        }
+    }
+
+    /// Number of discrete injections.
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+}
+
+/// Sample an injection instant: mostly uniform, but 30% of draws snap near a
+/// checkpoint boundary (±50 ms) to hit barrier alignment / state dispatch.
+fn sample_instant(rng: &mut SimRng, lo: u64, hi: u64, cp: VirtualDuration) -> u64 {
+    let uniform = rng.gen_range_in(lo, hi);
+    let cp_us = cp.as_micros();
+    if cp_us == 0 || rng.gen_f64() >= 0.30 {
+        return uniform;
+    }
+    let boundary = (uniform / cp_us + 1) * cp_us;
+    let near = boundary.saturating_sub(50_000) + rng.gen_range(100_000);
+    near.clamp(lo, hi - 1)
+}
+
+fn pick(rng: &mut SimRng, tasks: &[ActorId]) -> ActorId {
+    tasks[rng.gen_range(tasks.len() as u64) as usize]
+}
+
+/// Stable secondary sort key so same-instant injections order identically
+/// across runs regardless of generation order.
+fn event_rank(e: &ChaosEvent) -> (u8, u64) {
+    match *e {
+        ChaosEvent::KillNode(n) => (0, n as u64),
+        ChaosEvent::KillTask(t) => (1, t),
+        ChaosEvent::InterruptStandby(t) => (2, t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ChaosSpace {
+        ChaosSpace {
+            tasks: (1..=8).collect(),
+            num_nodes: 4,
+            horizon: VirtualDuration::from_secs(30),
+            warmup: VirtualDuration::from_secs(6),
+            cooldown: VirtualDuration::from_secs(8),
+            checkpoint_interval: VirtualDuration::from_secs(5),
+            max_events: 4,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let s = space();
+        for seed in 0..50 {
+            let a = ChaosPlan::generate(seed, &s);
+            let b = ChaosPlan::generate(seed, &s);
+            assert_eq!(a.injections, b.injections, "seed {seed}");
+            assert_eq!(a.ctrl_loss_prob, b.ctrl_loss_prob, "seed {seed}");
+            assert_eq!(a.ctrl_max_delay, b.ctrl_max_delay, "seed {seed}");
+            assert_eq!(a.detection_jitter, b.detection_jitter, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = space();
+        let plans: Vec<ChaosPlan> = (0..20).map(|i| ChaosPlan::generate(i, &s)).collect();
+        let distinct = plans
+            .iter()
+            .map(|p| format!("{:?}", p.injections))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        assert!(distinct > 15, "only {distinct}/20 distinct plans");
+    }
+
+    #[test]
+    fn injections_respect_window_and_ordering() {
+        let s = space();
+        for seed in 0..200 {
+            let p = ChaosPlan::generate(seed, &s);
+            assert!(!p.is_empty());
+            assert!(p.len() <= 2 * s.max_events, "seed {seed}: {} events", p.len());
+            let lo = s.warmup.as_micros();
+            let hi = s.horizon.as_micros() - s.cooldown.as_micros();
+            for w in p.injections.windows(2) {
+                assert!(w[0].at <= w[1].at, "seed {seed}: unsorted");
+            }
+            for i in &p.injections {
+                assert!(
+                    (lo..=hi).contains(&i.at.as_micros()),
+                    "seed {seed}: injection at {:?} outside [{lo}, {hi}]",
+                    i.at
+                );
+                if let ChaosEvent::KillNode(n) = i.event {
+                    assert!(n < s.num_nodes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_event_class() {
+        let s = space();
+        let (mut kills, mut nodes, mut standbys, mut followups, mut lossy) = (0, 0, 0, 0, 0);
+        for seed in 0..300 {
+            let p = ChaosPlan::generate(seed, &s);
+            if p.ctrl_loss_prob > 0.0 || p.ctrl_delay_prob > 0.0 {
+                lossy += 1;
+            }
+            let mut last_kill: Option<(VirtualTime, ActorId)> = None;
+            for i in &p.injections {
+                match i.event {
+                    ChaosEvent::KillTask(t) => {
+                        kills += 1;
+                        if let Some((at, prev)) = last_kill {
+                            if prev == t && i.at > at {
+                                followups += 1;
+                            }
+                        }
+                        last_kill = Some((i.at, t));
+                    }
+                    ChaosEvent::KillNode(_) => nodes += 1,
+                    ChaosEvent::InterruptStandby(_) => standbys += 1,
+                }
+            }
+        }
+        assert!(kills > 200, "kills={kills}");
+        assert!(nodes > 20, "nodes={nodes}");
+        assert!(standbys > 30, "standbys={standbys}");
+        assert!(followups > 10, "followups={followups}");
+        assert!((80..=220).contains(&lossy), "lossy={lossy}/300");
+    }
+}

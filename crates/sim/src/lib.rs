@@ -17,6 +17,7 @@
 //! engine in `clonos-engine`) owns its actors and dispatches events popped
 //! from [`Simulation::pop`].
 
+pub mod chaos;
 pub mod events;
 pub mod metrics;
 pub mod net;
@@ -24,6 +25,7 @@ pub mod rng;
 pub mod service;
 pub mod time;
 
+pub use chaos::{ChaosEvent, ChaosInjection, ChaosPlan, ChaosSpace};
 pub use events::Simulation;
 pub use metrics::{LatencyRecorder, ThroughputSeries, TimeSeries};
 pub use net::Link;

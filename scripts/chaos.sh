@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full chaos sweep: SEEDS randomized fault scenarios (task kills, node
+# crashes, interrupted standby transfers, lossy recovery control plane)
+# replayed under all three fault-tolerance modes against the exactly-once
+# oracle, in release mode.
+#
+# Usage: [SEEDS=100] scripts/chaos.sh
+#
+# Every scenario is a pure function of its seed: a failure reported here
+# reproduces with `CHAOS_SEEDS=<n> cargo test --release --test chaos_sweep`
+# (the sweep runs seeds 0..n, so pass any n greater than the failing seed).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${SEEDS:-100}"
+
+echo "== chaos sweep: ${SEEDS} seeds x 3 fault-tolerance modes =="
+CHAOS_SEEDS="$SEEDS" cargo test --release -p clonos-integration --test chaos_sweep -- --nocapture
+
+echo "== chaos sweep OK (${SEEDS} seeds) =="

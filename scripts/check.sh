@@ -13,4 +13,7 @@ cargo test -q
 echo "== lint: clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== chaos: bounded seed sweep (25 seeds x 3 modes, release) =="
+CHAOS_SEEDS=25 cargo test --release -q -p clonos-integration --test chaos_sweep
+
 echo "== OK =="

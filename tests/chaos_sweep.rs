@@ -1,0 +1,90 @@
+//! Seeded chaos sweep: randomized multi-fault scenarios (task kills, node
+//! crashes, interrupted standby transfers, lossy/laggy recovery control
+//! plane, jittered detection) replayed against the exactly-once oracle.
+//!
+//! Every scenario is a pure function of its seed, so any divergence this
+//! sweep finds reproduces with `CHAOS_SEEDS=<n>` (or by pinning the seed in
+//! a one-off test). The in-tree default keeps debug-mode test time modest;
+//! `scripts/chaos.sh` drives the full ≥100-seed sweep in release mode.
+
+use clonos_engine::FtMode;
+use clonos_integration::{
+    assert_exactly_once, assert_matches_reference, at_least_once_orphan, clonos_full,
+    oracle_reference, oracle_space, run_oracle, OracleReference,
+};
+use clonos_sim::chaos::ChaosPlan;
+use proptest::prelude::*;
+
+fn sweep_seeds() -> u64 {
+    std::env::var("CHAOS_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(6)
+}
+
+/// Exactly-once modes: no duplicate idents, no lost records, and the sink
+/// content is a byte-identical per-key prefix of the failure-free reference.
+fn sweep_exactly_once(ft: impl Fn() -> FtMode, mode: &str, reference: &OracleReference) {
+    let space = oracle_space();
+    for seed in 0..sweep_seeds() {
+        let plan = ChaosPlan::generate(seed, &space);
+        let report = run_oracle(ft(), seed, Some(&plan));
+        let label = format!("{mode} seed {seed} ({plan:?})");
+        assert!(report.records_out > 0, "{label}: no committed output");
+        assert_exactly_once(&report, &label);
+        assert_matches_reference(&report, reference, &label);
+    }
+}
+
+#[test]
+fn chaos_sweep_clonos_exactly_once() {
+    let reference = oracle_reference();
+    sweep_exactly_once(clonos_full, "clonos", &reference);
+}
+
+#[test]
+fn chaos_sweep_global_rollback_exactly_once() {
+    let reference = oracle_reference();
+    sweep_exactly_once(|| FtMode::GlobalRollback, "global-rollback", &reference);
+}
+
+#[test]
+fn chaos_sweep_at_least_once_orphan_never_loses() {
+    // The documented availability-over-consistency configuration (§5.4):
+    // orphaned tasks continue at-least-once, so duplicates are permitted —
+    // but records must never be lost, under any chaos scenario.
+    let space = oracle_space();
+    for seed in 0..sweep_seeds() {
+        let plan = ChaosPlan::generate(seed, &space);
+        let report = run_oracle(at_least_once_orphan(), seed, Some(&plan));
+        let label = format!("at-least-once-orphan seed {seed} ({plan:?})");
+        assert!(report.records_out > 0, "{label}: no committed output");
+        let gaps = report.ident_gaps();
+        assert!(gaps.is_empty(), "{label}: lost records: {gaps:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Bit-level determinism: the same seed must produce the same run, down
+    /// to every timeline event, every committed sink byte, and every
+    /// robustness counter — the property that makes chaos failures
+    /// reproducible from the seed alone. (`wall_seconds` is host time and
+    /// deliberately excluded.)
+    #[test]
+    fn same_seed_same_run(seed in 0u64..1_000) {
+        let plan = ChaosPlan::generate(seed, &oracle_space());
+        let a = run_oracle(clonos_full(), seed, Some(&plan));
+        let b = run_oracle(clonos_full(), seed, Some(&plan));
+        let timeline = |r: &clonos_engine::RunReport| -> Vec<String> {
+            r.events.iter().map(|e| format!("{:?} {}", e.at, e.what)).collect()
+        };
+        let sink = |r: &clonos_engine::RunReport| -> Vec<(u64, u64, bytes::Bytes)> {
+            r.sink_output.iter().map(|(t, m, rec)| (*t, m.ident, rec.row.to_bytes())).collect()
+        };
+        prop_assert_eq!(timeline(&a), timeline(&b), "event timelines diverge");
+        prop_assert_eq!(sink(&a), sink(&b), "sink output diverges");
+        prop_assert_eq!(a.records_in, b.records_in);
+        prop_assert_eq!(a.records_out, b.records_out);
+        prop_assert_eq!(a.recovery_stats, b.recovery_stats, "robustness counters diverge");
+        prop_assert_eq!(a.last_completed_checkpoint, b.last_completed_checkpoint);
+    }
+}
