@@ -10,6 +10,10 @@
 //!
 //! Usage: `cargo run -p clonos-bench --release --bin bench_delta`
 
+// Host-time measurement is this binary's purpose (clippy.toml wall-clock
+// disallow list exempts measurement code explicitly).
+#![allow(clippy::disallowed_methods)]
+
 use clonos::causal_log::CausalLogManager;
 use clonos::determinant::Determinant;
 use clonos_bench::print_table;

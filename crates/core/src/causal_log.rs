@@ -212,6 +212,7 @@ impl EpochLog {
     fn decode_entry(&self, e: &IndexEntry) -> Determinant {
         let bytes = self.entry_bytes(e);
         let mut r = ByteReader::new(&bytes[e.epoch_len as usize..]);
+        // clonos-lint: allow(recovery-panic, reason = "arena bytes were encoded by this process; a decode failure is memory corruption, not a protocol fault to escalate")
         Determinant::decode(&mut r).expect("arena entry decodes")
     }
 
@@ -237,12 +238,12 @@ impl EpochLog {
     /// Drop all entries belonging to epochs `<= epoch`. Returns dropped count.
     pub fn truncate_through(&mut self, epoch: EpochId) -> usize {
         let mut dropped = 0;
-        while let Some(front) = self.index.front() {
+        while let Some(&front) = self.index.front() {
             if front.epoch > epoch {
                 break;
             }
-            let e = self.index.pop_front().expect("front exists");
-            self.encoded_bytes -= e.det_len as u64;
+            self.index.pop_front();
+            self.encoded_bytes -= front.det_len as u64;
             self.base_seq += 1;
             dropped += 1;
         }
@@ -351,6 +352,7 @@ impl EpochLog {
                 let e = &self.index[i];
                 w.put_varint(e.epoch);
                 w.put_u8(WIRE_ORDER_RUN);
+                // clonos-lint: allow(recovery-panic, reason = "run_len_at only forms runs over entries whose order_channel is Some")
                 w.put_varint(e.order_channel.expect("run entries are Order") as u64);
                 w.put_varint(run as u64);
                 i += run;
@@ -711,6 +713,7 @@ impl CausalLogManager {
         w.put_varint(hops_at_sender as u64);
         w.put_varint(logs.num_logs() as u64);
         for id in logs.log_ids() {
+            // clonos-lint: allow(recovery-panic, reason = "id was just yielded by log_ids() on the same immutable borrow")
             let log = logs.log(id).expect("log id from log_ids");
             let cursor = cursors.entry((origin, id)).or_insert(log.base_seq());
             let from = (*cursor).max(log.base_seq());
@@ -805,6 +808,7 @@ impl CausalLogManager {
     fn snapshot_of(logs: &TaskLog) -> TaskLogSnapshot {
         let mut snap = TaskLogSnapshot::default();
         for id in logs.log_ids() {
+            // clonos-lint: allow(recovery-panic, reason = "id was just yielded by log_ids() on the same immutable borrow")
             let log = logs.log(id).expect("valid id");
             snap.logs.push((
                 id,

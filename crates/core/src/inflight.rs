@@ -292,11 +292,9 @@ impl InFlightLog {
     pub fn truncate_through(&mut self, epoch: EpochId, spill: &mut SpillDevice) -> usize {
         let mut dropped = 0;
         for ch in &mut self.channels {
-            while let Some(front) = ch.slots.front() {
-                if front.epoch() > epoch {
-                    break;
-                }
-                match ch.slots.pop_front().expect("front exists") {
+            while ch.slots.front().is_some_and(|f| f.epoch() <= epoch) {
+                let Some(slot) = ch.slots.pop_front() else { break };
+                match slot {
                     Slot::Mem(b) => {
                         self.resident -= 1;
                         self.resident_payload -= b.payload.len() as u64;
@@ -347,6 +345,7 @@ impl InFlightLog {
         match slot {
             Slot::Mem(b) => Some((b.clone(), VirtualDuration::ZERO)),
             Slot::Spilled { epoch, handle, delta, records, .. } => {
+                // clonos-lint: allow(recovery-panic, reason = "a spilled buffer vanishing from the device is unrecoverable local corruption; returning None would silently drop in-flight records, which is worse")
                 let (payload, io) = spill.read(*handle).expect("spilled buffer lost");
                 self.stats.replay_io = self.stats.replay_io + io;
                 Some((

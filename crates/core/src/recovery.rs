@@ -94,6 +94,7 @@ impl TopologyInfo {
         while changed {
             changed = false;
             iterations += 1;
+            // clonos-lint: allow(recovery-panic, reason = "guards against a cyclic job graph, a construction-time config error caught before any failure handling runs")
             assert!(
                 iterations <= self.tasks.len() + 1,
                 "cycle detected in dataflow graph"

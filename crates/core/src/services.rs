@@ -122,6 +122,7 @@ impl CausalServices {
             ServiceMode::Replaying => match log.peek_replay() {
                 Some(&Determinant::Timestamp { offset, .. }) if offset == step => {
                     let Some(Determinant::Timestamp { ts, .. }) = log.pop_replay() else {
+                        // clonos-lint: allow(recovery-panic, reason = "pop_replay returns the entry peek_replay just matched; divergence here is a torn log, not a recoverable fault")
                         unreachable!("peeked Timestamp")
                     };
                     // Re-prime the cache so post-replay behaviour matches.
@@ -130,6 +131,7 @@ impl CausalServices {
                 }
                 // Cached-window call during replay: the original run returned
                 // the cached value without logging; do the same.
+                // clonos-lint: allow(recovery-panic, reason = "guarded by the is_some match arm condition on the same expression")
                 _ if self.cached_ts.is_some() => Ok(self.cached_ts.expect("checked").0),
                 Some(other) => Err(ServiceError::ReplayDivergence {
                     expected: "Timestamp",

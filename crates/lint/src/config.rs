@@ -1,0 +1,125 @@
+//! Per-crate rule configuration and the rule registry.
+//!
+//! Which rule applies where is *policy*, kept in one place so a reviewer can
+//! audit the enforcement surface at a glance. Paths are workspace-relative.
+
+/// Everything the linter can report. `allowable` rules may be suppressed
+/// with `// clonos-lint: allow(<rule>, reason = "...")`; the rest are
+/// meta-diagnostics or cross-file invariants where a line-level suppression
+/// makes no sense.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+    pub allowable: bool,
+}
+
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "hash-collections",
+        summary: "std HashMap/HashSet iterate in RandomState order; deterministic crates must \
+                  use BTreeMap/BTreeSet or another stable-order structure",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "wall-clock",
+        summary: "Instant::now/SystemTime read the host clock; deterministic crates must go \
+                  through the sim clock (VirtualTime)",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "os-entropy",
+        summary: "thread_rng/OsRng/getrandom draw OS entropy; deterministic crates must use \
+                  the seeded sim RNG",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "float-ordering",
+        summary: "partial_cmp-based ordering is not total over floats (NaN); use total_cmp or \
+                  integer keys",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "recovery-panic",
+        summary: "unwrap/expect/panic in recovery-path modules aborts the process instead of \
+                  flowing into the retry/escalation ladders",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "bad-annotation",
+        summary: "malformed clonos-lint annotation (unknown rule, missing reason, or bad syntax)",
+        allowable: false,
+    },
+    RuleInfo {
+        id: "unused-allow",
+        summary: "clonos-lint allow annotation that suppresses nothing (stale exception)",
+        allowable: false,
+    },
+    RuleInfo {
+        id: "determinant-codec",
+        summary: "every Determinant variant must have matching encode and decode arms",
+        allowable: false,
+    },
+    RuleInfo {
+        id: "determinant-replay",
+        summary: "every Determinant variant must be consumed by a replay arm in the engine",
+        allowable: false,
+    },
+    RuleInfo {
+        id: "stats-surfaced",
+        summary: "every RecoveryStats/CausalLogStats/RoutingStats counter must be surfaced \
+                  through RunReport and read outside its defining module",
+        allowable: false,
+    },
+];
+
+pub fn rule_exists(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+pub fn rule_allowable(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id && r.allowable)
+}
+
+/// Crates whose `src/` trees must be deterministic by construction: they run
+/// inside the simulation and their behaviour must be a pure function of the
+/// seed. `bench` (host-time measurement) and `lint` itself are exempt, as
+/// are `tests/` and `benches/` directories of the listed crates.
+pub const DETERMINISTIC_CRATES: &[&str] = &["core", "engine", "sim", "storage", "nexmark"];
+
+/// Modules on the failure/recovery path, where a panic tears down the
+/// process the protocol is trying to keep alive. Errors here must flow into
+/// the retry/escalation ladders (gather retries, replay-request retries,
+/// watchdog escalation to global rollback) introduced in the chaos PR.
+pub const RECOVERY_PATH_FILES: &[&str] = &[
+    "crates/core/src/recovery.rs",
+    "crates/core/src/standby.rs",
+    "crates/core/src/causal_log.rs",
+    "crates/core/src/inflight.rs",
+    "crates/core/src/services.rs",
+];
+
+/// File holding `enum Determinant` and its encode/decode arms.
+pub const DETERMINANT_FILE: &str = "crates/core/src/determinant.rs";
+
+/// Files that together form the replay surface: every `Determinant` variant
+/// must be matched (replayed) by at least one of them, otherwise a logged
+/// event can never be reproduced during recovery.
+pub const REPLAY_SURFACE_FILES: &[&str] = &[
+    "crates/engine/src/task.rs",
+    "crates/engine/src/cluster.rs",
+    "crates/core/src/services.rs",
+    "crates/core/src/causal_log.rs",
+    "crates/core/src/inflight.rs",
+];
+
+/// Stats structs whose counters must be consumed somewhere outside their
+/// defining file: `(struct name, defining file)`.
+pub const STATS_STRUCTS: &[(&str, &str)] = &[
+    ("RecoveryStats", "crates/engine/src/metrics.rs"),
+    ("RoutingStats", "crates/engine/src/metrics.rs"),
+    ("CausalLogStats", "crates/core/src/causal_log.rs"),
+];
+
+/// File holding `struct RunReport`, which must embed every stats struct.
+pub const RUN_REPORT_FILE: &str = "crates/engine/src/runner.rs";

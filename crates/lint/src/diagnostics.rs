@@ -1,0 +1,110 @@
+//! Diagnostic type and the text / JSON renderers.
+
+use std::fmt;
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line; 0 for whole-file (cross-file invariant) findings.
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: impl Into<String>,
+        line: u32,
+        rule: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic { file: file.into(), line, rule: rule.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Render the standard text report.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    if diags.is_empty() {
+        out.push_str("clonos-lint: clean\n");
+    } else {
+        out.push_str(&format!(
+            "clonos-lint: {} violation{}\n",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Render machine-readable JSON (`--json`). Hand-rolled — the workspace has
+/// no serde and the schema is four flat fields.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&d.file),
+            d.line,
+            json_str(&d.rule),
+            json_str(&d.message)
+        ));
+    }
+    out.push_str(&format!("],\"total\":{}}}\n", diags.len()));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_and_json_render() {
+        let diags = vec![Diagnostic::new("a/b.rs", 7, "wall-clock", "Instant::now \"quoted\"")];
+        let text = render_text(&diags);
+        assert!(text.contains("a/b.rs:7: [wall-clock]"));
+        assert!(text.contains("1 violation\n"));
+        let json = render_json(&diags);
+        assert!(json.contains("\"line\":7"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.ends_with("\"total\":1}\n"));
+    }
+
+    #[test]
+    fn clean_report() {
+        assert!(render_text(&[]).contains("clean"));
+        assert!(render_json(&[]).contains("\"total\":0"));
+    }
+}

@@ -1,0 +1,133 @@
+//! `clonos-lint`: workspace determinism & protocol-invariant static analysis.
+//!
+//! The reproduction's guarantees — exactly-once recovery, same-seed-same-run,
+//! the chaos-sweep content oracle — all reduce to the codebase being
+//! *deterministic by construction* and the recovery path being *non-panicking
+//! by construction*. This crate enforces both statically, plus the cross-file
+//! protocol invariants no per-file lint can see. See `DESIGN.md`
+//! ("Determinism invariants & how they are enforced") for the rule catalog.
+//!
+//! Self-contained by design: a hand-rolled comment/string-aware lexer, no
+//! registry dependencies (the build environment is offline), `std` only.
+
+pub mod config;
+pub mod diagnostics;
+pub mod invariants;
+pub mod lexer;
+pub mod rules;
+
+pub use diagnostics::Diagnostic;
+
+use rules::RuleSet;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Run the full analysis over a workspace root. Returns diagnostics sorted
+/// by (file, line, rule); empty means the workspace is lint-clean.
+pub fn analyze(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    // Assemble the per-file rule sets from the config tables.
+    let mut plan: BTreeMap<String, RuleSet> = BTreeMap::new();
+    for krate in config::DETERMINISTIC_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        for file in rust_files_under(&src_dir)? {
+            let rel = relative(root, &file);
+            plan.entry(rel).or_default().determinism = true;
+        }
+    }
+    for rel in config::RECOVERY_PATH_FILES {
+        plan.entry(rel.to_string()).or_default().recovery_panic = true;
+    }
+
+    let mut diags = Vec::new();
+    for (rel, ruleset) in &plan {
+        if !ruleset.any() {
+            continue;
+        }
+        let path = root.join(rel);
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                diags.push(Diagnostic::new(
+                    rel.clone(),
+                    0,
+                    "bad-annotation",
+                    format!("cannot read configured file: {e}"),
+                ));
+                continue;
+            }
+        };
+        let lexed = lexer::lex(&src);
+        diags.extend(rules::check_file(rel, &lexed, ruleset));
+    }
+
+    // Cross-file invariants scan a wider net (tests, examples, bench bins)
+    // for the counter-consumption check.
+    let mut all_files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        for file in rust_files_under(&root.join(top))? {
+            all_files.push(relative(root, &file));
+        }
+    }
+    diags.extend(invariants::check(root, &all_files));
+
+    diags.sort();
+    diags.dedup();
+    Ok(diags)
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted (deterministic)
+/// order. A missing directory yields an empty list: config entries may
+/// legitimately outlive a crate, and the invariant checks report missing
+/// *files* themselves.
+fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(&d)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                // `target/` never nests under crates/*/src, but guard anyway.
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

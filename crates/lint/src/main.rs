@@ -1,0 +1,81 @@
+//! CLI entry point. Exit codes: 0 = clean, 1 = violations found,
+//! 2 = usage or I/O error.
+
+use clonos_lint::{analyze, diagnostics, find_workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+clonos-lint — workspace determinism & protocol-invariant static analysis
+
+USAGE:
+    clonos-lint [--json] [--root <dir>]
+
+OPTIONS:
+    --json          emit machine-readable JSON instead of text diagnostics
+    --root <dir>    workspace root (default: walk up from the current
+                    directory to the nearest [workspace] Cargo.toml)
+    --rules         list every rule with its summary
+    -h, --help      show this help
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root requires a directory\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rules" => {
+                for r in clonos_lint::config::RULES {
+                    println!("{:<20} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir().ok().and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no [workspace] Cargo.toml found above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    match analyze(&root) {
+        Ok(diags) => {
+            if json {
+                print!("{}", diagnostics::render_json(&diags));
+            } else {
+                print!("{}", diagnostics::render_text(&diags));
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The per-file rule engine: determinism rules and recovery-path panic
+//! rules over the token stream, with `#[cfg(test)]` regions excluded and
+//! `// clonos-lint: allow(...)` suppression handling.
+
+use crate::config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{LexedFile, Tok, TokKind};
+
+/// Which rule families apply to a file (derived from `config` tables).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuleSet {
+    /// hash-collections / wall-clock / os-entropy / float-ordering.
+    pub determinism: bool,
+    /// recovery-panic.
+    pub recovery_panic: bool,
+}
+
+impl RuleSet {
+    pub fn any(&self) -> bool {
+        self.determinism || self.recovery_panic
+    }
+}
+
+/// Identifiers that imply randomized iteration order or hashing state.
+const HASH_IDENTS: &[&str] =
+    &["HashMap", "HashSet", "RandomState", "DefaultHasher", "hash_map", "hash_set"];
+
+/// Identifiers that read wall-clock time.
+const WALL_CLOCK_IDENTS: &[&str] = &["SystemTime", "UNIX_EPOCH"];
+
+/// Identifiers that draw OS entropy.
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Macros that abort instead of returning an error (recovery-path rule).
+/// `debug_assert*` is deliberately absent: it compiles out in release and
+/// serves as executable documentation of local invariants.
+const PANIC_MACROS: &[&str] =
+    &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+
+/// Methods that panic on None/Err (recovery-path rule).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Run all applicable per-file rules.
+pub fn check_file(rel: &str, lexed: &LexedFile, rules: &RuleSet) -> Vec<Diagnostic> {
+    let skip = test_regions(&lexed.toks);
+    let live = |line: u32| !skip.iter().any(|&(a, b)| (a..=b).contains(&line));
+
+    // Collect raw findings first, then resolve suppressions so stale allows
+    // can be reported.
+    let mut found: Vec<Diagnostic> = Vec::new();
+    let toks = &lexed.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !live(t.line) {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        if rules.determinism {
+            if HASH_IDENTS.contains(&name) {
+                found.push(Diagnostic::new(
+                    rel,
+                    t.line,
+                    "hash-collections",
+                    format!("`{name}` has nondeterministic iteration/hash order; use BTreeMap/BTreeSet"),
+                ));
+            }
+            if WALL_CLOCK_IDENTS.contains(&name)
+                || (name == "Instant" && path_call(toks, i, "now"))
+            {
+                found.push(Diagnostic::new(
+                    rel,
+                    t.line,
+                    "wall-clock",
+                    format!("`{name}` reads the host clock; route through the sim clock (VirtualTime)"),
+                ));
+            }
+            if ENTROPY_IDENTS.contains(&name) {
+                found.push(Diagnostic::new(
+                    rel,
+                    t.line,
+                    "os-entropy",
+                    format!("`{name}` draws OS entropy; use the seeded sim RNG"),
+                ));
+            }
+            if name == "partial_cmp" && !prev_is_fn(toks, i) {
+                found.push(Diagnostic::new(
+                    rel,
+                    t.line,
+                    "float-ordering",
+                    "`partial_cmp` is not a total order over floats; use total_cmp or integer keys",
+                ));
+            }
+        }
+        if rules.recovery_panic {
+            let next_punct =
+                |c: char| toks.get(i + 1).map(|n| n.is_punct(c)).unwrap_or(false);
+            if PANIC_METHODS.contains(&name) && next_punct('(') && prev_is_dot(toks, i) {
+                found.push(Diagnostic::new(
+                    rel,
+                    t.line,
+                    "recovery-panic",
+                    format!("`.{name}()` panics on the recovery path; surface an error into the retry/escalation ladder"),
+                ));
+            }
+            if PANIC_MACROS.contains(&name) && next_punct('!') {
+                found.push(Diagnostic::new(
+                    rel,
+                    t.line,
+                    "recovery-panic",
+                    format!("`{name}!` aborts on the recovery path; surface an error into the retry/escalation ladder"),
+                ));
+            }
+        }
+    }
+
+    resolve_suppressions(rel, lexed, found, &live)
+}
+
+/// Apply annotations: drop suppressed findings, flag malformed and stale
+/// annotations.
+fn resolve_suppressions(
+    rel: &str,
+    lexed: &LexedFile,
+    found: Vec<Diagnostic>,
+    live: &dyn Fn(u32) -> bool,
+) -> Vec<Diagnostic> {
+    let allows: Vec<_> = lexed.allows.iter().filter(|a| live(a.line)).collect();
+    let mut used = vec![false; allows.len()];
+    let mut out = Vec::new();
+
+    for d in found {
+        // An annotation suppresses findings on its own line (trailing
+        // comment) and on the following line.
+        let hit = allows.iter().enumerate().find(|(_, a)| {
+            a.parse_error.is_none()
+                && (a.line == d.line || a.line + 1 == d.line)
+                && a.rules.iter().any(|r| r == &d.rule)
+        });
+        match hit {
+            Some((idx, _)) => used[idx] = true,
+            None => out.push(d),
+        }
+    }
+
+    for (idx, a) in allows.iter().enumerate() {
+        if let Some(err) = &a.parse_error {
+            out.push(Diagnostic::new(rel, a.line, "bad-annotation", err.clone()));
+            continue;
+        }
+        if let Some(unknown) = a.rules.iter().find(|r| !config::rule_exists(r)) {
+            out.push(Diagnostic::new(
+                rel,
+                a.line,
+                "bad-annotation",
+                format!("unknown rule `{unknown}`"),
+            ));
+            continue;
+        }
+        if let Some(fixed) = a.rules.iter().find(|r| !config::rule_allowable(r)) {
+            out.push(Diagnostic::new(
+                rel,
+                a.line,
+                "bad-annotation",
+                format!("rule `{fixed}` cannot be suppressed with an allow annotation"),
+            ));
+            continue;
+        }
+        if !used[idx] {
+            out.push(Diagnostic::new(
+                rel,
+                a.line,
+                "unused-allow",
+                format!("allow({}) suppresses nothing; remove the stale exception", a.rules.join(", ")),
+            ));
+        }
+    }
+    // Two identical triggers on one line (e.g. `HashMap` twice) are one
+    // finding.
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Line ranges covered by `#[cfg(test)]`-gated items (inclusive).
+pub fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).map(|t| t.is_punct('[')).unwrap_or(false) {
+            let start_line = toks[i].line;
+            let (attr_end, is_test) = scan_attribute(toks, i + 1);
+            if is_test {
+                let end = item_end(toks, attr_end + 1);
+                let end_line = toks.get(end.min(toks.len() - 1)).map(|t| t.line).unwrap_or(start_line);
+                regions.push((start_line, end_line));
+                i = end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// From the `[` at `open`, find the matching `]`; report whether the
+/// attribute mentions both `cfg` and `test` (covers `#[cfg(test)]` and
+/// `#[cfg(all(test, ...))]`).
+fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut i = open;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i, saw_cfg && saw_test);
+                }
+            }
+            TokKind::Ident(s) if s == "cfg" => saw_cfg = true,
+            TokKind::Ident(s) if s == "test" => saw_test = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (toks.len() - 1, false)
+}
+
+/// Find the end of the item starting at `from`: the matching `}` of its
+/// first brace block, or the first top-level `;` (e.g. `use` items). Nested
+/// attributes between are skipped.
+fn item_end(toks: &[Tok], from: usize) -> usize {
+    let mut i = from;
+    let mut bracket = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket = bracket.saturating_sub(1),
+            TokKind::Punct(';') if bracket == 0 => return i,
+            TokKind::Punct('{') if bracket == 0 => {
+                let mut depth = 0usize;
+                while i < toks.len() {
+                    match &toks[i].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return toks.len() - 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// True if `toks[i]` is followed by `::method` (e.g. `Instant::now`).
+fn path_call(toks: &[Tok], i: usize, method: &str) -> bool {
+    toks.get(i + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+        && toks.get(i + 2).map(|t| t.is_punct(':')).unwrap_or(false)
+        && toks.get(i + 3).map(|t| t.is_ident(method)).unwrap_or(false)
+}
+
+fn prev_is_fn(toks: &[Tok], i: usize) -> bool {
+    i > 0 && toks[i - 1].is_ident("fn")
+}
+
+fn prev_is_dot(toks: &[Tok], i: usize) -> bool {
+    i > 0 && toks[i - 1].is_punct('.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn det(src: &str) -> Vec<Diagnostic> {
+        check_file("x.rs", &lex(src), &RuleSet { determinism: true, recovery_panic: false })
+    }
+
+    fn rec(src: &str) -> Vec<Diagnostic> {
+        check_file("x.rs", &lex(src), &RuleSet { determinism: false, recovery_panic: true })
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { let _: HashMap<u8, u8> = HashMap::new(); }\n}\n";
+        assert!(det(src).is_empty(), "{:?}", det(src));
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let trailing = "let t = Instant::now(); // clonos-lint: allow(wall-clock, reason = \"report only\")\n";
+        assert!(det(trailing).is_empty());
+        let preceding = "// clonos-lint: allow(wall-clock, reason = \"report only\")\nlet t = Instant::now();\n";
+        assert!(det(preceding).is_empty());
+        let too_far = "// clonos-lint: allow(wall-clock, reason = \"report only\")\n\nlet t = Instant::now();\n";
+        let d = det(too_far);
+        // Out of range: the finding stands and the allow is stale.
+        assert!(d.iter().any(|d| d.rule == "wall-clock"));
+        assert!(d.iter().any(|d| d.rule == "unused-allow"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let d = det("// clonos-lint: allow(no-such-rule, reason = \"x\")\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "bad-annotation");
+    }
+
+    #[test]
+    fn panic_methods_require_receiver() {
+        // A local function *named* unwrap is not a panicking method call.
+        assert!(rec("fn unwrap() {}\nlet x = unwrap();\n").is_empty());
+        assert_eq!(rec("let x = opt.unwrap();\n").len(), 1);
+        assert_eq!(rec("let x = res.expect(\"msg\");\n").len(), 1);
+    }
+
+    #[test]
+    fn debug_assert_is_permitted_on_recovery_path() {
+        assert!(rec("debug_assert!(a <= b);\ndebug_assert_eq!(a, b);\n").is_empty());
+        assert_eq!(rec("assert!(a <= b);\n").len(), 1);
+    }
+
+    #[test]
+    fn fn_definition_of_partial_cmp_is_not_flagged() {
+        assert!(det("fn partial_cmp(&self, o: &Self) -> Option<Ordering> { None }\n").is_empty());
+        assert_eq!(det("let o = a.partial_cmp(&b);\n").len(), 1);
+    }
+}

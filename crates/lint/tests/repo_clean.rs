@@ -1,0 +1,188 @@
+//! Integration tests over real directory trees: the golden "this repo is
+//! lint-clean" gate, and a synthetic mini-workspace proving the cross-file
+//! invariant checks fire when a codec/replay arm or counter goes missing.
+
+use clonos_lint::analyze;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The gate: the workspace this crate lives in must be lint-clean. Any new
+/// `HashMap`, wall-clock read, recovery-path unwrap, or missing codec arm
+/// fails this test (and `scripts/check.sh`).
+#[test]
+fn repo_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = analyze(&root).expect("analysis runs");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        diags.iter().map(|d| format!("  {d}\n")).collect::<String>()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Synthetic workspace for the cross-file invariants.
+// ---------------------------------------------------------------------
+
+struct MiniRepo {
+    root: PathBuf,
+}
+
+impl MiniRepo {
+    /// A minimal consistent workspace: two Determinant variants with full
+    /// encode/decode/replay coverage, three stats structs embedded in
+    /// RunReport with every counter consumed by a test file.
+    fn consistent(tag: &str) -> MiniRepo {
+        let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("mini_{tag}"));
+        let _ = fs::remove_dir_all(&root);
+        let repo = MiniRepo { root };
+        repo.write("Cargo.toml", "[workspace]\nmembers = []\n");
+        repo.write(
+            "crates/core/src/determinant.rs",
+            "pub enum Determinant {\n    Order { channel: u32 },\n    Timer { timer_id: u64 },\n}\n\
+             impl Determinant {\n\
+                 pub fn encode(&self) { match self { Determinant::Order { .. } => {}, Determinant::Timer { .. } => {} } }\n\
+                 pub fn decode_with_tag(tag: u8) -> Determinant {\n\
+                     match tag { 0 => Determinant::Order { channel: 0 }, _ => Determinant::Timer { timer_id: 0 } }\n\
+                 }\n\
+             }\n",
+        );
+        repo.write(
+            "crates/engine/src/task.rs",
+            "fn replay(d: &Determinant) { match d { Determinant::Order { .. } => {}, Determinant::Timer { .. } => {} } }\n",
+        );
+        repo.write("crates/engine/src/cluster.rs", "// no replay arms here\n");
+        repo.write(
+            "crates/engine/src/metrics.rs",
+            "pub struct RecoveryStats {\n    pub escalations: u64,\n}\n\
+             pub struct RoutingStats {\n    pub record_clones: u64,\n}\n",
+        );
+        repo.write(
+            "crates/engine/src/runner.rs",
+            "pub struct RunReport {\n    pub recovery_stats: RecoveryStats,\n    pub routing_stats: RoutingStats,\n    pub log_stats: CausalLogStats,\n}\n",
+        );
+        repo.write(
+            "crates/core/src/causal_log.rs",
+            "pub struct CausalLogStats {\n    pub deltas_ingested: u64,\n}\n",
+        );
+        repo.write(
+            "crates/engine/tests/counters.rs",
+            "fn consume(r: RunReport) {\n    let _ = (r.recovery_stats.escalations, r.routing_stats.record_clones, r.log_stats.deltas_ingested);\n}\n",
+        );
+        for f in ["recovery.rs", "standby.rs", "inflight.rs", "services.rs"] {
+            repo.write(&format!("crates/core/src/{f}"), "// empty recovery-path module\n");
+        }
+        repo
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, contents).unwrap();
+    }
+
+    fn rules_fired(&self) -> Vec<String> {
+        let mut rules: Vec<String> =
+            analyze(&self.root).expect("analysis runs").into_iter().map(|d| d.rule).collect();
+        rules.dedup();
+        rules
+    }
+}
+
+#[test]
+fn consistent_mini_repo_is_clean() {
+    let repo = MiniRepo::consistent("clean");
+    assert_eq!(repo.rules_fired(), Vec::<String>::new());
+}
+
+#[test]
+fn missing_decode_arm_is_detected() {
+    let repo = MiniRepo::consistent("decode");
+    // Drop the Timer arm from decode_with_tag only.
+    repo.write(
+        "crates/core/src/determinant.rs",
+        "pub enum Determinant {\n    Order { channel: u32 },\n    Timer { timer_id: u64 },\n}\n\
+         impl Determinant {\n\
+             pub fn encode(&self) { match self { Determinant::Order { .. } => {}, Determinant::Timer { .. } => {} } }\n\
+             pub fn decode_with_tag(_tag: u8) -> Determinant { Determinant::Order { channel: 0 } }\n\
+         }\n",
+    );
+    let diags = analyze(&repo.root).unwrap();
+    assert!(
+        diags.iter().any(|d| d.rule == "determinant-codec" && d.message.contains("`Timer`")),
+        "{diags:?}"
+    );
+    // The diagnostic anchors at the variant declaration (file:line).
+    let d = diags.iter().find(|d| d.rule == "determinant-codec").unwrap();
+    assert_eq!(d.file, "crates/core/src/determinant.rs");
+    assert_eq!(d.line, 3);
+}
+
+#[test]
+fn missing_replay_arm_is_detected() {
+    let repo = MiniRepo::consistent("replay");
+    repo.write(
+        "crates/engine/src/task.rs",
+        "fn replay(d: &Determinant) { match d { Determinant::Order { .. } => {}, _ => {} } }\n",
+    );
+    let diags = analyze(&repo.root).unwrap();
+    assert!(
+        diags.iter().any(|d| d.rule == "determinant-replay" && d.message.contains("`Timer`")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn replay_arm_inside_cfg_test_does_not_count() {
+    let repo = MiniRepo::consistent("replay_test_only");
+    repo.write(
+        "crates/engine/src/task.rs",
+        "fn replay(d: &Determinant) { match d { Determinant::Order { .. } => {}, _ => {} } }\n\
+         #[cfg(test)]\nmod tests {\n    fn t(d: &Determinant) { match d { Determinant::Timer { .. } => {}, _ => {} } }\n}\n",
+    );
+    assert!(repo.rules_fired().contains(&"determinant-replay".to_string()));
+}
+
+#[test]
+fn unread_counter_is_detected() {
+    let repo = MiniRepo::consistent("counter");
+    // The test file stops reading the CausalLogStats counter.
+    repo.write(
+        "crates/engine/tests/counters.rs",
+        "fn consume(r: RunReport) {\n    let _ = (r.recovery_stats.escalations, r.routing_stats.record_clones);\n}\n",
+    );
+    let diags = analyze(&repo.root).unwrap();
+    assert!(
+        diags.iter().any(|d| d.rule == "stats-surfaced" && d.message.contains("deltas_ingested")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn stats_struct_missing_from_run_report_is_detected() {
+    let repo = MiniRepo::consistent("report");
+    repo.write(
+        "crates/engine/src/runner.rs",
+        "pub struct RunReport {\n    pub recovery_stats: RecoveryStats,\n    pub log_stats: CausalLogStats,\n}\n",
+    );
+    let diags = analyze(&repo.root).unwrap();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "stats-surfaced" && d.message.contains("`RoutingStats`")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn determinism_violation_in_mini_repo_fails() {
+    let repo = MiniRepo::consistent("hashmap");
+    repo.write(
+        "crates/storage/src/lib.rs",
+        "use std::collections::HashMap;\npub fn f() -> HashMap<u8, u8> { HashMap::new() }\n",
+    );
+    let diags = analyze(&repo.root).unwrap();
+    let hash: Vec<_> = diags.iter().filter(|d| d.rule == "hash-collections").collect();
+    assert_eq!(hash.len(), 2, "{diags:?}"); // line 1 and line 2
+    assert!(hash.iter().all(|d| d.file == "crates/storage/src/lib.rs"));
+}

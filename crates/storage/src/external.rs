@@ -11,7 +11,7 @@
 //! would observe different values.
 
 use clonos_sim::{SimRng, VirtualTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Time-varying external key-value service.
 #[derive(Debug)]
@@ -20,13 +20,13 @@ pub struct ExternalKv {
     /// Granularity at which autonomous values change, in microseconds.
     change_period_us: u64,
     /// Explicit writes override the autonomous signal from their write time on.
-    writes: HashMap<u64, Vec<(VirtualTime, i64)>>,
+    writes: BTreeMap<u64, Vec<(VirtualTime, i64)>>,
     calls: u64,
 }
 
 impl ExternalKv {
     pub fn new(seed: u64) -> ExternalKv {
-        ExternalKv { seed, change_period_us: 1_000, writes: HashMap::new(), calls: 0 }
+        ExternalKv { seed, change_period_us: 1_000, writes: BTreeMap::new(), calls: 0 }
     }
 
     pub fn with_change_period_us(mut self, us: u64) -> ExternalKv {
@@ -77,7 +77,7 @@ mod tests {
         let mut kv = ExternalKv::new(7);
         let vals: Vec<i64> =
             (0..50).map(|i| kv.get(5, VirtualTime::ZERO + VirtualDuration::from_millis(i))).collect();
-        let distinct: std::collections::HashSet<_> = vals.iter().collect();
+        let distinct: std::collections::BTreeSet<_> = vals.iter().collect();
         assert!(distinct.len() > 10, "external value barely changes: {distinct:?}");
         assert_eq!(kv.calls(), 50);
     }

@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 use clonos_sim::{VirtualDuration, VirtualTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies a completed (or in-progress) checkpoint.
 pub type SnapshotId = u64;
@@ -42,7 +42,7 @@ impl Default for TransferModel {
 /// The store itself.
 #[derive(Debug, Default)]
 pub struct SnapshotStore {
-    snapshots: HashMap<(SnapshotId, u64), Bytes>,
+    snapshots: BTreeMap<(SnapshotId, u64), Bytes>,
     model: TransferModel,
     writes: u64,
     reads: u64,

@@ -11,10 +11,10 @@
 
 use bytes::Bytes;
 use clonos_sim::VirtualDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Handle to a spilled buffer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpillHandle(pub u64);
 
 /// I/O cost model.
@@ -48,7 +48,7 @@ impl IoModel {
 #[derive(Debug, Default)]
 pub struct SpillDevice {
     model: IoModel,
-    data: HashMap<SpillHandle, Bytes>,
+    data: BTreeMap<SpillHandle, Bytes>,
     next: u64,
     bytes_written: u64,
     bytes_read: u64,

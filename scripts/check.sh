@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo gate: tier-1 build + tests, then a warning-free clippy pass.
+# Repo gate: tier-1 build + tests, then the blocking static-analysis stage
+# (clonos-lint + clippy disallow lists), then the chaos sweep.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,8 +11,8 @@ cargo build --release
 echo "== tier-1: test suite =="
 cargo test -q
 
-echo "== lint: clippy (deny warnings) =="
-cargo clippy --all-targets -- -D warnings
+echo "== lint: clonos-lint + clippy (blocking) =="
+scripts/lint.sh
 
 echo "== chaos: bounded seed sweep (25 seeds x 3 modes, release) =="
 CHAOS_SEEDS=25 cargo test --release -q -p clonos-integration --test chaos_sweep

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clonos-lint (determinism + recovery-path + protocol
+# invariants) followed by a warning-free clippy pass with the clippy.toml
+# disallow lists. Blocking: any violation exits non-zero.
+# Usage: scripts/lint.sh [--json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint: clonos-lint =="
+cargo run --release -q -p clonos-lint -- "$@"
+
+echo "== lint: clippy (deny warnings, disallow lists from clippy.toml) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== lint OK =="

@@ -11,6 +11,10 @@
 //! report, or baseline comparison — benches exist here to produce relative
 //! numbers for `BENCH_*.json` artifacts and to keep `--all-targets` compiling.
 
+// Host-time measurement is this shim's purpose (clippy.toml wall-clock
+// disallow list exempts measurement code explicitly).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
