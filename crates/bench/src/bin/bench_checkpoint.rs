@@ -1,0 +1,202 @@
+//! **Barrier snapshot cost: full images vs O(dirty) deltas.**
+//!
+//! Measures `StateStore` snapshot encoding at {10^3, 10^5, 10^6} keys with
+//! {1%, 10%, 100%} of keys dirtied per epoch — the checkpoint-barrier hot
+//! path before and after incremental (copy-on-write) checkpoints. Reports
+//! bytes per barrier and encode time per barrier for both paths, verifies
+//! that base + delta reconstructs the full image byte-for-byte, and writes
+//! `BENCH_checkpoint.json`. The acceptance floor for the incremental
+//! checkpoint work is a ≥5x bytes-per-barrier reduction at ≤10% dirty with
+//! 10^5+ keys.
+//!
+//! Usage: `cargo run -p clonos-bench --release --bin bench_checkpoint`
+//! (`BENCH_CHECKPOINT_SMOKE=1` shrinks sizes/rounds for CI smoke runs.)
+
+// Host-time measurement is this binary's purpose (clippy.toml wall-clock
+// disallow list exempts measurement code explicitly).
+#![allow(clippy::disallowed_methods)]
+
+use clonos_bench::print_table;
+use clonos_engine::state::StateStore;
+use clonos_engine::{Datum, Row as DataRow};
+use clonos_storage::deltamap;
+use std::time::Instant;
+
+/// Measured rounds per configuration (plus 1 warmup round).
+const ROUNDS: usize = 8;
+
+fn smoke() -> bool {
+    std::env::var("BENCH_CHECKPOINT_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Deterministic per-key payload: two ints and a mid-sized blob-ish datum,
+/// roughly the shape of the oracle job's per-key aggregation rows.
+fn row_for(key: u64, epoch: u64) -> DataRow {
+    DataRow::new(vec![
+        Datum::Int((key.wrapping_mul(0x9E3779B97F4A7C15) ^ epoch) as i64),
+        Datum::Int((key + epoch) as i64),
+    ])
+}
+
+fn populated(keys: u64) -> StateStore {
+    let mut store = StateStore::new();
+    for k in 0..keys {
+        store.set_value(0, k, row_for(k, 0));
+    }
+    store.clear_dirty();
+    store
+}
+
+/// Dirty `n` keys spread evenly across the key space (epoch-scoped write
+/// set), the untimed setup for one barrier.
+fn dirty_some(store: &mut StateStore, keys: u64, n: u64, epoch: u64) {
+    let stride = (keys / n).max(1);
+    let mut written = 0;
+    let mut k = epoch % stride; // rotate the hot set across epochs
+    while written < n {
+        store.set_value(0, k % keys, row_for(k % keys, epoch));
+        k += stride;
+        written += 1;
+    }
+}
+
+struct Measurement {
+    keys: u64,
+    dirty_pct: u64,
+    full_bytes: u64,
+    delta_bytes: u64,
+    full_ns: f64,
+    delta_ns: f64,
+}
+
+fn measure(keys: u64, dirty_pct: u64) -> Measurement {
+    let dirty_n = (keys * dirty_pct / 100).max(1);
+    let mut store = populated(keys);
+
+    // Full path: encode the whole image each barrier.
+    let mut full_ns = f64::INFINITY;
+    let mut full_bytes = 0u64;
+    for round in 0..ROUNDS + 1 {
+        dirty_some(&mut store, keys, dirty_n, round as u64 + 1);
+        store.clear_dirty();
+        let t0 = Instant::now();
+        let snap = store.snapshot();
+        let dt = t0.elapsed().as_nanos() as f64;
+        full_bytes = snap.len() as u64;
+        std::hint::black_box(snap);
+        if round >= 1 {
+            full_ns = full_ns.min(dt);
+        }
+    }
+
+    // Incremental path: one base, then O(dirty) deltas per barrier. Verify
+    // once per configuration that base + delta reconstructs the full image.
+    let mut store = populated(keys);
+    let base = store.snapshot();
+    store.clear_dirty();
+    let mut delta_ns = f64::INFINITY;
+    let mut delta_bytes = 0u64;
+    let mut verified = false;
+    for round in 0..ROUNDS + 1 {
+        dirty_some(&mut store, keys, dirty_n, round as u64 + 1);
+        let t0 = Instant::now();
+        let delta = store.snapshot_delta();
+        let dt = t0.elapsed().as_nanos() as f64;
+        delta_bytes = delta.len() as u64;
+        if !verified {
+            // Only the first delta builds directly on the base; checking one
+            // link suffices — chain merging is associative over links.
+            let merged = deltamap::merge_chain(&base, &[&delta]).expect("chain merges");
+            let full = store.snapshot();
+            assert_eq!(&merged[..], &full[..], "reconstruction diverged from full image");
+            verified = true;
+        }
+        std::hint::black_box(delta);
+        if round >= 1 {
+            delta_ns = delta_ns.min(dt);
+        }
+    }
+
+    Measurement { keys, dirty_pct, full_bytes, delta_bytes, full_ns, delta_ns }
+}
+
+fn main() {
+    let sizes: &[u64] = if smoke() { &[1_000, 20_000] } else { &[1_000, 100_000, 1_000_000] };
+    let dirty_pcts = [1u64, 10, 100];
+    let mut rows = Vec::new();
+    for &keys in sizes {
+        for &pct in &dirty_pcts {
+            rows.push(measure(keys, pct));
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|m| {
+            vec![
+                format!("{}", m.keys),
+                format!("{}%", m.dirty_pct),
+                format!("{}", m.full_bytes),
+                format!("{}", m.delta_bytes),
+                format!("{:.2}x", m.full_bytes as f64 / m.delta_bytes.max(1) as f64),
+                format!("{:.1}", m.full_ns / 1_000.0),
+                format!("{:.1}", m.delta_ns / 1_000.0),
+                format!("{:.2}x", m.full_ns / m.delta_ns.max(1.0)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Barrier snapshot: full image vs O(dirty) delta (per barrier)",
+        &["keys", "dirty", "full B", "delta B", "B ratio", "full us", "delta us", "t ratio"],
+        &table,
+    );
+
+    // Acceptance floor: >= 5x byte reduction at <= 10% dirty with 10^5+ keys.
+    let floor_rows: Vec<&Measurement> =
+        rows.iter().filter(|m| m.keys >= 100_000 && m.dirty_pct <= 10).collect();
+    let min_reduction = floor_rows
+        .iter()
+        .map(|m| m.full_bytes as f64 / m.delta_bytes.max(1) as f64)
+        .fold(f64::INFINITY, f64::min);
+    if floor_rows.is_empty() {
+        println!("\nsmoke run: acceptance-floor configurations skipped");
+    } else {
+        println!(
+            "\nminimum byte reduction at >=1e5 keys, <=10% dirty: {min_reduction:.2}x \
+             (acceptance floor: 5.00x)"
+        );
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"keys\": {}, \"dirty_pct\": {}, \"full_bytes\": {}, \
+                 \"delta_bytes\": {}, \"byte_reduction\": {:.3}, \"full_ns\": {:.0}, \
+                 \"delta_ns\": {:.0}, \"time_reduction\": {:.3}}}",
+                m.keys,
+                m.dirty_pct,
+                m.full_bytes,
+                m.delta_bytes,
+                m.full_bytes as f64 / m.delta_bytes.max(1) as f64,
+                m.full_ns,
+                m.delta_ns,
+                m.full_ns / m.delta_ns.max(1.0)
+            )
+        })
+        .collect();
+    let min_field = if floor_rows.is_empty() {
+        "null".to_string()
+    } else {
+        format!("{min_reduction:.3}")
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"checkpoint\",\n  \"rounds\": {ROUNDS},\n  \
+         \"smoke\": {},\n  \"min_byte_reduction_1e5_10pct\": {min_field},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        smoke(),
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_checkpoint.json", &json).expect("write BENCH_checkpoint.json");
+    println!("wrote BENCH_checkpoint.json");
+}

@@ -44,6 +44,7 @@ pub struct StandbyTask {
 pub struct StandbyManager {
     standbys: BTreeMap<TaskId, StandbyTask>,
     dispatches: u64,
+    delta_dispatches: u64,
     bytes_dispatched: u64,
 }
 
@@ -107,6 +108,39 @@ impl StandbyManager {
         sb.transfer_done_at = done;
         self.dispatches += 1;
         self.bytes_dispatched += state.len() as u64;
+        Some(done)
+    }
+
+    /// Dispatch only the delta between `parent` and `checkpoint` (§6.4 with
+    /// incremental checkpoints): applicable when the standby already holds
+    /// exactly the parent image, in which case it merges the delta locally
+    /// and only the delta bytes cross the network. Returns `None` — without
+    /// touching the standby — when the parent doesn't match (or the delta is
+    /// malformed); the caller falls back to a full-image dispatch.
+    pub fn dispatch_delta(
+        &mut self,
+        task: TaskId,
+        checkpoint: EpochId,
+        parent: EpochId,
+        delta: Bytes,
+        now: VirtualTime,
+        transfer_time: VirtualDuration,
+    ) -> Option<VirtualTime> {
+        let sb = self.standbys.get_mut(&task)?;
+        if sb.snapshot_checkpoint != Some(parent) {
+            return None;
+        }
+        let base = sb.state.as_ref()?;
+        let merged = clonos_storage::deltamap::merge_chain(base, &[&delta]).ok()?;
+        // An in-transit transfer of the parent finishes before the delta
+        // starts shipping: serialize on the same link.
+        let done = now.max(sb.transfer_done_at) + transfer_time;
+        sb.snapshot_checkpoint = Some(checkpoint);
+        sb.state = Some(merged);
+        sb.transfer_done_at = done;
+        self.dispatches += 1;
+        self.delta_dispatches += 1;
+        self.bytes_dispatched += delta.len() as u64;
         Some(done)
     }
 
@@ -181,6 +215,11 @@ impl StandbyManager {
 
     pub fn dispatches(&self) -> u64 {
         self.dispatches
+    }
+
+    /// Dispatches that shipped only a delta (subset of `dispatches`).
+    pub fn delta_dispatches(&self) -> u64 {
+        self.delta_dispatches
     }
 
     pub fn bytes_dispatched(&self) -> u64 {

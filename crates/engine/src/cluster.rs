@@ -26,7 +26,7 @@ use clonos::{ChannelId, TaskId};
 use clonos_sim::{Link, SimRng, Simulation, VirtualDuration, VirtualTime};
 use clonos_storage::external::ExternalKv;
 use clonos_storage::log::DurableLog;
-use clonos_storage::snapshot::{SnapshotStore, TransferModel};
+use clonos_storage::snapshot::{SnapshotBlob, SnapshotStore, TransferModel};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Job-manager actor id.
@@ -82,6 +82,10 @@ pub struct Cluster {
     gens: BTreeMap<TaskId, u32>,
     jm: JmState,
     depth: u32,
+    /// Encoder counters of retired task incarnations (killed, rolled back,
+    /// or replaced): folded in before the `Task` object is dropped so
+    /// `checkpoint_stats` reflects the whole run, not just live tasks.
+    retired_ckpt: crate::metrics::CheckpointStats,
     /// Fatal task errors (should stay empty in correct runs).
     pub errors: Vec<String>,
 }
@@ -106,6 +110,7 @@ impl Cluster {
             gens: BTreeMap::new(),
             jm: JmState::default(),
             depth,
+            retired_ckpt: crate::metrics::CheckpointStats::default(),
             errors: Vec::new(),
             config,
         };
@@ -257,7 +262,8 @@ impl Cluster {
         if slot.is_none() {
             return;
         }
-        *slot = None;
+        let old = slot.take();
+        self.retire_ckpt(old);
         self.sim.drop_events_for(id);
         let now = self.sim.now();
         self.metrics.event(now, format!("FAILURE task {id}"));
@@ -363,7 +369,9 @@ impl Cluster {
     fn jm_handle(&mut self, msg: Msg) {
         match msg {
             Msg::CheckpointTick => self.jm_checkpoint_tick(),
-            Msg::CheckpointAck { task, id, snapshot } => self.jm_ack(task, id, snapshot),
+            Msg::CheckpointAck { task, id, snapshot, delta_parent } => {
+                self.jm_ack(task, id, snapshot, delta_parent)
+            }
             Msg::FailureDetected { task, gen, killed_at } => {
                 self.jm_failure(task, gen, killed_at)
             }
@@ -411,9 +419,16 @@ impl Cluster {
         }
     }
 
-    fn jm_ack(&mut self, task: TaskId, id: u64, snapshot: Bytes) {
+    fn jm_ack(&mut self, task: TaskId, id: u64, snapshot: Bytes, delta_parent: Option<u64>) {
         let now = self.sim.now();
-        self.snapshots.put(now, id, task, snapshot);
+        match delta_parent {
+            Some(parent) => {
+                self.snapshots.put_delta(now, id, task, parent, snapshot);
+            }
+            None => {
+                self.snapshots.put(now, id, task, snapshot);
+            }
+        }
         let total = self.graph.tasks.len();
         let Some(acked) = self.jm.pending.get_mut(&id) else { return };
         acked.insert(task);
@@ -432,15 +447,29 @@ impl Cluster {
             self.sim.schedule_in(VirtualDuration::from_micros(100), t, Msg::CheckpointComplete { id });
         }
         self.snapshots.truncate_before(id);
-        // Dispatch state to standbys (§6.4).
+        // Dispatch state to standbys (§6.4): ship only the delta when the
+        // standby already holds the parent image, so the dispatch-time-vs-
+        // checkpoint-interval bound is measured on what actually changed;
+        // otherwise reconstruct and ship the full image.
         let extra = self.config.synthetic_state_bytes;
         for &t in &ids {
             if !self.jm.standby.has_standby(t) {
                 continue;
             }
-            if let Some((bytes, _)) = self.snapshots.get(now, id, t) {
-                let transfer = TransferModel::default().transfer_time(bytes.len() as u64 + extra);
-                self.jm.standby.dispatch_state(t, id, bytes, now, transfer);
+            let delta = match self.snapshots.blob(id, t) {
+                Some(SnapshotBlob::Delta { parent, bytes }) => Some((*parent, bytes.clone())),
+                _ => None,
+            };
+            let shipped = delta.and_then(|(parent, bytes)| {
+                let transfer = TransferModel::default().transfer_time(bytes.len() as u64);
+                self.jm.standby.dispatch_delta(t, id, parent, bytes, now, transfer)
+            });
+            if shipped.is_none() {
+                if let Some((bytes, _)) = self.snapshots.get(now, id, t) {
+                    let transfer =
+                        TransferModel::default().transfer_time(bytes.len() as u64 + extra);
+                    self.jm.standby.dispatch_state(t, id, bytes, now, transfer);
+                }
             }
         }
     }
@@ -574,7 +603,8 @@ impl Cluster {
         replacement.gen = gen;
         let gens = self.gens.clone();
         replacement.set_neighbor_gens(|t| gens.get(&t).copied().unwrap_or(0));
-        self.tasks.insert(task, Some(replacement));
+        let old = self.tasks.insert(task, Some(replacement)).flatten();
+        self.retire_ckpt(old);
         self.jm.recovering.insert(task);
         let now = self.sim.now();
         self.metrics.event(now, format!("standby/replacement for task {task} installed"));
@@ -758,7 +788,8 @@ impl Cluster {
         // Cancel everything now; redeploy after the restart delay.
         let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
         for id in ids {
-            self.tasks.insert(id, None);
+            let old = self.tasks.insert(id, None).flatten();
+            self.retire_ckpt(old);
             self.sim.drop_events_for(id);
         }
         self.metrics.event(self.sim.now(), "global rollback: cancelling all tasks".to_string());
@@ -894,6 +925,38 @@ impl Cluster {
             total.route_encodes += t.routing.route_encodes;
             total.record_clones += t.routing.record_clones;
         }
+        total
+    }
+
+    /// Fold a retired incarnation's encoder counters into the job-wide
+    /// accumulator before the `Task` object is dropped.
+    fn retire_ckpt(&mut self, old: Option<Task>) {
+        let Some(t) = old else { return };
+        let r = &mut self.retired_ckpt;
+        r.full_snapshots += t.ckpt.full_snapshots;
+        r.delta_snapshots += t.ckpt.delta_snapshots;
+        r.full_bytes += t.ckpt.full_bytes;
+        r.delta_bytes += t.ckpt.delta_bytes;
+        r.dirty_entries += t.ckpt.dirty_entries;
+        r.rebases += t.ckpt.rebases;
+    }
+
+    /// Aggregate incremental-checkpoint counters: per-task encoder stats
+    /// plus the snapshot store's reconstruction work and the standby
+    /// manager's delta shipping.
+    pub fn checkpoint_stats(&self) -> crate::metrics::CheckpointStats {
+        let mut total = self.retired_ckpt;
+        for t in self.tasks.values().flatten() {
+            total.full_snapshots += t.ckpt.full_snapshots;
+            total.delta_snapshots += t.ckpt.delta_snapshots;
+            total.full_bytes += t.ckpt.full_bytes;
+            total.delta_bytes += t.ckpt.delta_bytes;
+            total.dirty_entries += t.ckpt.dirty_entries;
+            total.rebases += t.ckpt.rebases;
+        }
+        total.reconstructions = self.snapshots.reconstructions();
+        total.reconstruct_us = self.snapshots.reconstruct_us();
+        total.delta_dispatches = self.jm.standby.delta_dispatches();
         total
     }
 

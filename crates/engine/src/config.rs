@@ -99,6 +99,15 @@ pub struct EngineConfig {
     /// jobs with large operator state (the §7.4 multi-failure experiments
     /// use 100 MB per operator).
     pub synthetic_state_bytes: u64,
+    /// Incremental (copy-on-write) checkpoints: after an incarnation's first
+    /// full image, barriers encode only entries dirtied since the previous
+    /// snapshot — the barrier path is O(dirty), and standby dispatch (§6.4)
+    /// ships delta bytes instead of the whole state.
+    pub incremental_checkpoints: bool,
+    /// Delta snapshots taken between full-image rebases: bounds delta-chain
+    /// length (restore reads at most this many blobs plus the base) and lets
+    /// the store GC superseded chains.
+    pub checkpoint_rebase_interval: u32,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +137,8 @@ impl Default for EngineConfig {
             num_nodes: 8,
             replay_batch: 16,
             synthetic_state_bytes: 0,
+            incremental_checkpoints: true,
+            checkpoint_rebase_interval: 8,
         }
     }
 }

@@ -37,8 +37,9 @@ pub enum Msg {
     // ----- checkpointing -----
     /// JM → sources: inject a barrier for checkpoint `id`.
     TriggerCheckpoint { id: u64 },
-    /// Task → JM: local snapshot for checkpoint `id` taken.
-    CheckpointAck { task: TaskId, id: u64, snapshot: bytes::Bytes },
+    /// Task → JM: local snapshot for checkpoint `id` taken. `delta_parent`
+    /// is the checkpoint the delta image builds on (`None` = full base).
+    CheckpointAck { task: TaskId, id: u64, snapshot: bytes::Bytes, delta_parent: Option<u64> },
     /// JM → all tasks: checkpoint `id` is globally complete (truncate logs).
     CheckpointComplete { id: u64 },
     /// JM self-message: time to trigger the next checkpoint.

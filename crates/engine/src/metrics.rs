@@ -29,6 +29,37 @@ pub struct RoutingStats {
     pub record_clones: u64,
 }
 
+/// Incremental-checkpoint counters: what each barrier actually encoded and
+/// shipped (full base images vs O(dirty) deltas), how often chains were
+/// rebased, and what the store/standby side paid to reconstruct or ship
+/// images. Per task for the encoder fields; aggregated job-wide by the
+/// cluster (which merges in the snapshot-store and standby-manager
+/// counters) and surfaced through `RunReport`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Full base images encoded (an incarnation's first snapshot + rebases).
+    pub full_snapshots: u64,
+    /// Delta images encoded.
+    pub delta_snapshots: u64,
+    /// Total bytes across full base images.
+    pub full_bytes: u64,
+    /// Total bytes across delta images.
+    pub delta_bytes: u64,
+    /// Dirty entries shipped across all deltas (puts + tombstones).
+    pub dirty_entries: u64,
+    /// Full snapshots that closed an existing delta chain (every K-th
+    /// checkpoint per `checkpoint_rebase_interval`).
+    pub rebases: u64,
+    /// Full-image reconstructions the snapshot store performed on read
+    /// (restores, global rollbacks, cold standby loads).
+    pub reconstructions: u64,
+    /// Modelled virtual microseconds spent reading + merging delta chains.
+    pub reconstruct_us: u64,
+    /// Standby state transfers that shipped only a delta because the standby
+    /// already held the parent image (§6.4).
+    pub delta_dispatches: u64,
+}
+
 /// Robustness counters for the failure/recovery machinery: how often the
 /// retry ladders fired, how often recovery escalated to a global rollback,
 /// and how overlapped the failures were. Surfaced through `RunReport` so

@@ -92,6 +92,9 @@ pub struct RunReport {
     /// Failure/recovery robustness counters (retries, escalations,
     /// concurrent failures, detection latency).
     pub recovery_stats: crate::metrics::RecoveryStats,
+    /// Incremental-checkpoint counters (full vs delta images, bytes, chain
+    /// rebases, reconstructions, delta standby dispatches).
+    pub checkpoint_stats: crate::metrics::CheckpointStats,
     /// Host wall-clock seconds spent driving the simulation (the Figure-5
     /// overhead metric: causal logging is real CPU work here).
     pub wall_seconds: f64,
@@ -317,6 +320,7 @@ impl JobRunner {
             determinant_bytes: self.cluster.total_determinant_bytes(),
             last_completed_checkpoint: self.cluster.last_completed_checkpoint(),
             recovery_stats: self.cluster.metrics.recovery,
+            checkpoint_stats: self.cluster.checkpoint_stats(),
             wall_seconds,
         }
     }

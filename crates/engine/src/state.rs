@@ -1,16 +1,39 @@
-//! Keyed operator state with whole-snapshot (de)serialization.
+//! Keyed operator state with incremental (copy-on-write) snapshots.
 //!
 //! Operators keep all their state here so the engine can checkpoint and
 //! restore it uniformly: value state, list state (window contents, join
 //! buffers), and the registered timers (Flink likewise snapshots timers).
+//!
+//! Every mutation marks its `(section, key)` dirty; at a barrier the task
+//! either streams the *full* canonical image or only the dirty entries (puts
+//! for keys still present, tombstones for removed ones) into a reusable
+//! [`ByteWriter`] — the O(dirty) barrier path of incremental checkpointing.
+//! Both encoders emit the sectioned delta-map format of
+//! [`clonos_storage::deltamap`], with fixed-width big-endian keys so the
+//! store's canonical `(section, byte-lex key)` order equals numeric order
+//! and `merge_chain(base, deltas)` is byte-identical to a full snapshot
+//! taken at the same epoch.
 
 use crate::record::Row;
 use clonos_storage::codec::{ByteReader, ByteWriter, CodecError};
+use clonos_storage::deltamap::{self, EntryRef};
 use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifier of a named state within an operator (e.g. "counts" = 0).
 pub type StateId = u16;
+
+/// Image section carrying the task's execution-progress scalars (written by
+/// the task layer; the state store only owns sections 1..=4).
+pub const SEC_META: u8 = 0;
+/// Value-state entries: key = state id (2B BE) + key (8B BE), value = row.
+pub const SEC_VALUES: u8 = 1;
+/// List-state entries: same key shape, value = varint count + rows.
+pub const SEC_LISTS: u8 = 2;
+/// Event-time timers: key = ts/key/tag (8B BE each), empty value.
+pub const SEC_EVENT_TIMERS: u8 = 3;
+/// Processing-time timers: same shape as event timers.
+pub const SEC_PROC_TIMERS: u8 = 4;
 
 /// An event- or processing-time timer owned by a key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -22,6 +45,44 @@ pub struct StateTimer {
     pub tag: u64,
 }
 
+fn kv_key(id: StateId, key: u64) -> [u8; 10] {
+    let mut k = [0u8; 10];
+    k[..2].copy_from_slice(&id.to_be_bytes());
+    k[2..].copy_from_slice(&key.to_be_bytes());
+    k
+}
+
+fn timer_key(t: &StateTimer) -> [u8; 24] {
+    let mut k = [0u8; 24];
+    k[..8].copy_from_slice(&t.ts.to_be_bytes());
+    k[8..16].copy_from_slice(&t.key.to_be_bytes());
+    k[16..].copy_from_slice(&t.tag.to_be_bytes());
+    k
+}
+
+fn decode_kv_key(key: &[u8]) -> Result<(StateId, u64), CodecError> {
+    if key.len() != 10 {
+        return Err(CodecError::UnexpectedEof { needed: 10, remaining: key.len() });
+    }
+    let id = StateId::from_be_bytes([key[0], key[1]]);
+    let mut k = [0u8; 8];
+    k.copy_from_slice(&key[2..]);
+    Ok((id, u64::from_be_bytes(k)))
+}
+
+fn decode_timer_key(key: &[u8]) -> Result<StateTimer, CodecError> {
+    if key.len() != 24 {
+        return Err(CodecError::UnexpectedEof { needed: 24, remaining: key.len() });
+    }
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&key[..8]);
+    let ts = u64::from_be_bytes(a);
+    a.copy_from_slice(&key[8..16]);
+    let k = u64::from_be_bytes(a);
+    a.copy_from_slice(&key[16..]);
+    Ok(StateTimer { ts, key: k, tag: u64::from_be_bytes(a) })
+}
+
 /// The per-task keyed state store.
 #[derive(Debug, Default)]
 pub struct StateStore {
@@ -29,6 +90,13 @@ pub struct StateStore {
     lists: BTreeMap<(StateId, u64), Vec<Row>>,
     event_timers: BTreeSet<StateTimer>,
     proc_timers: BTreeSet<StateTimer>,
+    // Epoch-scoped dirty tracking: every key mutated (inserted, updated or
+    // removed) since the last snapshot encoding. Presence in the live map at
+    // encode time decides put vs tombstone.
+    dirty_values: BTreeSet<(StateId, u64)>,
+    dirty_lists: BTreeSet<(StateId, u64)>,
+    dirty_event_timers: BTreeSet<StateTimer>,
+    dirty_proc_timers: BTreeSet<StateTimer>,
 }
 
 impl StateStore {
@@ -43,11 +111,16 @@ impl StateStore {
     }
 
     pub fn set_value(&mut self, id: StateId, key: u64, row: Row) {
+        self.dirty_values.insert((id, key));
         self.values.insert((id, key), row);
     }
 
     pub fn take_value(&mut self, id: StateId, key: u64) -> Option<Row> {
-        self.values.remove(&(id, key))
+        let prev = self.values.remove(&(id, key));
+        if prev.is_some() {
+            self.dirty_values.insert((id, key));
+        }
+        prev
     }
 
     pub fn values_of(&self, id: StateId) -> impl Iterator<Item = (u64, &Row)> {
@@ -61,11 +134,18 @@ impl StateStore {
     }
 
     pub fn push_list(&mut self, id: StateId, key: u64, row: Row) {
+        self.dirty_lists.insert((id, key));
         self.lists.entry((id, key)).or_default().push(row);
     }
 
     pub fn take_list(&mut self, id: StateId, key: u64) -> Vec<Row> {
-        self.lists.remove(&(id, key)).unwrap_or_default()
+        match self.lists.remove(&(id, key)) {
+            Some(rows) => {
+                self.dirty_lists.insert((id, key));
+                rows
+            }
+            None => Vec::new(),
+        }
     }
 
     pub fn lists_of(&self, id: StateId) -> impl Iterator<Item = (u64, &Vec<Row>)> {
@@ -75,10 +155,12 @@ impl StateStore {
     // ----- timers -----
 
     pub fn register_event_timer(&mut self, t: StateTimer) {
+        self.dirty_event_timers.insert(t);
         self.event_timers.insert(t);
     }
 
     pub fn register_proc_timer(&mut self, t: StateTimer) {
+        self.dirty_proc_timers.insert(t);
         self.proc_timers.insert(t);
     }
 
@@ -90,6 +172,7 @@ impl StateStore {
                 break;
             }
             self.event_timers.remove(&t);
+            self.dirty_event_timers.insert(t);
             due.push(t);
         }
         due
@@ -97,7 +180,11 @@ impl StateStore {
 
     /// Remove and return a specific processing-time timer if registered.
     pub fn take_proc_timer(&mut self, t: StateTimer) -> bool {
-        self.proc_timers.remove(&t)
+        let removed = self.proc_timers.remove(&t);
+        if removed {
+            self.dirty_proc_timers.insert(t);
+        }
+        removed
     }
 
     pub fn proc_timers(&self) -> impl Iterator<Item = &StateTimer> {
@@ -113,67 +200,183 @@ impl StateStore {
         self.values.len() + self.lists.len()
     }
 
-    // ----- snapshot -----
+    // ----- snapshot encoding -----
 
-    /// Serialize the full store (checkpointing).
+    /// Entries a full encoding emits.
+    pub fn full_entry_count(&self) -> u64 {
+        (self.values.len()
+            + self.lists.len()
+            + self.event_timers.len()
+            + self.proc_timers.len()) as u64
+    }
+
+    /// Entries a dirty (delta) encoding emits.
+    pub fn dirty_entry_count(&self) -> u64 {
+        (self.dirty_values.len()
+            + self.dirty_lists.len()
+            + self.dirty_event_timers.len()
+            + self.dirty_proc_timers.len()) as u64
+    }
+
+    fn write_value_entry(w: &mut ByteWriter, id: StateId, key: u64, row: &Row) {
+        // Row bytes stream straight into the shared writer behind a patched
+        // u32 length — no intermediate Vec per entry.
+        let pos = deltamap::write_put_header(w, SEC_VALUES, &kv_key(id, key));
+        row.encode(w);
+        w.end_u32_len(pos);
+    }
+
+    fn write_list_entry(w: &mut ByteWriter, id: StateId, key: u64, rows: &[Row]) {
+        let pos = deltamap::write_put_header(w, SEC_LISTS, &kv_key(id, key));
+        w.put_varint(rows.len() as u64);
+        for row in rows {
+            row.encode(w);
+        }
+        w.end_u32_len(pos);
+    }
+
+    fn write_timer_entry(w: &mut ByteWriter, section: u8, t: &StateTimer) {
+        let pos = deltamap::write_put_header(w, section, &timer_key(t));
+        w.end_u32_len(pos); // all information lives in the key
+    }
+
+    /// Stream every entry in canonical `(section, key)` order into `w` — the
+    /// body of a full image. Pure: does not touch dirty tracking, so
+    /// [`StateStore::digest`] can observe at any time.
+    pub fn write_full_entries(&self, w: &mut ByteWriter) {
+        for (&(id, key), row) in &self.values {
+            Self::write_value_entry(w, id, key, row);
+        }
+        for (&(id, key), rows) in &self.lists {
+            Self::write_list_entry(w, id, key, rows);
+        }
+        for t in &self.event_timers {
+            Self::write_timer_entry(w, SEC_EVENT_TIMERS, t);
+        }
+        for t in &self.proc_timers {
+            Self::write_timer_entry(w, SEC_PROC_TIMERS, t);
+        }
+    }
+
+    /// Stream only the entries dirtied since the last snapshot: a put for
+    /// each dirty key still present, a tombstone for each removed one.
+    /// Clears the dirty sets (the epoch's change log is consumed).
+    pub fn write_dirty_entries(&mut self, w: &mut ByteWriter) {
+        for &(id, key) in &self.dirty_values {
+            match self.values.get(&(id, key)) {
+                Some(row) => Self::write_value_entry(w, id, key, row),
+                None => deltamap::write_tombstone(w, SEC_VALUES, &kv_key(id, key)),
+            }
+        }
+        for &(id, key) in &self.dirty_lists {
+            match self.lists.get(&(id, key)) {
+                Some(rows) => Self::write_list_entry(w, id, key, rows),
+                None => deltamap::write_tombstone(w, SEC_LISTS, &kv_key(id, key)),
+            }
+        }
+        for t in &self.dirty_event_timers {
+            if self.event_timers.contains(t) {
+                Self::write_timer_entry(w, SEC_EVENT_TIMERS, t);
+            } else {
+                deltamap::write_tombstone(w, SEC_EVENT_TIMERS, &timer_key(t));
+            }
+        }
+        for t in &self.dirty_proc_timers {
+            if self.proc_timers.contains(t) {
+                Self::write_timer_entry(w, SEC_PROC_TIMERS, t);
+            } else {
+                deltamap::write_tombstone(w, SEC_PROC_TIMERS, &timer_key(t));
+            }
+        }
+        self.clear_dirty();
+    }
+
+    /// Drop the change log (after a full encoding made it redundant).
+    pub fn clear_dirty(&mut self) {
+        self.dirty_values.clear();
+        self.dirty_lists.clear();
+        self.dirty_event_timers.clear();
+        self.dirty_proc_timers.clear();
+    }
+
+    /// Serialize the full store as a standalone image (count + entries).
     pub fn snapshot(&self) -> Bytes {
         let mut w = ByteWriter::new();
-        w.put_varint(self.values.len() as u64);
-        for (&(id, key), row) in &self.values {
-            w.put_varint(id as u64);
-            w.put_varint(key);
-            row.encode(&mut w);
-        }
-        w.put_varint(self.lists.len() as u64);
-        for (&(id, key), rows) in &self.lists {
-            w.put_varint(id as u64);
-            w.put_varint(key);
-            w.put_varint(rows.len() as u64);
-            for row in rows {
-                row.encode(&mut w);
-            }
-        }
-        for timers in [&self.event_timers, &self.proc_timers] {
-            w.put_varint(timers.len() as u64);
-            for t in timers.iter() {
-                w.put_varint(t.ts);
-                w.put_varint(t.key);
-                w.put_varint(t.tag);
-            }
-        }
+        w.put_varint(self.full_entry_count());
+        self.write_full_entries(&mut w);
         w.freeze()
     }
 
-    /// Restore from a snapshot, replacing all current contents.
+    /// Serialize only the dirty entries as a standalone delta image and
+    /// consume the change log. `merge_chain(base, deltas)` over the images
+    /// this produces reconstructs [`StateStore::snapshot`] byte-identically.
+    pub fn snapshot_delta(&mut self) -> Bytes {
+        let mut w = ByteWriter::new();
+        w.put_varint(self.dirty_entry_count());
+        self.write_dirty_entries(&mut w);
+        w.freeze()
+    }
+
+    /// Apply one decoded image entry (sections 1..=4). Tombstones remove;
+    /// restore-path inserts bypass dirty tracking (a freshly restored store
+    /// has an empty change log, so its first delta is relative to the image).
+    pub fn apply_entry(&mut self, e: &EntryRef<'_>) -> Result<(), CodecError> {
+        match e.section {
+            SEC_VALUES => {
+                let (id, key) = decode_kv_key(e.key)?;
+                match e.value {
+                    Some(v) => {
+                        let mut r = ByteReader::new(v);
+                        self.values.insert((id, key), Row::decode(&mut r)?);
+                    }
+                    None => {
+                        self.values.remove(&(id, key));
+                    }
+                }
+            }
+            SEC_LISTS => {
+                let (id, key) = decode_kv_key(e.key)?;
+                match e.value {
+                    Some(v) => {
+                        let mut r = ByteReader::new(v);
+                        let n = r.get_varint()?;
+                        let mut rows = Vec::with_capacity((n as usize).min(64 * 1024));
+                        for _ in 0..n {
+                            rows.push(Row::decode(&mut r)?);
+                        }
+                        self.lists.insert((id, key), rows);
+                    }
+                    None => {
+                        self.lists.remove(&(id, key));
+                    }
+                }
+            }
+            SEC_EVENT_TIMERS => {
+                let t = decode_timer_key(e.key)?;
+                if e.value.is_some() {
+                    self.event_timers.insert(t);
+                } else {
+                    self.event_timers.remove(&t);
+                }
+            }
+            SEC_PROC_TIMERS => {
+                let t = decode_timer_key(e.key)?;
+                if e.value.is_some() {
+                    self.proc_timers.insert(t);
+                } else {
+                    self.proc_timers.remove(&t);
+                }
+            }
+            tag => return Err(CodecError::InvalidTag { context: "state section", tag }),
+        }
+        Ok(())
+    }
+
+    /// Restore from a full image, replacing all current contents.
     pub fn restore(bytes: &[u8]) -> Result<StateStore, CodecError> {
-        let mut r = ByteReader::new(bytes);
         let mut store = StateStore::new();
-        let nvals = r.get_varint()?;
-        for _ in 0..nvals {
-            let id = r.get_varint()? as StateId;
-            let key = r.get_varint()?;
-            store.values.insert((id, key), Row::decode(&mut r)?);
-        }
-        let nlists = r.get_varint()?;
-        for _ in 0..nlists {
-            let id = r.get_varint()? as StateId;
-            let key = r.get_varint()?;
-            let n = r.get_varint()?;
-            let mut rows = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                rows.push(Row::decode(&mut r)?);
-            }
-            store.lists.insert((id, key), rows);
-        }
-        for timers in [&mut store.event_timers, &mut store.proc_timers] {
-            let n = r.get_varint()?;
-            for _ in 0..n {
-                timers.insert(StateTimer {
-                    ts: r.get_varint()?,
-                    key: r.get_varint()?,
-                    tag: r.get_varint()?,
-                });
-            }
+        for e in deltamap::read_entries(bytes)? {
+            store.apply_entry(&e)?;
         }
         Ok(store)
     }
@@ -181,7 +384,7 @@ impl StateStore {
     /// Deterministic digest of the store contents (test oracle for state
     /// equivalence between a recovered run and its pre-failure execution).
     pub fn digest(&self) -> u64 {
-        // FNV-1a over the canonical snapshot encoding.
+        // FNV-1a over the canonical full-image encoding.
         let bytes = self.snapshot();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &b in bytes.iter() {
@@ -196,6 +399,7 @@ impl StateStore {
 mod tests {
     use super::*;
     use crate::record::Datum;
+    use clonos_storage::deltamap::merge_chain;
 
     fn row(v: i64) -> Row {
         Row::new(vec![Datum::Int(v)])
@@ -282,5 +486,54 @@ mod tests {
         s.register_proc_timer(t);
         assert!(s.take_proc_timer(t));
         assert!(!s.take_proc_timer(t));
+    }
+
+    #[test]
+    fn delta_tracks_only_mutations() {
+        let mut s = StateStore::new();
+        s.set_value(0, 1, row(1));
+        s.set_value(0, 2, row(2));
+        let _base = s.snapshot_delta(); // consume the change log
+        assert_eq!(s.dirty_entry_count(), 0);
+        s.set_value(0, 2, row(22));
+        assert_eq!(s.dirty_entry_count(), 1);
+        // Reads leave the change log untouched.
+        let _ = s.value(0, 1);
+        let _ = s.digest();
+        assert_eq!(s.dirty_entry_count(), 1);
+    }
+
+    #[test]
+    fn base_plus_deltas_reconstruct_full_snapshot_bytes() {
+        let mut s = StateStore::new();
+        s.set_value(0, 1, row(1));
+        s.push_list(1, 5, row(9));
+        s.register_event_timer(StateTimer { ts: 50, key: 5, tag: 0 });
+        let base = s.snapshot();
+        s.clear_dirty();
+        // Epoch 1: mutate, remove, fire a timer.
+        s.set_value(0, 1, row(11));
+        s.set_value(0, 2, row(2));
+        let _ = s.pop_due_event_timers(60);
+        let d1 = s.snapshot_delta();
+        // Epoch 2: deletion + list growth.
+        assert!(s.take_value(0, 2).is_some());
+        s.push_list(1, 5, row(10));
+        s.register_proc_timer(StateTimer { ts: 70, key: 1, tag: 2 });
+        let d2 = s.snapshot_delta();
+        let merged = merge_chain(&base, &[&d1, &d2]).unwrap();
+        assert_eq!(merged, s.snapshot());
+    }
+
+    #[test]
+    fn removal_of_never_snapshotted_key_yields_harmless_tombstone() {
+        let mut s = StateStore::new();
+        let base = s.snapshot();
+        s.set_value(0, 1, row(1));
+        assert!(s.take_value(0, 1).is_some()); // born and dead within the epoch
+        let d = s.snapshot_delta();
+        let merged = merge_chain(&base, &[&d]).unwrap();
+        assert_eq!(merged, s.snapshot());
+        assert_eq!(StateStore::restore(&merged).unwrap().entries(), 0);
     }
 }

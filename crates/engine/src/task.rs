@@ -20,10 +20,10 @@ use crate::config::{EngineConfig, FtMode};
 use crate::error::EngineError;
 use crate::graph::{Partitioning, SinkSpec, SourceSpec, TaskSpec, TimestampMode, VertexKind};
 use crate::messages::Msg;
-use crate::metrics::{JobMetrics, RoutingStats};
+use crate::metrics::{CheckpointStats, JobMetrics, RoutingStats};
 use crate::operator::{timer_id, OpCtx, Operator, TimerKind};
 use crate::record::{decode_buffer, Datum, Record, Row, StreamElement};
-use crate::state::{StateStore, StateTimer};
+use crate::state::{StateStore, StateTimer, SEC_META};
 use bytes::Bytes;
 use clonos::causal_log::{CausalLogManager, TaskLogSnapshot};
 use clonos::config::GuaranteeMode;
@@ -34,6 +34,7 @@ use clonos::services::CausalServices;
 use clonos::{ChannelId, EpochId, TaskId};
 use clonos_sim::{Link, ServiceQueue, SimRng, Simulation, VirtualDuration, VirtualTime};
 use clonos_storage::codec::{ByteReader, ByteWriter};
+use clonos_storage::deltamap;
 use clonos_storage::log::DurableLog;
 use clonos_storage::snapshot::SnapshotStore;
 use clonos_storage::spill::SpillDevice;
@@ -105,10 +106,14 @@ impl<'a> TaskCtx<'a> {
     }
 }
 
-/// Serialized per-task checkpoint payload.
-#[derive(Debug, Clone, PartialEq)]
+/// Decoded per-task checkpoint payload: a full delta-map image parsed into
+/// a fresh [`StateStore`] plus the execution-progress scalars carried in the
+/// image's META section. (Encoding happens directly on the task's reusable
+/// scratch writer — see `Task::encode_snapshot` — so the steady-state
+/// barrier path is O(dirty) and allocation-free.)
+#[derive(Debug, Default)]
 pub struct TaskSnapshot {
-    pub state: Bytes,
+    pub store: StateStore,
     pub emit_seq: u64,
     pub source_offset: u64,
     pub max_event_time: u64,
@@ -121,40 +126,27 @@ pub struct TaskSnapshot {
 }
 
 impl TaskSnapshot {
-    pub fn encode(&self) -> Bytes {
-        let mut w = ByteWriter::new();
-        w.put_bytes(&self.state);
-        w.put_varint(self.emit_seq);
-        w.put_varint(self.source_offset);
-        w.put_varint(self.max_event_time);
-        w.put_varint(self.watermark);
-        w.put_varint(self.channel_watermarks.len() as u64);
-        for &wm in &self.channel_watermarks {
-            w.put_varint(wm);
-        }
-        w.freeze()
-    }
-
+    /// Parse a reconstructed *full* image (a base, or base + merged deltas).
     pub fn decode(bytes: &[u8]) -> Result<TaskSnapshot, EngineError> {
-        let mut r = ByteReader::new(bytes);
-        let state = Bytes::copy_from_slice(r.get_bytes()?);
-        let emit_seq = r.get_varint()?;
-        let source_offset = r.get_varint()?;
-        let max_event_time = r.get_varint()?;
-        let watermark = r.get_varint()?;
-        let n = r.get_varint()? as usize;
-        let mut channel_watermarks = Vec::with_capacity(n);
-        for _ in 0..n {
-            channel_watermarks.push(r.get_varint()?);
+        let mut snap = TaskSnapshot::default();
+        for e in deltamap::read_entries(bytes)? {
+            if e.section == SEC_META {
+                let Some(v) = e.value else { continue };
+                let mut r = ByteReader::new(v);
+                snap.emit_seq = r.get_varint()?;
+                snap.source_offset = r.get_varint()?;
+                snap.max_event_time = r.get_varint()?;
+                snap.watermark = r.get_varint()?;
+                let n = r.get_varint()? as usize;
+                snap.channel_watermarks = Vec::with_capacity(n.min(64 * 1024));
+                for _ in 0..n {
+                    snap.channel_watermarks.push(r.get_varint()?);
+                }
+            } else {
+                snap.store.apply_entry(&e)?;
+            }
         }
-        Ok(TaskSnapshot {
-            state,
-            emit_seq,
-            source_offset,
-            max_event_time,
-            watermark,
-            channel_watermarks,
-        })
+        Ok(snap)
     }
 }
 
@@ -271,6 +263,18 @@ pub struct Task {
     /// channel's builder.
     route_scratch: ByteWriter,
     pub routing: RoutingStats,
+    /// Scratch encoder for checkpoint images (full or delta): reused across
+    /// barriers so the steady-state snapshot path allocates nothing.
+    snap_scratch: ByteWriter,
+    /// Checkpoint id of the last image this incarnation acked — the parent
+    /// of the next delta. `None` forces a full base (fresh incarnations and
+    /// disabled incremental mode).
+    chain_parent: Option<u64>,
+    /// Delta images since the last full base; at
+    /// `checkpoint_rebase_interval` the next barrier rebases.
+    snaps_since_base: u32,
+    /// Incremental-checkpoint counters, aggregated job-wide by the cluster.
+    pub ckpt: CheckpointStats,
 }
 
 impl Task {
@@ -396,6 +400,10 @@ impl Task {
             buffer_size: config.buffer_size,
             route_scratch: ByteWriter::new(),
             routing: RoutingStats::default(),
+            snap_scratch: ByteWriter::new(),
+            chain_parent: None,
+            snaps_since_base: 0,
+            ckpt: CheckpointStats::default(),
         }
     }
 
@@ -1273,11 +1281,30 @@ impl Task {
                 self.flush_channel(i, at, ctx)?;
             }
         }
-        // Snapshot state and ack.
-        let snap = self.make_snapshot();
+        // Snapshot state and ack: a full base for the incarnation's first
+        // checkpoint (and every K-th thereafter — chain-length rebase), an
+        // O(dirty) delta otherwise.
+        let full = !ctx.config.incremental_checkpoints
+            || self.chain_parent.is_none()
+            || self.snaps_since_base >= ctx.config.checkpoint_rebase_interval;
+        let snapshot = self.encode_snapshot(full);
+        let delta_parent = if full { None } else { self.chain_parent };
+        if full {
+            if self.chain_parent.is_some() {
+                self.ckpt.rebases += 1;
+            }
+            self.ckpt.full_snapshots += 1;
+            self.ckpt.full_bytes += snapshot.len() as u64;
+            self.snaps_since_base = 0;
+        } else {
+            self.ckpt.delta_snapshots += 1;
+            self.ckpt.delta_bytes += snapshot.len() as u64;
+            self.snaps_since_base += 1;
+        }
+        self.chain_parent = Some(id);
         ctx.send_ctrl(
             0,
-            Msg::CheckpointAck { task: self.spec.id, id, snapshot: snap.encode() },
+            Msg::CheckpointAck { task: self.spec.id, id, snapshot, delta_parent },
         );
         // Transactional sinks learn their epoch boundary from barriers.
         // Open the next epoch.
@@ -1291,18 +1318,41 @@ impl Task {
         Ok(())
     }
 
-    fn make_snapshot(&self) -> TaskSnapshot {
-        TaskSnapshot {
-            state: self.state.snapshot(),
-            emit_seq: self.emit_seq,
-            source_offset: self.source_offset(),
-            max_event_time: match &self.role {
-                Role::Source { max_event_time, .. } => *max_event_time,
-                _ => 0,
-            },
-            watermark: self.watermark,
-            channel_watermarks: self.ins.iter().map(|c| c.watermark).collect(),
+    /// Encode a checkpoint image into the reusable scratch writer. The META
+    /// entry (execution-progress scalars) is written in every image — full
+    /// or delta — since those scalars change each epoch; state sections
+    /// follow in canonical order, so a full image here is byte-identical to
+    /// what `merge_chain` reconstructs from a base + its deltas.
+    fn encode_snapshot(&mut self, full: bool) -> Bytes {
+        let source_offset = self.source_offset();
+        let max_event_time = match &self.role {
+            Role::Source { max_event_time, .. } => *max_event_time,
+            _ => 0,
+        };
+        self.snap_scratch.clear();
+        let entries =
+            if full { self.state.full_entry_count() } else { self.state.dirty_entry_count() };
+        if !full {
+            self.ckpt.dirty_entries += entries;
         }
+        self.snap_scratch.put_varint(1 + entries);
+        let pos = deltamap::write_put_header(&mut self.snap_scratch, SEC_META, &[]);
+        self.snap_scratch.put_varint(self.emit_seq);
+        self.snap_scratch.put_varint(source_offset);
+        self.snap_scratch.put_varint(max_event_time);
+        self.snap_scratch.put_varint(self.watermark);
+        self.snap_scratch.put_varint(self.ins.len() as u64);
+        for c in &self.ins {
+            self.snap_scratch.put_varint(c.watermark);
+        }
+        self.snap_scratch.end_u32_len(pos);
+        if full {
+            self.state.write_full_entries(&mut self.snap_scratch);
+            self.state.clear_dirty();
+        } else {
+            self.state.write_dirty_entries(&mut self.snap_scratch);
+        }
+        self.snap_scratch.take_frozen()
     }
 
     fn on_checkpoint_complete(&mut self, id: u64, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
@@ -1449,11 +1499,14 @@ impl Task {
         rebuild_sink_dedup: bool,
         ctx: &mut TaskCtx<'_>,
     ) -> Result<(), EngineError> {
-        // Restore checkpointed state (empty bytes = fresh start, cp 0).
+        // Restore checkpointed state (empty bytes = fresh start, cp 0). The
+        // image is always a reconstructed *full* one (the store merges delta
+        // chains on read); this incarnation's own chain starts over with a
+        // full base at its first barrier (`chain_parent` is None).
         self.watermark = 0;
         if !state.is_empty() {
             let snap = TaskSnapshot::decode(&state)?;
-            self.state = StateStore::restore(&snap.state)?;
+            self.state = snap.store;
             self.emit_seq = snap.emit_seq;
             self.watermark = snap.watermark;
             for (c, wm) in self.ins.iter_mut().zip(&snap.channel_watermarks) {

@@ -160,9 +160,22 @@ pub fn oracle_space() -> ChaosSpace {
 
 /// Run the oracle job under `ft` with an optional chaos plan applied.
 pub fn run_oracle(ft: FtMode, seed: u64, chaos: Option<&ChaosPlan>) -> RunReport {
+    run_oracle_with(ft, seed, chaos, |_| {})
+}
+
+/// [`run_oracle`] with an engine-config tweak applied before launch, for
+/// sweeps that vary knobs the oracle defaults pin down (e.g. incremental
+/// checkpointing and its rebase interval).
+pub fn run_oracle_with(
+    ft: FtMode,
+    seed: u64,
+    chaos: Option<&ChaosPlan>,
+    tweak: impl FnOnce(&mut EngineConfig),
+) -> RunReport {
     let parallelism = ORACLE_PARALLELISM;
     let mut cfg = EngineConfig::default().with_seed(seed).with_ft(ft);
     cfg.num_nodes = ORACLE_NODES;
+    tweak(&mut cfg);
     let mut runner = JobRunner::new(oracle_job(parallelism), cfg);
     let n = ORACLE_RATE as i64 * parallelism as i64 * ORACLE_INPUT_SECS;
     let rows: Vec<Row> =

@@ -118,6 +118,7 @@ pub const REPLAY_SURFACE_FILES: &[&str] = &[
 pub const STATS_STRUCTS: &[(&str, &str)] = &[
     ("RecoveryStats", "crates/engine/src/metrics.rs"),
     ("RoutingStats", "crates/engine/src/metrics.rs"),
+    ("CheckpointStats", "crates/engine/src/metrics.rs"),
     ("CausalLogStats", "crates/core/src/causal_log.rs"),
 ];
 

@@ -55,11 +55,12 @@ impl MiniRepo {
         repo.write(
             "crates/engine/src/metrics.rs",
             "pub struct RecoveryStats {\n    pub escalations: u64,\n}\n\
-             pub struct RoutingStats {\n    pub record_clones: u64,\n}\n",
+             pub struct RoutingStats {\n    pub record_clones: u64,\n}\n\
+             pub struct CheckpointStats {\n    pub rebases: u64,\n}\n",
         );
         repo.write(
             "crates/engine/src/runner.rs",
-            "pub struct RunReport {\n    pub recovery_stats: RecoveryStats,\n    pub routing_stats: RoutingStats,\n    pub log_stats: CausalLogStats,\n}\n",
+            "pub struct RunReport {\n    pub recovery_stats: RecoveryStats,\n    pub routing_stats: RoutingStats,\n    pub checkpoint_stats: CheckpointStats,\n    pub log_stats: CausalLogStats,\n}\n",
         );
         repo.write(
             "crates/core/src/causal_log.rs",
@@ -67,7 +68,7 @@ impl MiniRepo {
         );
         repo.write(
             "crates/engine/tests/counters.rs",
-            "fn consume(r: RunReport) {\n    let _ = (r.recovery_stats.escalations, r.routing_stats.record_clones, r.log_stats.deltas_ingested);\n}\n",
+            "fn consume(r: RunReport) {\n    let _ = (r.recovery_stats.escalations, r.routing_stats.record_clones, r.checkpoint_stats.rebases, r.log_stats.deltas_ingested);\n}\n",
         );
         for f in ["recovery.rs", "standby.rs", "inflight.rs", "services.rs"] {
             repo.write(&format!("crates/core/src/{f}"), "// empty recovery-path module\n");

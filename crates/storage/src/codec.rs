@@ -115,6 +115,26 @@ impl ByteWriter {
         self.buf.put_slice(v);
     }
 
+    /// Reserve a fixed-width `u32` length prefix and return its position.
+    /// The caller streams the value directly into the writer and then calls
+    /// [`ByteWriter::end_u32_len`] to patch the actual length in — no
+    /// intermediate `Vec` per value, which is what keeps snapshot encoding
+    /// allocation-free in the steady state.
+    #[inline]
+    pub fn begin_u32_len(&mut self) -> usize {
+        let pos = self.buf.len();
+        self.buf.put_u32_le(0);
+        pos
+    }
+
+    /// Patch the placeholder written by [`ByteWriter::begin_u32_len`] with
+    /// the number of bytes appended since.
+    #[inline]
+    pub fn end_u32_len(&mut self, pos: usize) {
+        let len = (self.buf.len() - pos - 4) as u32;
+        self.buf[pos..pos + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
     pub fn freeze(self) -> Bytes {
         self.buf.freeze()
     }
@@ -207,6 +227,13 @@ impl<'a> ByteReader<'a> {
         Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
     }
 
+    pub fn get_u32_le(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(s);
+        Ok(u32::from_le_bytes(a))
+    }
+
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {
         let s = self.take(8)?;
         let mut a = [0u8; 8];
@@ -285,6 +312,24 @@ mod tests {
         assert!(r.get_bool().unwrap());
         assert_eq!(r.get_str().unwrap(), "clonos");
         assert_eq!(r.get_bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn u32_len_patching() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xaa);
+        let pos = w.begin_u32_len();
+        w.put_raw(b"hello");
+        w.end_u32_len(pos);
+        let pos2 = w.begin_u32_len();
+        w.end_u32_len(pos2); // empty value
+        let bytes = w.freeze();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xaa);
+        let n = r.get_u32_le().unwrap() as usize;
+        assert_eq!(r.get_raw(n).unwrap(), b"hello");
+        assert_eq!(r.get_u32_le().unwrap(), 0);
         assert!(r.is_empty());
     }
 

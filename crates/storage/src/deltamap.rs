@@ -1,0 +1,213 @@
+//! Sectioned key/value delta-map codec — the wire format of incremental
+//! checkpoints.
+//!
+//! A snapshot image is a flat stream of entries over `(section, key)` pairs:
+//! a varint entry count followed by, per entry, a one-byte section id, a
+//! length-prefixed key (sections use fixed-width big-endian keys so byte-wise
+//! lexicographic order equals numeric order), a one-byte op, and — for puts —
+//! a `u32`-LE length-prefixed value. A **full image** contains only puts in
+//! canonical `(section, key)` order; a **delta** contains puts for entries
+//! mutated since the parent image and tombstones for entries removed.
+//!
+//! [`merge_chain`] applies deltas (oldest first) on top of a base image and
+//! re-encodes the canonical full image — byte-identical to a full snapshot
+//! taken at the same epoch, which is the property the engine's incremental
+//! checkpointing tests pin down.
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Entry op: the `(section, key)` pair was removed since the parent image.
+pub const OP_TOMBSTONE: u8 = 0;
+/// Entry op: the `(section, key)` pair maps to the attached value.
+pub const OP_PUT: u8 = 1;
+
+/// One decoded entry, borrowing key/value bytes from the underlying image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryRef<'a> {
+    pub section: u8,
+    pub key: &'a [u8],
+    /// `Some(value)` for a put, `None` for a tombstone.
+    pub value: Option<&'a [u8]>,
+}
+
+/// Write a put entry's header (section, key, op, value-length placeholder)
+/// and return the placeholder position. The caller streams the value into
+/// `w` and then closes the entry with [`ByteWriter::end_u32_len`].
+#[inline]
+pub fn write_put_header(w: &mut ByteWriter, section: u8, key: &[u8]) -> usize {
+    debug_assert!(key.len() <= u8::MAX as usize);
+    w.put_u8(section);
+    w.put_u8(key.len() as u8);
+    w.put_raw(key);
+    w.put_u8(OP_PUT);
+    w.begin_u32_len()
+}
+
+/// Write a complete put entry with an already-materialized value.
+pub fn write_put(w: &mut ByteWriter, section: u8, key: &[u8], value: &[u8]) {
+    let pos = write_put_header(w, section, key);
+    w.put_raw(value);
+    w.end_u32_len(pos);
+}
+
+/// Write a tombstone entry (no value).
+pub fn write_tombstone(w: &mut ByteWriter, section: u8, key: &[u8]) {
+    debug_assert!(key.len() <= u8::MAX as usize);
+    w.put_u8(section);
+    w.put_u8(key.len() as u8);
+    w.put_raw(key);
+    w.put_u8(OP_TOMBSTONE);
+}
+
+fn read_entry<'a>(r: &mut ByteReader<'a>) -> Result<EntryRef<'a>, CodecError> {
+    let section = r.get_u8()?;
+    let klen = r.get_u8()? as usize;
+    let key = r.get_raw(klen)?;
+    let value = match r.get_u8()? {
+        OP_TOMBSTONE => None,
+        OP_PUT => {
+            let vlen = r.get_u32_le()? as usize;
+            Some(r.get_raw(vlen)?)
+        }
+        tag => return Err(CodecError::InvalidTag { context: "deltamap op", tag }),
+    };
+    Ok(EntryRef { section, key, value })
+}
+
+/// Decode a full image or delta into its entry list, in stored order.
+pub fn read_entries(bytes: &[u8]) -> Result<Vec<EntryRef<'_>>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_varint()? as usize;
+    // Cap the pre-allocation so a corrupt count cannot balloon memory; the
+    // per-entry EOF checks still reject short inputs.
+    let mut out = Vec::with_capacity(n.min(64 * 1024));
+    for _ in 0..n {
+        out.push(read_entry(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(CodecError::InvalidTag { context: "deltamap trailing bytes", tag: 0 });
+    }
+    Ok(out)
+}
+
+/// Apply `deltas` (oldest first) on top of the full image `base` and encode
+/// the resulting canonical full image: entries sorted by `(section, key)`,
+/// all puts. Errors on any malformed layer rather than panicking — chain
+/// reconstruction sits on the recovery path.
+pub fn merge_chain<'a>(base: &'a [u8], deltas: &[&'a [u8]]) -> Result<Bytes, CodecError> {
+    let mut layers: Vec<Vec<EntryRef<'a>>> = Vec::with_capacity(deltas.len() + 1);
+    layers.push(read_entries(base)?);
+    for d in deltas {
+        layers.push(read_entries(d)?);
+    }
+    let mut map: BTreeMap<(u8, &[u8]), &[u8]> = BTreeMap::new();
+    for layer in &layers {
+        for e in layer {
+            match e.value {
+                Some(v) => {
+                    map.insert((e.section, e.key), v);
+                }
+                None => {
+                    map.remove(&(e.section, e.key));
+                }
+            }
+        }
+    }
+    let total: usize =
+        map.iter().map(|(&(_, k), &v)| 7 + k.len() + v.len()).sum::<usize>() + 10;
+    let mut w = ByteWriter::with_capacity(total);
+    w.put_varint(map.len() as u64);
+    for (&(section, key), &value) in &map {
+        write_put(&mut w, section, key, value);
+    }
+    Ok(w.freeze())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type TestEntry<'a> = (u8, &'a [u8], Option<&'a [u8]>);
+
+    fn image(entries: &[TestEntry<'_>]) -> Bytes {
+        let mut w = ByteWriter::new();
+        w.put_varint(entries.len() as u64);
+        for &(section, key, value) in entries {
+            match value {
+                Some(v) => write_put(&mut w, section, key, v),
+                None => write_tombstone(&mut w, section, key),
+            }
+        }
+        w.freeze()
+    }
+
+    #[test]
+    fn roundtrip_entries() {
+        let img = image(&[(1, b"aa", Some(b"v1")), (2, b"bb", None)]);
+        let es = read_entries(&img).unwrap();
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0], EntryRef { section: 1, key: b"aa", value: Some(b"v1") });
+        assert_eq!(es[1], EntryRef { section: 2, key: b"bb", value: None });
+    }
+
+    #[test]
+    fn merge_applies_puts_and_tombstones_in_order() {
+        let base = image(&[(1, b"a", Some(b"1")), (1, b"b", Some(b"2")), (2, b"c", Some(b"3"))]);
+        let d1 = image(&[(1, b"b", None), (1, b"d", Some(b"4"))]);
+        let d2 = image(&[(1, b"d", Some(b"5")), (2, b"c", None)]);
+        let merged = merge_chain(&base, &[&d1, &d2]).unwrap();
+        let expect = image(&[(1, b"a", Some(b"1")), (1, b"d", Some(b"5"))]);
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn merge_of_base_alone_is_canonical_identity() {
+        let base = image(&[(0, b"", Some(b"meta")), (1, b"k", Some(b"v"))]);
+        assert_eq!(merge_chain(&base, &[]).unwrap(), base);
+    }
+
+    #[test]
+    fn tombstone_of_absent_key_is_a_noop() {
+        let base = image(&[(1, b"a", Some(b"1"))]);
+        let d = image(&[(1, b"zz", None)]);
+        assert_eq!(merge_chain(&base, &[&d]).unwrap(), base);
+    }
+
+    #[test]
+    fn malformed_layers_error_not_panic() {
+        let good = image(&[(1, b"a", Some(b"1"))]);
+        assert!(merge_chain(&[0x80], &[]).is_err()); // truncated varint count
+        assert!(merge_chain(&good, &[&[0x01, 0x01]]).is_err()); // truncated entry
+        // Unknown op byte.
+        let mut w = ByteWriter::new();
+        w.put_varint(1);
+        w.put_u8(1);
+        w.put_u8(1);
+        w.put_raw(b"k");
+        w.put_u8(9);
+        let bad = w.freeze();
+        assert!(matches!(
+            read_entries(&bad),
+            Err(CodecError::InvalidTag { context: "deltamap op", tag: 9 })
+        ));
+        // Trailing garbage after the declared entry count.
+        let mut w = ByteWriter::new();
+        w.put_varint(0);
+        w.put_u8(7);
+        assert!(read_entries(&w.freeze()).is_err());
+    }
+
+    #[test]
+    fn streamed_put_matches_materialized_put() {
+        let mut a = ByteWriter::new();
+        write_put(&mut a, 3, b"key", b"value");
+        let mut b = ByteWriter::new();
+        let pos = write_put_header(&mut b, 3, b"key");
+        b.put_raw(b"val");
+        b.put_raw(b"ue");
+        b.end_u32_len(pos);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -11,14 +11,18 @@
 //!   replayable record log with per-partition FIFO semantics, plus the
 //!   determinant-metadata side channel needed for Clonos' low-latency
 //!   exactly-once output (§5.5);
+//! - [`deltamap`] — the sectioned key/value image format behind incremental
+//!   checkpoints: full images, deltas with tombstones, chain merging;
 //! - [`snapshot`] — [`snapshot::SnapshotStore`], checkpoints keyed by
-//!   `(checkpoint id, task)` with modelled transfer cost;
+//!   `(checkpoint id, task)` stored as base + delta chains with modelled
+//!   transfer cost;
 //! - [`spill`] — [`spill::SpillDevice`], an I/O-cost-modelled append device
 //!   backing the spilling in-flight log (§6.1);
 //! - [`external`] — [`external::ExternalKv`], a time-varying key-value
 //!   "external world" that makes UDF calls genuinely nondeterministic (§4.1).
 
 pub mod codec;
+pub mod deltamap;
 pub mod external;
 pub mod log;
 pub mod snapshot;
@@ -27,5 +31,5 @@ pub mod spill;
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use external::ExternalKv;
 pub use log::{DurableLog, LogPartition, Offset};
-pub use snapshot::{SnapshotId, SnapshotStore};
+pub use snapshot::{SnapshotBlob, SnapshotId, SnapshotStore};
 pub use spill::{SpillDevice, SpillHandle};

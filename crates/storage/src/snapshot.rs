@@ -4,13 +4,25 @@
 //! models the transfer cost that governs standby state dispatch (§6.4): a
 //! snapshot "should not take longer to dispatch to a standby task than the
 //! job's checkpoint frequency".
+//!
+//! With incremental checkpointing a stored blob is either a full **base**
+//! image or a **delta** referencing its parent checkpoint; `get` walks the
+//! chain back to the base and reconstructs the full image via
+//! [`crate::deltamap::merge_chain`]. Writes are charged transfer cost for the
+//! blob actually shipped — deltas cost O(dirty), which is what keeps the
+//! §6.4 dispatch-time-vs-checkpoint-interval bound honest under large state.
 
+use crate::deltamap;
 use bytes::Bytes;
 use clonos_sim::{VirtualDuration, VirtualTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifies a completed (or in-progress) checkpoint.
 pub type SnapshotId = u64;
+
+/// Upper bound on delta-chain walks; real chains are bounded by the engine's
+/// rebase interval, so hitting this means a corrupt parent pointer.
+const MAX_CHAIN_LEN: usize = 4096;
 
 /// Cost model for writing/reading snapshots over the network.
 #[derive(Clone, Copy, Debug)]
@@ -39,13 +51,40 @@ impl Default for TransferModel {
     }
 }
 
+/// One stored snapshot: a self-contained full image, or a delta whose full
+/// image is `parent`'s image with the delta's entries applied on top.
+#[derive(Clone, Debug)]
+pub enum SnapshotBlob {
+    Base(Bytes),
+    Delta { parent: SnapshotId, bytes: Bytes },
+}
+
+impl SnapshotBlob {
+    pub fn bytes(&self) -> &Bytes {
+        match self {
+            SnapshotBlob::Base(b) => b,
+            SnapshotBlob::Delta { bytes, .. } => bytes,
+        }
+    }
+
+    pub fn parent(&self) -> Option<SnapshotId> {
+        match self {
+            SnapshotBlob::Base(_) => None,
+            SnapshotBlob::Delta { parent, .. } => Some(*parent),
+        }
+    }
+}
+
 /// The store itself.
 #[derive(Debug, Default)]
 pub struct SnapshotStore {
-    snapshots: BTreeMap<(SnapshotId, u64), Bytes>,
+    snapshots: BTreeMap<(SnapshotId, u64), SnapshotBlob>,
     model: TransferModel,
     writes: u64,
+    delta_writes: u64,
     reads: u64,
+    reconstructions: u64,
+    reconstruct_us: u64,
 }
 
 impl SnapshotStore {
@@ -57,8 +96,8 @@ impl SnapshotStore {
         SnapshotStore { model, ..Default::default() }
     }
 
-    /// Persist a task's state for a checkpoint; returns the modelled time the
-    /// write completes if started at `now`.
+    /// Persist a task's full (base) image for a checkpoint; returns the
+    /// modelled time the write completes if started at `now`.
     pub fn put(
         &mut self,
         now: VirtualTime,
@@ -67,51 +106,157 @@ impl SnapshotStore {
         state: Bytes,
     ) -> VirtualTime {
         let done = now + self.model.transfer_time(state.len() as u64);
-        self.snapshots.insert((checkpoint, task), state);
+        self.snapshots.insert((checkpoint, task), SnapshotBlob::Base(state));
         self.writes += 1;
         done
     }
 
-    /// Fetch a task's snapshot; returns the bytes plus modelled completion
-    /// time of the read if started at `now`.
+    /// Persist a delta on top of `parent`'s image. Only the delta bytes are
+    /// charged against the transfer model — the point of incremental
+    /// checkpoints is that the barrier-path write cost is O(dirty).
+    pub fn put_delta(
+        &mut self,
+        now: VirtualTime,
+        checkpoint: SnapshotId,
+        task: u64,
+        parent: SnapshotId,
+        delta: Bytes,
+    ) -> VirtualTime {
+        let done = now + self.model.transfer_time(delta.len() as u64);
+        self.snapshots.insert((checkpoint, task), SnapshotBlob::Delta { parent, bytes: delta });
+        self.writes += 1;
+        self.delta_writes += 1;
+        done
+    }
+
+    /// The raw stored blob, if any (standby dispatch ships deltas directly).
+    pub fn blob(&self, checkpoint: SnapshotId, task: u64) -> Option<&SnapshotBlob> {
+        self.snapshots.get(&(checkpoint, task))
+    }
+
+    /// Blobs from `(checkpoint, task)` back to (and including) its base,
+    /// newest first. `None` if any link of the chain is missing.
+    fn chain(&self, checkpoint: SnapshotId, task: u64) -> Option<Vec<&SnapshotBlob>> {
+        let mut out = Vec::new();
+        let mut cp = checkpoint;
+        loop {
+            if out.len() >= MAX_CHAIN_LEN {
+                return None;
+            }
+            let blob = self.snapshots.get(&(cp, task))?;
+            out.push(blob);
+            match blob.parent() {
+                Some(parent) => cp = parent,
+                None => return Some(out),
+            }
+        }
+    }
+
+    /// Fetch a task's *full* image for a checkpoint, reconstructing it from
+    /// the base + delta chain when necessary; returns the bytes plus the
+    /// modelled completion time of reading the whole chain starting at `now`.
     pub fn get(
         &mut self,
         now: VirtualTime,
         checkpoint: SnapshotId,
         task: u64,
     ) -> Option<(Bytes, VirtualTime)> {
-        let bytes = self.snapshots.get(&(checkpoint, task))?.clone();
-        let done = now + self.model.transfer_time(bytes.len() as u64);
+        let chain = self.chain(checkpoint, task)?;
+        let total: u64 = chain.iter().map(|b| b.bytes().len() as u64).sum();
+        let done = now + self.model.transfer_time(total);
+        let image = match chain.as_slice() {
+            [SnapshotBlob::Base(b)] => b.clone(),
+            _ => {
+                // chain is newest-first; merge wants base then deltas.
+                let base = chain.last()?.bytes();
+                let deltas: Vec<&[u8]> =
+                    chain.iter().rev().skip(1).map(|b| b.bytes().as_ref()).collect();
+                let merged = deltamap::merge_chain(base, &deltas).ok()?;
+                self.reconstructions += 1;
+                self.reconstruct_us += done.saturating_sub(now).as_micros();
+                merged
+            }
+        };
         self.reads += 1;
-        Some((bytes, done))
+        Some((image, done))
     }
 
     pub fn contains(&self, checkpoint: SnapshotId, task: u64) -> bool {
         self.snapshots.contains_key(&(checkpoint, task))
     }
 
-    /// Drop all snapshots belonging to checkpoints older than `keep_from`
-    /// (checkpoint GC — Flink retains only the latest completed checkpoint).
+    /// Checkpoint GC (Flink retains only the latest completed checkpoint):
+    /// drop every blob not reachable — via parent pointers — from some blob
+    /// with `cp >= keep_from`. Bases that still anchor a live delta chain
+    /// survive even if older than `keep_from`; once a rebase supersedes a
+    /// chain, the next GC collects the whole superseded chain.
     pub fn truncate_before(&mut self, keep_from: SnapshotId) {
-        self.snapshots.retain(|&(cp, _), _| cp >= keep_from);
+        let mut keep: BTreeSet<(SnapshotId, u64)> = BTreeSet::new();
+        for &(cp, task) in self.snapshots.keys() {
+            if cp < keep_from {
+                continue;
+            }
+            let mut cur = (cp, task);
+            for _ in 0..MAX_CHAIN_LEN {
+                if !keep.insert(cur) {
+                    break;
+                }
+                match self.snapshots.get(&cur).and_then(|b| b.parent()) {
+                    Some(parent) => cur = (parent, task),
+                    None => break,
+                }
+            }
+        }
+        self.snapshots.retain(|k, _| keep.contains(k));
     }
 
     pub fn total_bytes(&self) -> u64 {
-        self.snapshots.values().map(|b| b.len() as u64).sum()
+        self.snapshots.values().map(|b| b.bytes().len() as u64).sum()
     }
 
     pub fn writes(&self) -> u64 {
         self.writes
     }
 
+    /// Writes that shipped a delta rather than a full image.
+    pub fn delta_writes(&self) -> u64 {
+        self.delta_writes
+    }
+
     pub fn reads(&self) -> u64 {
         self.reads
+    }
+
+    /// Reads that had to merge a base + delta chain into a full image.
+    pub fn reconstructions(&self) -> u64 {
+        self.reconstructions
+    }
+
+    /// Modelled virtual microseconds spent on chain-reconstruction reads.
+    pub fn reconstruct_us(&self) -> u64 {
+        self.reconstruct_us
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::ByteWriter;
+    use crate::deltamap::{write_put, write_tombstone};
+
+    type TestEntry<'a> = (u8, &'a [u8], Option<&'a [u8]>);
+
+    fn image(entries: &[TestEntry<'_>]) -> Bytes {
+        let mut w = ByteWriter::new();
+        w.put_varint(entries.len() as u64);
+        for &(section, key, value) in entries {
+            match value {
+                Some(v) => write_put(&mut w, section, key, v),
+                None => write_tombstone(&mut w, section, key),
+            }
+        }
+        w.freeze()
+    }
 
     #[test]
     fn put_get_roundtrip() {
@@ -156,5 +301,61 @@ mod tests {
         assert_eq!(&b[..], b"newer");
         assert_eq!(s.writes(), 2);
         assert_eq!(s.reads(), 1);
+    }
+
+    #[test]
+    fn delta_chain_reconstructs_full_image() {
+        let mut s = SnapshotStore::new();
+        s.put(VirtualTime::ZERO, 1, 7, image(&[(1, b"a", Some(b"1")), (1, b"b", Some(b"2"))]));
+        s.put_delta(VirtualTime::ZERO, 2, 7, 1, image(&[(1, b"b", None), (1, b"c", Some(b"3"))]));
+        s.put_delta(VirtualTime::ZERO, 3, 7, 2, image(&[(1, b"a", Some(b"9"))]));
+        let (img, _) = s.get(VirtualTime::ZERO, 3, 7).unwrap();
+        assert_eq!(img, image(&[(1, b"a", Some(b"9")), (1, b"c", Some(b"3"))]));
+        // Intermediate chain members reconstruct too.
+        let (img2, _) = s.get(VirtualTime::ZERO, 2, 7).unwrap();
+        assert_eq!(img2, image(&[(1, b"a", Some(b"1")), (1, b"c", Some(b"3"))]));
+        assert_eq!(s.reconstructions(), 2);
+        assert!(s.reconstruct_us() > 0);
+        assert_eq!(s.delta_writes(), 2);
+    }
+
+    #[test]
+    fn broken_chain_is_a_miss_not_a_panic() {
+        let mut s = SnapshotStore::new();
+        s.put_delta(VirtualTime::ZERO, 2, 7, 1, image(&[(1, b"a", Some(b"1"))]));
+        assert!(s.get(VirtualTime::ZERO, 2, 7).is_none());
+        // Self-referential parent pointer terminates via the hop limit.
+        s.put_delta(VirtualTime::ZERO, 5, 7, 5, image(&[]));
+        assert!(s.get(VirtualTime::ZERO, 5, 7).is_none());
+    }
+
+    #[test]
+    fn gc_keeps_bases_anchoring_live_chains() {
+        let mut s = SnapshotStore::new();
+        s.put(VirtualTime::ZERO, 1, 7, image(&[(1, b"a", Some(b"1"))]));
+        s.put_delta(VirtualTime::ZERO, 2, 7, 1, image(&[(1, b"b", Some(b"2"))]));
+        s.put_delta(VirtualTime::ZERO, 3, 7, 2, image(&[(1, b"c", Some(b"3"))]));
+        s.truncate_before(3);
+        // cp 3 needs 2 needs 1: all survive.
+        assert!(s.contains(1, 7) && s.contains(2, 7) && s.contains(3, 7));
+        assert!(s.get(VirtualTime::ZERO, 3, 7).is_some());
+        // A rebase at cp 4 supersedes the chain; the next GC drops it whole.
+        s.put(VirtualTime::ZERO, 4, 7, image(&[(1, b"z", Some(b"9"))]));
+        s.truncate_before(4);
+        assert!(!s.contains(1, 7) && !s.contains(2, 7) && !s.contains(3, 7));
+        assert!(s.contains(4, 7));
+    }
+
+    #[test]
+    fn delta_write_charges_delta_bytes_only() {
+        let model =
+            TransferModel { latency: VirtualDuration::ZERO, bytes_per_sec: 1_000_000 };
+        let mut s = SnapshotStore::with_model(model);
+        let big = vec![0u8; 1_000_000];
+        let t_full = s.put(VirtualTime::ZERO, 1, 7, Bytes::from(big));
+        let t_delta =
+            s.put_delta(VirtualTime::ZERO, 2, 7, 1, Bytes::from_static(b"tiny delta"));
+        assert!(t_full.as_secs_f64() > 0.9);
+        assert!(t_delta.as_secs_f64() < 0.01);
     }
 }

@@ -17,4 +17,7 @@ scripts/lint.sh
 echo "== chaos: bounded seed sweep (25 seeds x 3 modes, release) =="
 CHAOS_SEEDS=25 cargo test --release -q -p clonos-integration --test chaos_sweep
 
+echo "== bench: checkpoint smoke (full-vs-delta barrier encoding) =="
+BENCH_CHECKPOINT_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_checkpoint
+
 echo "== OK =="

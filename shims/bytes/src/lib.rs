@@ -9,7 +9,7 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::{Bound, Deref, RangeBounds};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, contiguous, immutable slice of memory.
@@ -149,6 +149,7 @@ impl fmt::Debug for Bytes {
 /// needs are present.
 pub trait BufMut {
     fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
     fn put_u64_le(&mut self, v: u64);
     fn put_slice(&mut self, s: &[u8]);
 }
@@ -208,6 +209,11 @@ impl BufMut for BytesMut {
     }
 
     #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
     fn put_u64_le(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -224,6 +230,13 @@ impl Deref for BytesMut {
     #[inline]
     fn deref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
     }
 }
 

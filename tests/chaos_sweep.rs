@@ -10,7 +10,7 @@
 use clonos_engine::FtMode;
 use clonos_integration::{
     assert_exactly_once, assert_matches_reference, at_least_once_orphan, clonos_full,
-    oracle_reference, oracle_space, run_oracle, OracleReference,
+    oracle_reference, oracle_space, run_oracle, run_oracle_with, OracleReference,
 };
 use clonos_sim::chaos::ChaosPlan;
 use proptest::prelude::*;
@@ -43,6 +43,36 @@ fn chaos_sweep_clonos_exactly_once() {
 fn chaos_sweep_global_rollback_exactly_once() {
     let reference = oracle_reference();
     sweep_exactly_once(|| FtMode::GlobalRollback, "global-rollback", &reference);
+}
+
+#[test]
+fn chaos_sweep_incremental_long_chains_exactly_once() {
+    // Incremental checkpoints with the rebase interval pushed past the run
+    // horizon: every checkpoint after a task's first is a delta, so restores
+    // and standby activations always reconstruct from the longest possible
+    // chain. Chaos (kills, node crashes, interrupted transfers) must still
+    // leave output byte-identical to the failure-free reference.
+    let reference = oracle_reference();
+    let space = oracle_space();
+    for seed in 0..sweep_seeds() {
+        let plan = ChaosPlan::generate(seed, &space);
+        let report = run_oracle_with(clonos_full(), seed, Some(&plan), |cfg| {
+            cfg.incremental_checkpoints = true;
+            cfg.checkpoint_rebase_interval = u32::MAX;
+        });
+        let label = format!("incremental-long-chain seed {seed} ({plan:?})");
+        assert!(report.records_out > 0, "{label}: no committed output");
+        assert!(
+            report.checkpoint_stats.delta_snapshots > 0,
+            "{label}: sweep never exercised the delta path"
+        );
+        assert_eq!(
+            report.checkpoint_stats.rebases, 0,
+            "{label}: rebase fired despite an unreachable interval"
+        );
+        assert_exactly_once(&report, &label);
+        assert_matches_reference(&report, &reference, &label);
+    }
 }
 
 #[test]
@@ -85,6 +115,7 @@ proptest! {
         prop_assert_eq!(a.records_in, b.records_in);
         prop_assert_eq!(a.records_out, b.records_out);
         prop_assert_eq!(a.recovery_stats, b.recovery_stats, "robustness counters diverge");
+        prop_assert_eq!(a.checkpoint_stats, b.checkpoint_stats, "checkpoint counters diverge");
         prop_assert_eq!(a.last_completed_checkpoint, b.last_completed_checkpoint);
     }
 }
