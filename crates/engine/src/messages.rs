@@ -46,8 +46,6 @@ pub enum Msg {
     CheckpointTick,
 
     // ----- failure & recovery -----
-    /// Cluster → task: die now (failure injection).
-    Kill,
     /// → JM: a task failure was detected. `gen` is the incarnation that died
     /// (the JM discards stale notifications about already-replaced
     /// incarnations); `killed_at` is the actual failure instant, for
@@ -99,6 +97,4 @@ pub enum Msg {
     ChannelReset { from: TaskId, new_gen: u32 },
     /// JM self-message: execute a global rollback restart now.
     RestartAll,
-    /// JM → task (on global rollback): restore from this snapshot and resume.
-    Restore { state: bytes::Bytes, resume_cp: u64 },
 }

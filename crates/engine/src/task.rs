@@ -514,10 +514,6 @@ impl Task {
             Msg::ProcTimerFire(t) => self.on_proc_timer(t, ctx),
             Msg::TriggerCheckpoint { id } => self.on_trigger_checkpoint(id, ctx),
             Msg::CheckpointComplete { id } => self.on_checkpoint_complete(id, ctx),
-            Msg::Kill => {
-                self.dead = true;
-                Ok(())
-            }
             Msg::LogRequest { origin, after_cp, gather_id } => {
                 self.on_log_request(origin, after_cp, gather_id, ctx)
             }

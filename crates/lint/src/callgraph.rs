@@ -1,0 +1,586 @@
+//! Workspace call-graph construction over the parsed item structure.
+//!
+//! Nodes are the `fn` items of the deterministic crates
+//! (`config::DETERMINISTIC_CRATES` source trees); edges are resolved call
+//! sites. Resolution, in decreasing precision:
+//!
+//! 1. **Path calls** (`a::b::f(..)`, `f(..)`, `Type::m(..)`, `Self::m(..)`)
+//!    resolve through the caller's impl block, `use` imports, the caller's
+//!    own module, absolute crate paths, and glob imports, in that order.
+//! 2. **Method calls** (`.m(..)`) resolve *by name* to every workspace
+//!    method called `m` that takes a `self` receiver — a deliberate,
+//!    conservative over-approximation (class-hierarchy analysis without
+//!    types): a path through *any* same-named method is considered.
+//! 3. A ≥2-segment path that roots in the workspace (a known module or
+//!    type) but matches no item is reported as an `unknown-callee`
+//!    **warning** — never silently dropped. Single-segment misses and
+//!    method names with no workspace definition are assumed external
+//!    (std/shim) and panic-free; see DESIGN.md §7 for the full contract.
+//!
+//! Everything is `BTree`-ordered so the graph — and every diagnostic
+//! derived from it — is byte-identical across runs and file-walk orders.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer;
+use crate::parser::{self, CallTarget, FnItem, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+/// Parsed view of the deterministic-crate source trees.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// rel path -> parsed file, for every graph-crate source file.
+    pub files: BTreeMap<String, ParsedFile>,
+    /// Lib names of workspace crates (`clonos`, `clonos_engine`, ...).
+    pub crate_roots: BTreeSet<String>,
+}
+
+impl Workspace {
+    /// Parse every file of the graph crates. `files_by_crate` maps a crate
+    /// directory name (e.g. `core`) to its workspace-relative `.rs` files.
+    pub fn parse(
+        root: &Path,
+        files_by_crate: &BTreeMap<String, Vec<String>>,
+    ) -> io::Result<Workspace> {
+        let mut ws = Workspace::default();
+        for (krate, rels) in files_by_crate {
+            let lib = lib_name(root, krate);
+            ws.crate_roots.insert(lib.clone());
+            for rel in rels {
+                let src = match std::fs::read_to_string(root.join(rel)) {
+                    Ok(s) => s,
+                    Err(_) => continue, // reported by the per-file pass
+                };
+                let lexed = lexer::lex(&src);
+                let module = parser::module_path_of(&lib, rel);
+                let mut pf = parser::parse_file(rel, module, &lexed);
+                // `#[cfg(test)]` items are invisible to the graph: test-only
+                // panics/taints are fine, and test fns are not entry points.
+                let regions = crate::rules::test_regions(&lexed.toks);
+                pf.fns.retain(|f| !regions.iter().any(|&(a, b)| (a..=b).contains(&f.line)));
+                ws.files.insert(rel.clone(), pf);
+            }
+        }
+        Ok(ws)
+    }
+}
+
+/// Lib name of the crate in `crates/<dir>`: the `[package]` name from its
+/// `Cargo.toml` with `-` mapped to `_`, falling back to the directory name
+/// (synthetic fixture workspaces carry no manifests).
+pub fn lib_name(root: &Path, crate_dir: &str) -> String {
+    let manifest = root.join("crates").join(crate_dir).join("Cargo.toml");
+    if let Ok(text) = std::fs::read_to_string(&manifest) {
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    let v = v.trim().trim_matches('"');
+                    return v.replace('-', "_");
+                }
+            }
+        }
+    }
+    crate_dir.replace('-', "_")
+}
+
+/// One function node in the graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub file: String,
+    /// `a::b::c` display path.
+    pub path: String,
+    pub name: String,
+    pub line: u32,
+    pub is_pub: bool,
+    pub panics: Vec<parser::PanicFact>,
+    pub taints: Vec<parser::TaintFact>,
+    pub mentions_determinant: bool,
+}
+
+/// Directed call edge; `line` is the call site in the caller's file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    pub to: usize,
+    pub line: u32,
+    /// Resolved by method-name over-approximation rather than a path.
+    pub by_name: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GraphStats {
+    pub files: usize,
+    pub fns: usize,
+    pub edges: usize,
+    pub resolved_paths: usize,
+    pub by_name_edges: usize,
+    pub unknown_callees: usize,
+}
+
+pub struct CallGraph {
+    pub nodes: Vec<Node>,
+    /// Adjacency, sorted, deduplicated by target (first call site wins).
+    pub edges: Vec<Vec<Edge>>,
+    /// `unknown-callee` warnings gathered during resolution.
+    pub unknown: Vec<Diagnostic>,
+    pub stats: GraphStats,
+}
+
+/// Trait methods commonly provided by `#[derive(..)]` or std blanket
+/// impls: `Type::clone(..)` et al. resolve outside the workspace even when
+/// `Type` is a workspace type, so they are external, not unknown.
+const DERIVED_TRAIT_METHODS: &[&str] = &[
+    "clone",
+    "clone_from",
+    "default",
+    "fmt",
+    "from",
+    "into",
+    "into_iter",
+    "try_from",
+    "try_into",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "to_string",
+    "to_owned",
+    "from_str",
+    "as_ref",
+    "as_mut",
+    "borrow",
+    "borrow_mut",
+    "deref",
+    "deref_mut",
+    "drop",
+];
+
+impl CallGraph {
+    pub fn build(ws: &Workspace) -> CallGraph {
+        // ---- node table (BTreeMap file order, then declaration order) ----
+        let mut nodes = Vec::new();
+        let mut owner: Vec<(&str, &FnItem)> = Vec::new();
+        for (rel, pf) in &ws.files {
+            for item in &pf.fns {
+                owner.push((rel, item));
+                nodes.push(Node {
+                    file: rel.clone(),
+                    path: item.display_path(),
+                    name: item.name.clone(),
+                    line: item.line,
+                    is_pub: item.is_pub,
+                    panics: item.panics.clone(),
+                    taints: item.taints.clone(),
+                    mentions_determinant: item.mentions_determinant,
+                });
+            }
+        }
+
+        // ---- resolution indexes ----
+        let mut fn_index: BTreeMap<Vec<String>, Vec<usize>> = BTreeMap::new();
+        let mut method_index: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (ix, (_, item)) in owner.iter().enumerate() {
+            fn_index.entry(item.path.clone()).or_default().push(ix);
+            if item.has_self {
+                method_index.entry(item.name.as_str()).or_default().push(ix);
+            }
+        }
+        let mut type_set: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut variant_set: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut module_set: BTreeSet<Vec<String>> = BTreeSet::new();
+        for pf in ws.files.values() {
+            for i in 1..=pf.module.len() {
+                module_set.insert(pf.module[..i].to_vec());
+            }
+            for s in &pf.structs {
+                let mut p = pf.module.clone();
+                p.push(s.clone());
+                type_set.insert(p);
+            }
+            for (e, variants) in &pf.enums {
+                let mut p = pf.module.clone();
+                p.push(e.clone());
+                for (v, _) in variants {
+                    let mut vp = p.clone();
+                    vp.push(v.clone());
+                    variant_set.insert(vp);
+                }
+                type_set.insert(p);
+            }
+        }
+
+        // ---- edges ----
+        let mut stats = GraphStats {
+            files: ws.files.len(),
+            fns: nodes.len(),
+            ..GraphStats::default()
+        };
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        let mut unknown_keys: BTreeSet<(String, u32, String)> = BTreeSet::new();
+        for (ix, (rel, item)) in owner.iter().enumerate() {
+            let pf = &ws.files[*rel];
+            for call in &item.calls {
+                match &call.target {
+                    CallTarget::Path(segs) => {
+                        match resolve_path(
+                            ws, pf, item, segs, &fn_index, &type_set, &variant_set, &module_set,
+                        ) {
+                            Resolution::Fns(targets) => {
+                                stats.resolved_paths += 1;
+                                for t in targets {
+                                    edges[ix].push(Edge { to: t, line: call.line, by_name: false });
+                                }
+                            }
+                            Resolution::Unknown(path) => {
+                                unknown_keys.insert((
+                                    (*rel).to_string(),
+                                    call.line,
+                                    path.join("::"),
+                                ));
+                            }
+                            Resolution::External => {}
+                        }
+                    }
+                    CallTarget::Method(name) => {
+                        if let Some(targets) = method_index.get(name.as_str()) {
+                            stats.by_name_edges += targets.len();
+                            for &t in targets {
+                                edges[ix].push(Edge { to: t, line: call.line, by_name: true });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for adj in &mut edges {
+            adj.sort();
+            adj.dedup_by_key(|e| e.to);
+        }
+        stats.edges = edges.iter().map(Vec::len).sum();
+        stats.unknown_callees = unknown_keys.len();
+
+        let unknown = unknown_keys
+            .into_iter()
+            .map(|(file, line, path)| {
+                Diagnostic::warning(
+                    file,
+                    line,
+                    "unknown-callee",
+                    format!(
+                        "unresolved call to `{path}`: no matching fn/variant in the workspace \
+                         (trait, dyn, or generic dispatch is not resolved — the edge is absent \
+                         from the call graph; see DESIGN.md §7)"
+                    ),
+                )
+            })
+            .collect();
+
+        CallGraph { nodes, edges, unknown, stats }
+    }
+
+    /// Node indexes whose file is one of `rels`.
+    pub fn nodes_in_files<'a>(&'a self, rels: &'a [&str]) -> impl Iterator<Item = usize> + 'a {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| rels.contains(&n.file.as_str()))
+            .map(|(ix, _)| ix)
+    }
+
+    /// Multi-source BFS over `allowed` edges; returns `parent[ix] ->
+    /// Some((pred, call line))` for every reached node (sources map to
+    /// themselves via `None`). Deterministic: sources and adjacency are
+    /// visited in sorted order.
+    pub fn bfs(
+        &self,
+        sources: &BTreeSet<usize>,
+        edge_allowed: impl Fn(usize, &Edge) -> bool,
+    ) -> BTreeMap<usize, Option<(usize, u32)>> {
+        let mut parent: BTreeMap<usize, Option<(usize, u32)>> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        for &s in sources {
+            parent.insert(s, None);
+            queue.push_back(s);
+        }
+        while let Some(u) = queue.pop_front() {
+            for e in &self.edges[u] {
+                if !edge_allowed(u, e) || parent.contains_key(&e.to) {
+                    continue;
+                }
+                parent.insert(e.to, Some((u, e.line)));
+                queue.push_back(e.to);
+            }
+        }
+        parent
+    }
+
+    /// Reverse reachability: all nodes that can reach any of `targets`.
+    pub fn reaches(
+        &self,
+        targets: &BTreeSet<usize>,
+        edge_allowed: impl Fn(usize, &Edge) -> bool,
+    ) -> BTreeSet<usize> {
+        let mut radj: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (u, adj) in self.edges.iter().enumerate() {
+            for e in adj {
+                if edge_allowed(u, e) {
+                    radj[e.to].push(u);
+                }
+            }
+        }
+        let mut seen: BTreeSet<usize> = targets.clone();
+        let mut queue: Vec<usize> = targets.iter().copied().collect();
+        while let Some(v) = queue.pop() {
+            for &u in &radj[v] {
+                if seen.insert(u) {
+                    queue.push(u);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reconstruct the blame chain `source → ... → ix` from BFS parents:
+    /// `(node, call-site line into the *next* hop)` pairs, source first.
+    pub fn chain_to(
+        &self,
+        parent: &BTreeMap<usize, Option<(usize, u32)>>,
+        ix: usize,
+    ) -> Vec<(usize, Option<u32>)> {
+        let mut hops: Vec<(usize, Option<u32>)> = Vec::new();
+        let mut cur = ix;
+        let mut into_line: Option<u32> = None;
+        loop {
+            hops.push((cur, into_line));
+            match parent.get(&cur) {
+                Some(Some((pred, line))) => {
+                    into_line = Some(*line);
+                    cur = *pred;
+                }
+                _ => break,
+            }
+        }
+        hops.reverse();
+        hops
+    }
+}
+
+enum Resolution {
+    Fns(Vec<usize>),
+    External,
+    Unknown(Vec<String>),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_path(
+    _ws: &Workspace,
+    pf: &ParsedFile,
+    caller: &FnItem,
+    segs: &[String],
+    fn_index: &BTreeMap<Vec<String>, Vec<usize>>,
+    type_set: &BTreeSet<Vec<String>>,
+    variant_set: &BTreeSet<Vec<String>>,
+    module_set: &BTreeSet<Vec<String>>,
+) -> Resolution {
+    let mut cands: Vec<Vec<String>> = Vec::new();
+    let push = |cands: &mut Vec<Vec<String>>, base: Vec<String>, rest: &[String]| {
+        let mut p = base;
+        p.extend(rest.iter().cloned());
+        if !cands.contains(&p) {
+            cands.push(p);
+        }
+    };
+
+    if segs[0] == "Self" {
+        if let Some(ty) = &caller.impl_type {
+            let mut base = caller.module.clone();
+            base.push(ty.clone());
+            push(&mut cands, base, &segs[1..]);
+        }
+    } else {
+        if let Some(imported) = pf.imports.get(&segs[0]) {
+            push(&mut cands, imported.clone(), &segs[1..]);
+        }
+        if _ws.crate_roots.contains(&segs[0]) {
+            push(&mut cands, Vec::new(), segs);
+        }
+        push(&mut cands, caller.module.clone(), segs);
+        for g in &pf.globs {
+            push(&mut cands, g.clone(), segs);
+        }
+    }
+
+    for cand in &cands {
+        if let Some(ixs) = fn_index.get(cand) {
+            return Resolution::Fns(ixs.clone());
+        }
+    }
+    for cand in &cands {
+        if cand.len() >= 2 && variant_set.contains(cand) {
+            return Resolution::External; // enum variant construction/pattern
+        }
+    }
+    // No item matched: a call rooted in the workspace is an unknown callee.
+    if segs.len() >= 2 {
+        for cand in &cands {
+            if cand.len() < 2 {
+                continue;
+            }
+            let parent = cand[..cand.len() - 1].to_vec();
+            let leaf = cand.last().map(String::as_str).unwrap_or_default();
+            if type_set.contains(&parent) {
+                if DERIVED_TRAIT_METHODS.contains(&leaf) {
+                    return Resolution::External;
+                }
+                return Resolution::Unknown(cand.clone());
+            }
+            if module_set.contains(&parent) {
+                return Resolution::Unknown(cand.clone());
+            }
+        }
+    }
+    Resolution::External
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Severity;
+    use crate::lexer::lex;
+
+    /// Build a two-crate workspace from (rel, lib, src) triples.
+    fn build(files: &[(&str, &str, &str)]) -> CallGraph {
+        let mut ws = Workspace::default();
+        for (rel, lib, src) in files {
+            ws.crate_roots.insert(lib.to_string());
+            let module = parser::module_path_of(lib, rel);
+            ws.files.insert(rel.to_string(), parser::parse_file(rel, module, &lex(src)));
+        }
+        CallGraph::build(&ws)
+    }
+
+    fn ix(g: &CallGraph, path: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.path == path)
+            .unwrap_or_else(|| panic!("no node {path}: {:?}", g.nodes.iter().map(|n| &n.path).collect::<Vec<_>>()))
+    }
+
+    fn has_edge(g: &CallGraph, from: &str, to: &str) -> bool {
+        let f = ix(g, from);
+        let t = ix(g, to);
+        g.edges[f].iter().any(|e| e.to == t)
+    }
+
+    #[test]
+    fn cross_crate_resolution_via_use() {
+        let g = build(&[
+            (
+                "crates/core/src/lib.rs",
+                "clonos",
+                "use clonos_storage::codec::decode;\npub fn run() { decode(); crate::run2(); }\npub fn run2() {}\n",
+            ),
+            (
+                "crates/storage/src/codec.rs",
+                "clonos_storage",
+                "pub fn decode() {}\n",
+            ),
+        ]);
+        assert!(has_edge(&g, "clonos::run", "clonos_storage::codec::decode"));
+        assert!(has_edge(&g, "clonos::run", "clonos::run2"));
+    }
+
+    #[test]
+    fn absolute_and_module_local_paths() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "pub fn f() { helper(); clonos::a::helper2(); }\nfn helper() {}\nfn helper2() {}\n",
+        )]);
+        assert!(has_edge(&g, "clonos::a::f", "clonos::a::helper"));
+        assert!(has_edge(&g, "clonos::a::f", "clonos::a::helper2"));
+    }
+
+    #[test]
+    fn self_and_method_resolution() {
+        let g = build(&[(
+            "crates/core/src/s.rs",
+            "clonos",
+            "pub struct S;\nimpl S {\n    pub fn a(&self) { Self::b(); self.c(); }\n    fn b() {}\n    fn c(&self) {}\n}\n",
+        )]);
+        assert!(has_edge(&g, "clonos::s::S::a", "clonos::s::S::b"));
+        // `.c()` resolves by name.
+        assert!(has_edge(&g, "clonos::s::S::a", "clonos::s::S::c"));
+        let e = g.edges[ix(&g, "clonos::s::S::a")]
+            .iter()
+            .find(|e| e.to == ix(&g, "clonos::s::S::c"))
+            .unwrap();
+        assert!(e.by_name);
+    }
+
+    #[test]
+    fn method_by_name_is_conservative_across_types() {
+        let g = build(&[(
+            "crates/core/src/m.rs",
+            "clonos",
+            "struct A;\nstruct B;\nimpl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\nfn f(x: &A) { x.go(); }\n",
+        )]);
+        assert!(has_edge(&g, "clonos::m::f", "clonos::m::A::go"));
+        assert!(has_edge(&g, "clonos::m::f", "clonos::m::B::go"));
+    }
+
+    #[test]
+    fn unknown_callee_warning_for_workspace_rooted_miss() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "pub fn f() { clonos::a::nope(); std::mem::drop(1); local_closure(); }\n",
+        )]);
+        assert_eq!(g.unknown.len(), 1, "{:?}", g.unknown);
+        assert_eq!(g.unknown[0].rule, "unknown-callee");
+        assert_eq!(g.unknown[0].severity, Severity::Warning);
+        assert!(g.unknown[0].message.contains("clonos::a::nope"));
+    }
+
+    #[test]
+    fn derived_trait_methods_are_external() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "#[derive(Clone, Default)]\npub struct Cfg;\npub fn f() { let c = Cfg::default(); let d = c.clone(); }\n",
+        )]);
+        assert!(g.unknown.is_empty(), "{:?}", g.unknown);
+    }
+
+    #[test]
+    fn enum_variant_construction_is_not_a_call() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "pub enum E { V(u32) }\npub fn f() -> E { E::V(1) }\n",
+        )]);
+        assert!(g.unknown.is_empty(), "{:?}", g.unknown);
+    }
+
+    #[test]
+    fn chain_reconstruction() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "pub fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )]);
+        let sources: BTreeSet<usize> = [ix(&g, "clonos::a::a")].into();
+        let parent = g.bfs(&sources, |_, _| true);
+        let chain = g.chain_to(&parent, ix(&g, "clonos::a::c"));
+        let names: Vec<&str> = chain.iter().map(|&(n, _)| g.nodes[n].name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        // Each hop carries the line of its call into the *next* node; the
+        // final hop has none.
+        assert!(chain[0].1.is_some());
+        assert!(chain[1].1.is_some());
+        assert_eq!(chain[2].1, None);
+    }
+}

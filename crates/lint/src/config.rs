@@ -46,6 +46,34 @@ pub const RULES: &[RuleInfo] = &[
         allowable: true,
     },
     RuleInfo {
+        id: "panic-path",
+        summary: "a function transitively reachable from a recovery entry point calls \
+                  unwrap/expect/panic!/slice-indexing; the blame chain is printed — allow on \
+                  any hop (call site or sink) suppresses the path",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "replay-taint",
+        summary: "a determinant decode/replay consumer transitively reaches a nondeterminism \
+                  source (wall clock, OS entropy, RandomState); taint must flow through logged \
+                  determinants or an audited allow on the path",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "message-protocol",
+        summary: "every messages.rs enum variant constructed anywhere must have a handling \
+                  match arm in task.rs/cluster.rs and vice versa (no dead or unhandled \
+                  control-plane messages)",
+        allowable: false,
+    },
+    RuleInfo {
+        id: "unknown-callee",
+        summary: "a workspace-rooted call path resolved to no known fn; the edge is absent \
+                  from the call graph (trait/dyn/generic dispatch is not modelled) — reported \
+                  as a warning, never silently dropped",
+        allowable: false,
+    },
+    RuleInfo {
         id: "bad-annotation",
         summary: "malformed clonos-lint annotation (unknown rule, missing reason, or bad syntax)",
         allowable: false,
@@ -124,3 +152,11 @@ pub const STATS_STRUCTS: &[(&str, &str)] = &[
 
 /// File holding `struct RunReport`, which must embed every stats struct.
 pub const RUN_REPORT_FILE: &str = "crates/engine/src/runner.rs";
+
+/// File defining the control-plane message enums. Every variant of every
+/// enum declared here participates in the `message-protocol` check.
+pub const MESSAGES_FILE: &str = "crates/engine/src/messages.rs";
+
+/// Files whose `match` arms count as *handling* a control-plane message.
+pub const MESSAGE_HANDLER_FILES: &[&str] =
+    &["crates/engine/src/task.rs", "crates/engine/src/cluster.rs"];

@@ -2,6 +2,24 @@
 
 use std::fmt;
 
+/// Warnings (today only `unknown-callee`) are printed and serialized but do
+/// not affect the exit code: they report analysis *blind spots*, not
+/// violations, and must never be silently dropped (DESIGN.md §7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Diagnostic {
     /// Workspace-relative path with `/` separators.
@@ -10,6 +28,11 @@ pub struct Diagnostic {
     pub line: u32,
     pub rule: String,
     pub message: String,
+    pub severity: Severity,
+    /// Call-chain blame path for the transitive rules, outermost first:
+    /// each entry is a rendered hop like `clonos::recovery::recover
+    /// (crates/core/src/recovery.rs:41)`. Empty for per-file findings.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
@@ -19,13 +42,50 @@ impl Diagnostic {
         rule: impl Into<String>,
         message: impl Into<String>,
     ) -> Diagnostic {
-        Diagnostic { file: file.into(), line, rule: rule.into(), message: message.into() }
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule: rule.into(),
+            message: message.into(),
+            severity: Severity::Error,
+            chain: Vec::new(),
+        }
+    }
+
+    pub fn warning(
+        file: impl Into<String>,
+        line: u32,
+        rule: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic { severity: Severity::Warning, ..Diagnostic::new(file, line, rule, message) }
+    }
+
+    pub fn with_chain(mut self, chain: Vec<String>) -> Diagnostic {
+        self.chain = chain;
+        self
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
     }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+        write!(
+            f,
+            "{}:{}: [{}{}] {}",
+            self.file,
+            self.line,
+            self.rule,
+            if self.severity == Severity::Warning { " warning" } else { "" },
+            self.message
+        )?;
+        for (i, hop) in self.chain.iter().enumerate() {
+            write!(f, "\n    {}{hop}", if i == 0 { "path: " } else { "      → " })?;
+        }
+        Ok(())
     }
 }
 
@@ -36,39 +96,53 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
         out.push_str(&d.to_string());
         out.push('\n');
     }
-    if diags.is_empty() {
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    if errors == 0 && warnings == 0 {
         out.push_str("clonos-lint: clean\n");
     } else {
         out.push_str(&format!(
-            "clonos-lint: {} violation{}\n",
-            diags.len(),
-            if diags.len() == 1 { "" } else { "s" }
+            "clonos-lint: {errors} violation{}, {warnings} warning{}\n",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" }
         ));
     }
     out
 }
 
 /// Render machine-readable JSON (`--json`). Hand-rolled — the workspace has
-/// no serde and the schema is four flat fields.
+/// no serde and the schema is six flat fields per diagnostic.
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("{\"diagnostics\":[");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        let chain = d
+            .chain
+            .iter()
+            .map(|h| json_str(h))
+            .collect::<Vec<_>>()
+            .join(",");
         out.push_str(&format!(
-            "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"severity\":{},\"message\":{},\"chain\":[{chain}]}}",
             json_str(&d.file),
             d.line,
             json_str(&d.rule),
+            json_str(d.severity.as_str()),
             json_str(&d.message)
         ));
     }
-    out.push_str(&format!("],\"total\":{}}}\n", diags.len()));
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    out.push_str(&format!(
+        "],\"total\":{},\"errors\":{errors},\"warnings\":{}}}\n",
+        diags.len(),
+        diags.len() - errors
+    ));
     out
 }
 
-fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -95,11 +169,35 @@ mod tests {
         let diags = vec![Diagnostic::new("a/b.rs", 7, "wall-clock", "Instant::now \"quoted\"")];
         let text = render_text(&diags);
         assert!(text.contains("a/b.rs:7: [wall-clock]"));
-        assert!(text.contains("1 violation\n"));
+        assert!(text.contains("1 violation, 0 warnings\n"));
         let json = render_json(&diags);
         assert!(json.contains("\"line\":7"));
         assert!(json.contains("\\\"quoted\\\""));
-        assert!(json.ends_with("\"total\":1}\n"));
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.ends_with("\"total\":1,\"errors\":1,\"warnings\":0}\n"));
+    }
+
+    #[test]
+    fn chain_renders_in_text_and_json() {
+        let d = Diagnostic::new("a.rs", 3, "panic-path", "reaches `.unwrap()`")
+            .with_chain(vec!["f (a.rs:3)".into(), "g (b.rs:9)".into()]);
+        let text = render_text(std::slice::from_ref(&d));
+        assert!(text.contains("path: f (a.rs:3)"));
+        assert!(text.contains("→ g (b.rs:9)"));
+        let json = render_json(&[d]);
+        assert!(json.contains("\"chain\":[\"f (a.rs:3)\",\"g (b.rs:9)\"]"));
+    }
+
+    #[test]
+    fn warnings_are_marked_and_counted() {
+        let d = Diagnostic::warning("a.rs", 1, "unknown-callee", "unresolved");
+        assert!(!d.is_error());
+        let text = render_text(std::slice::from_ref(&d));
+        assert!(text.contains("[unknown-callee warning]"));
+        assert!(text.contains("0 violations, 1 warning\n"));
+        let json = render_json(&[d]);
+        assert!(json.contains("\"severity\":\"warning\""));
+        assert!(json.ends_with("\"errors\":0,\"warnings\":1}\n"));
     }
 
     #[test]

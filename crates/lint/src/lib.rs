@@ -3,49 +3,96 @@
 //! The reproduction's guarantees — exactly-once recovery, same-seed-same-run,
 //! the chaos-sweep content oracle — all reduce to the codebase being
 //! *deterministic by construction* and the recovery path being *non-panicking
-//! by construction*. This crate enforces both statically, plus the cross-file
-//! protocol invariants no per-file lint can see. See `DESIGN.md`
-//! ("Determinism invariants & how they are enforced") for the rule catalog.
+//! by construction*. This crate enforces both statically: per-file token
+//! rules, cross-file protocol invariants, and — since the call-graph PR —
+//! three whole-workspace transitive analyses (panic-reachability from the
+//! recovery entry points, nondeterminism taint into the replay surface, and
+//! message-protocol exhaustiveness) over a hand-rolled item parser and call
+//! graph. See `DESIGN.md` §7 ("Whole-program analyses") for construction,
+//! resolution limits, and the `unknown-callee` reporting contract.
 //!
 //! Self-contained by design: a hand-rolled comment/string-aware lexer, no
 //! registry dependencies (the build environment is offline), `std` only.
+//! Everything iterates in `BTree` order, so the full diagnostic output —
+//! including every blame chain — is byte-identical across runs and
+//! file-walk orders (`analyze_ordered` exists so tests can prove it).
 
+pub mod allows;
+pub mod callgraph;
 pub mod config;
 pub mod diagnostics;
 pub mod invariants;
 pub mod lexer;
+pub mod parser;
+pub mod protocol;
+pub mod reach;
 pub mod rules;
+pub mod taint;
 
-pub use diagnostics::Diagnostic;
+pub use diagnostics::{Diagnostic, Severity};
 
+use allows::AllowBook;
+use callgraph::{CallGraph, GraphStats, Workspace};
 use rules::RuleSet;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Run the full analysis over a workspace root. Returns diagnostics sorted
-/// by (file, line, rule); empty means the workspace is lint-clean.
+/// by (file, line, rule); no *errors* means the workspace is lint-clean
+/// (warnings report analysis blind spots and do not gate).
 pub fn analyze(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    // Assemble the per-file rule sets from the config tables.
+    analyze_with_stats(root).map(|(diags, _)| diags)
+}
+
+/// `analyze`, plus the call-graph size stats for the timing summary line.
+pub fn analyze_with_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, GraphStats)> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        for file in rust_files_under(&root.join(top))? {
+            files.push(relative(root, &file));
+        }
+    }
+    analyze_ordered(root, &files)
+}
+
+/// The order-independent core: `files` is the workspace-relative `.rs`
+/// file list in *any* order — all internal state is `BTree`-keyed, so the
+/// output is identical under permutation (the determinism golden test
+/// feeds a shuffled list through here).
+pub fn analyze_ordered(
+    root: &Path,
+    files: &[String],
+) -> io::Result<(Vec<Diagnostic>, GraphStats)> {
+    // ---- per-file rule plan from the config tables ----
     let mut plan: BTreeMap<String, RuleSet> = BTreeMap::new();
+    let mut graph_files: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for krate in config::DETERMINISTIC_CRATES {
-        let src_dir = root.join("crates").join(krate).join("src");
-        for file in rust_files_under(&src_dir)? {
-            let rel = relative(root, &file);
-            plan.entry(rel).or_default().determinism = true;
+        let prefix = format!("crates/{krate}/src/");
+        for rel in files {
+            if rel.starts_with(&prefix) {
+                plan.entry(rel.clone()).or_default().determinism = true;
+                graph_files.entry(krate.to_string()).or_default().push(rel.clone());
+            }
         }
     }
     for rel in config::RECOVERY_PATH_FILES {
         plan.entry(rel.to_string()).or_default().recovery_panic = true;
     }
+    for fs in graph_files.values_mut() {
+        fs.sort();
+        fs.dedup();
+    }
 
+    // ---- pass 1: lex + raw per-file findings + allow registration ----
     let mut diags = Vec::new();
+    let mut book = AllowBook::default();
+    let mut raw: Vec<Diagnostic> = Vec::new();
     for (rel, ruleset) in &plan {
         if !ruleset.any() {
             continue;
         }
-        let path = root.join(rel);
-        let src = match std::fs::read_to_string(&path) {
+        let src = match std::fs::read_to_string(root.join(rel)) {
             Ok(s) => s,
             Err(e) => {
                 diags.push(Diagnostic::new(
@@ -58,22 +105,39 @@ pub fn analyze(root: &Path) -> io::Result<Vec<Diagnostic>> {
             }
         };
         let lexed = lexer::lex(&src);
-        diags.extend(rules::check_file(rel, &lexed, ruleset));
+        let regions = rules::test_regions(&lexed.toks);
+        book.add_file(rel, &lexed.allows, |line| {
+            !regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+        });
+        raw.extend(rules::scan_file(rel, &lexed, ruleset));
     }
+
+    // ---- pass 2: workspace call graph + transitive analyses ----
+    let ws = Workspace::parse(root, &graph_files)?;
+    let graph = CallGraph::build(&ws);
+    diags.extend(reach::check(&graph, &mut book));
+    diags.extend(taint::check(&graph, &mut book));
+    diags.extend(protocol::check(&ws));
+    diags.extend(graph.unknown.iter().cloned());
+    let stats = graph.stats;
+
+    // ---- pass 3: resolve per-file suppressions, then the meta rules ----
+    diags.extend(raw.into_iter().filter(|d| !book.suppress(&d.file, d.line, &d.rule)));
+    diags.extend(book.finish());
 
     // Cross-file invariants scan a wider net (tests, examples, bench bins)
     // for the counter-consumption check.
-    let mut all_files = Vec::new();
-    for top in ["crates", "tests", "examples"] {
-        for file in rust_files_under(&root.join(top))? {
-            all_files.push(relative(root, &file));
-        }
-    }
+    let all_files: Vec<String> = {
+        let mut fs = files.to_vec();
+        fs.sort();
+        fs.dedup();
+        fs
+    };
     diags.extend(invariants::check(root, &all_files));
 
     diags.sort();
     diags.dedup();
-    Ok(diags)
+    Ok((diags, stats))
 }
 
 /// Locate the workspace root: walk up from `start` until a `Cargo.toml`
@@ -97,7 +161,7 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 /// order. A missing directory yields an empty list: config entries may
 /// legitimately outlive a crate, and the invariant checks report missing
 /// *files* themselves.
-fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
+pub fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     if !dir.is_dir() {
         return Ok(out);
@@ -123,7 +187,7 @@ fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-fn relative(root: &Path, path: &Path) -> String {
+pub fn relative(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
         .components()

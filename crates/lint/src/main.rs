@@ -1,7 +1,9 @@
-//! CLI entry point. Exit codes: 0 = clean, 1 = violations found,
-//! 2 = usage or I/O error.
+//! CLI entry point. Exit codes: 0 = clean (warnings do not gate),
+//! 1 = violations found (or regressions vs. the baseline), 2 = usage or
+//! I/O error.
 
-use clonos_lint::{analyze, diagnostics, find_workspace_root};
+use clonos_lint::{analyze_with_stats, diagnostics, find_workspace_root, Diagnostic};
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -9,29 +11,58 @@ const USAGE: &str = "\
 clonos-lint — workspace determinism & protocol-invariant static analysis
 
 USAGE:
-    clonos-lint [--json] [--root <dir>]
+    clonos-lint [--json] [--root <dir>] [--baseline <file>]
 
 OPTIONS:
-    --json          emit machine-readable JSON instead of text diagnostics
-    --root <dir>    workspace root (default: walk up from the current
-                    directory to the nearest [workspace] Cargo.toml)
-    --rules         list every rule with its summary
-    -h, --help      show this help
+    --json                 emit machine-readable JSON instead of text
+    --root <dir>           workspace root (default: walk up from the current
+                           directory to the nearest [workspace] Cargo.toml)
+    --baseline <file>      ratchet mode: only fail on violations NOT present
+                           in the baseline snapshot (adopt new rules
+                           incrementally; fixed entries are reported so the
+                           baseline can shrink)
+    --write-baseline <file>
+                           write the current violations as a baseline
+                           snapshot and exit 0
+    --rules                list every rule with its summary
+    -h, --help             show this help
+
+Violations are keyed in baselines as (file, rule, message) — line numbers
+are deliberately excluded so unrelated edits don't churn the snapshot.
 ";
+
+/// Baseline key: line numbers excluded so unrelated edits don't churn it.
+fn baseline_key(d: &Diagnostic) -> String {
+    format!("{}\t{}\t{}", d.file, d.rule, d.message)
+}
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let path_arg = |args: &mut dyn Iterator<Item = String>| match args.next() {
+            Some(v) => Ok(PathBuf::from(v)),
+            None => {
+                eprintln!("error: {arg} requires a path argument\n\n{USAGE}");
+                Err(())
+            }
+        };
         match arg.as_str() {
             "--json" => json = true,
-            "--root" => match args.next() {
-                Some(dir) => root = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("error: --root requires a directory\n\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+            "--root" => match path_arg(&mut args) {
+                Ok(p) => root = Some(p),
+                Err(()) => return ExitCode::from(2),
+            },
+            "--baseline" => match path_arg(&mut args) {
+                Ok(p) => baseline = Some(p),
+                Err(()) => return ExitCode::from(2),
+            },
+            "--write-baseline" => match path_arg(&mut args) {
+                Ok(p) => write_baseline = Some(p),
+                Err(()) => return ExitCode::from(2),
             },
             "--rules" => {
                 for r in clonos_lint::config::RULES {
@@ -60,22 +91,83 @@ fn main() -> ExitCode {
         }
     };
 
-    match analyze(&root) {
-        Ok(diags) => {
-            if json {
-                print!("{}", diagnostics::render_json(&diags));
-            } else {
-                print!("{}", diagnostics::render_text(&diags));
-            }
-            if diags.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+    // Wall-clock is fine here: the lint binary reports its own runtime and
+    // never runs inside the simulation.
+    #[allow(clippy::disallowed_methods)]
+    let started = std::time::Instant::now();
+    let (diags, stats) = match analyze_with_stats(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    let elapsed_ms = started.elapsed().as_millis();
+    eprintln!(
+        "clonos-lint: {} files, {} fns, {} edges ({} path-resolved, {} by-name), \
+         {} unknown callees in {} ms",
+        stats.files,
+        stats.fns,
+        stats.edges,
+        stats.resolved_paths,
+        stats.by_name_edges,
+        stats.unknown_callees,
+        elapsed_ms
+    );
+
+    let errors: Vec<&Diagnostic> = diags.iter().filter(|d| d.is_error()).collect();
+
+    if let Some(path) = write_baseline {
+        let mut lines: Vec<String> = errors.iter().map(|d| baseline_key(d)).collect();
+        lines.sort();
+        lines.dedup();
+        let body = lines.join("\n") + if lines.is_empty() { "" } else { "\n" };
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("clonos-lint: wrote {} baseline entr{} to {}",
+            lines.len(), if lines.len() == 1 { "y" } else { "ies" }, path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let gating: Vec<&Diagnostic> = if let Some(path) = &baseline {
+        let known: BTreeSet<String> = match std::fs::read_to_string(path) {
+            Ok(s) => s.lines().filter(|l| !l.trim().is_empty()).map(str::to_string).collect(),
+            Err(e) => {
+                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let current: BTreeSet<String> = errors.iter().map(|d| baseline_key(d)).collect();
+        let fixed = known.difference(&current).count();
+        if fixed > 0 {
+            eprintln!(
+                "clonos-lint: {fixed} baseline entr{} no longer fire{} — shrink the baseline",
+                if fixed == 1 { "y" } else { "ies" },
+                if fixed == 1 { "s" } else { "" }
+            );
+        }
+        errors.iter().filter(|d| !known.contains(&baseline_key(d))).copied().collect()
+    } else {
+        errors
+    };
+
+    if json {
+        print!("{}", diagnostics::render_json(&diags));
+    } else {
+        print!("{}", diagnostics::render_text(&diags));
+        if baseline.is_some() {
+            println!(
+                "clonos-lint: {} regression{} vs. baseline",
+                gating.len(),
+                if gating.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if gating.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

@@ -1,0 +1,953 @@
+//! Item/signature parser on top of the lexer: just enough structural
+//! understanding of a Rust source file to build a workspace call graph.
+//!
+//! Per file it extracts: the module path (derived from the file's location
+//! in its crate), `use` imports (aliases resolved to workspace-absolute
+//! paths), `fn` items with their enclosing inline-`mod`/`impl` context, and
+//! per-function *body facts* — call sites (path calls and `.method()`
+//! calls), direct panic sites, and direct nondeterminism sources.
+//!
+//! `#[cfg(test)]` regions are excluded up front (they are outside the
+//! production call graph). Known limits — documented in DESIGN.md §7 and
+//! deliberately accepted for a dependency-free parser:
+//!
+//! - trait declarations are skipped (their default bodies are not nodes);
+//!   impl blocks, including trait impls, are fully parsed;
+//! - local `fn` items inside a body attribute their facts to the enclosing
+//!   function (a conservative over-approximation);
+//! - imports are tracked per file, not per inline module;
+//! - qualified-path calls (`<T as Trait>::f(..)`) and function *values*
+//!   (`let f = foo;`) are not call edges.
+
+use crate::lexer::{AllowAnnotation, LexedFile, Tok, TokKind};
+use crate::rules::test_regions;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Methods that panic on None/Err.
+pub const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that abort the process. `debug_assert*` is deliberately absent
+/// (compiles out in release; serves as executable documentation).
+pub const PANIC_MACROS: &[&str] =
+    &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+
+/// Identifiers that are nondeterminism sources when they appear in a body.
+pub const TAINT_IDENTS: &[&str] = &[
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+    "DefaultHasher",
+];
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    pub line: u32,
+    pub target: CallTarget,
+}
+
+#[derive(Clone, Debug)]
+pub enum CallTarget {
+    /// `a::b::c(...)` or `c(...)` — path segments as written (head already
+    /// normalized for `crate`/`self`/`super`).
+    Path(Vec<String>),
+    /// `.m(...)` — receiver type unknown.
+    Method(String),
+}
+
+/// A direct abort site inside a function body.
+#[derive(Clone, Debug)]
+pub struct PanicFact {
+    pub line: u32,
+    /// Human description: "`.unwrap()`", "`panic!`", "slice indexing `[..]`".
+    pub what: String,
+}
+
+/// A direct nondeterminism source inside a function body.
+#[derive(Clone, Debug)]
+pub struct TaintFact {
+    pub line: u32,
+    /// Which source: "Instant::now", "SystemTime", ...
+    pub what: String,
+}
+
+/// One `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Leaf name.
+    pub name: String,
+    /// Canonical path: module segments (+ impl type if a method) + name.
+    pub path: Vec<String>,
+    /// Enclosing module (no impl type, no name).
+    pub module: Vec<String>,
+    /// Leaf name of the `impl` self type, for methods.
+    pub impl_type: Option<String>,
+    pub line: u32,
+    pub is_pub: bool,
+    /// Takes a `self` receiver (candidate for `.method()` resolution).
+    pub has_self: bool,
+    pub calls: Vec<CallSite>,
+    pub panics: Vec<PanicFact>,
+    pub taints: Vec<TaintFact>,
+    /// Body mentions the `Determinant` type (replay-surface marker).
+    pub mentions_determinant: bool,
+}
+
+impl FnItem {
+    /// `a::b::c` display form.
+    pub fn display_path(&self) -> String {
+        self.path.join("::")
+    }
+}
+
+/// Parsed view of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedFile {
+    pub rel: String,
+    /// Module path of the file root (crate lib name + file-derived mods).
+    pub module: Vec<String>,
+    pub fns: Vec<FnItem>,
+    /// Import alias -> workspace-absolute path segments.
+    pub imports: BTreeMap<String, Vec<String>>,
+    /// `use path::*` glob bases.
+    pub globs: Vec<Vec<String>>,
+    /// Enum name -> variants (name, line). Module-level enums only.
+    pub enums: BTreeMap<String, Vec<(String, u32)>>,
+    /// Module-level struct names.
+    pub structs: BTreeSet<String>,
+    /// Live (non-`cfg(test)`) tokens, for passes that scan raw tokens.
+    pub toks: Vec<Tok>,
+    /// Live `clonos-lint:` annotations.
+    pub allows: Vec<AllowAnnotation>,
+}
+
+/// Derive the module path for `rel` (workspace-relative, `/`-separated)
+/// given the crate's lib name. `crates/x/src/lib.rs` -> `[lib]`,
+/// `crates/x/src/a/b.rs` -> `[lib, a, b]`, `a/mod.rs` -> `[lib, a]`.
+pub fn module_path_of(lib_name: &str, rel: &str) -> Vec<String> {
+    let mut out = vec![lib_name.to_string()];
+    let Some(idx) = rel.find("/src/") else {
+        return out;
+    };
+    let tail = &rel[idx + 5..];
+    let tail = tail.strip_suffix(".rs").unwrap_or(tail);
+    for seg in tail.split('/') {
+        if seg == "lib" || seg == "main" || seg == "mod" || seg.is_empty() {
+            continue;
+        }
+        out.push(seg.to_string());
+    }
+    out
+}
+
+/// Parse one lexed file into its item/call-site structure.
+pub fn parse_file(rel: &str, module: Vec<String>, lexed: &LexedFile) -> ParsedFile {
+    let skip = test_regions(&lexed.toks);
+    let live = |line: u32| !skip.iter().any(|&(a, b)| (a..=b).contains(&line));
+    let toks: Vec<Tok> = lexed.toks.iter().filter(|t| live(t.line)).cloned().collect();
+    let allows: Vec<AllowAnnotation> =
+        lexed.allows.iter().filter(|a| live(a.line)).cloned().collect();
+
+    let mut p = Parser {
+        t: &toks,
+        i: 0,
+        out: ParsedFile {
+            rel: rel.to_string(),
+            module: module.clone(),
+            allows,
+            ..ParsedFile::default()
+        },
+        module,
+        mods: Vec::new(),
+        impls: Vec::new(),
+        pending_pub: false,
+    };
+    p.run();
+    let mut out = p.out;
+    out.toks = toks;
+    out
+}
+
+struct Parser<'a> {
+    t: &'a [Tok],
+    i: usize,
+    out: ParsedFile,
+    /// File-root module path.
+    module: Vec<String>,
+    /// Inline `mod x {` stack: (name, brace depth *after* entering).
+    mods: Vec<(String, usize)>,
+    /// `impl Ty {` stack: (type leaf name, brace depth after entering).
+    impls: Vec<(String, usize)>,
+    pending_pub: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn run(&mut self) {
+        let mut depth = 0usize;
+        while self.i < self.t.len() {
+            let tok = &self.t[self.i];
+            match &tok.kind {
+                TokKind::Punct('#') if self.peek_punct(1, '[') => {
+                    self.i = self.skip_balanced(self.i + 1, '[', ']');
+                }
+                TokKind::Punct('{') => {
+                    // A brace not claimed by mod/impl/fn below: skip the
+                    // whole block (const/static initializers, etc.).
+                    self.i = self.skip_balanced(self.i, '{', '}');
+                    self.pending_pub = false;
+                }
+                TokKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if self.mods.last().is_some_and(|&(_, d)| d == depth + 1) {
+                        self.mods.pop();
+                    }
+                    if self.impls.last().is_some_and(|&(_, d)| d == depth + 1) {
+                        self.impls.pop();
+                    }
+                    self.i += 1;
+                    self.pending_pub = false;
+                }
+                TokKind::Punct(';') => {
+                    self.i += 1;
+                    self.pending_pub = false;
+                }
+                TokKind::Ident(name) => match name.as_str() {
+                    "pub" => {
+                        self.pending_pub = true;
+                        self.i += 1;
+                        // `pub(crate)` / `pub(super)` restriction.
+                        if self.peek_punct(0, '(') {
+                            self.i = self.skip_balanced(self.i, '(', ')');
+                        }
+                    }
+                    "use" => {
+                        self.parse_use();
+                        self.pending_pub = false;
+                    }
+                    "mod" => {
+                        let modname = self.ident_at(self.i + 1).map(str::to_string);
+                        match (modname, self.find_punct_before_semi(self.i + 2, '{')) {
+                            (Some(m), Some(open)) => {
+                                depth += 1;
+                                self.mods.push((m, depth));
+                                self.i = open + 1;
+                            }
+                            _ => {
+                                // `mod x;` declaration: child parsed as its
+                                // own file.
+                                self.skip_past_semi();
+                            }
+                        }
+                        self.pending_pub = false;
+                    }
+                    "impl" => {
+                        self.parse_impl_header(&mut depth);
+                        self.pending_pub = false;
+                    }
+                    "trait" => {
+                        // Skip the whole trait declaration (documented limit).
+                        if let Some(open) = self.find_punct_before_semi(self.i + 1, '{') {
+                            self.i = self.skip_balanced(open, '{', '}');
+                        } else {
+                            self.skip_past_semi();
+                        }
+                        self.pending_pub = false;
+                    }
+                    "enum" => {
+                        self.parse_enum();
+                        self.pending_pub = false;
+                    }
+                    "struct" => {
+                        if let Some(n) = self.ident_at(self.i + 1) {
+                            self.out.structs.insert(n.to_string());
+                        }
+                        // Braced struct: skip body; tuple/unit struct: skip
+                        // to `;`.
+                        match self.find_punct_before_semi(self.i + 1, '{') {
+                            Some(open) => self.i = self.skip_balanced(open, '{', '}'),
+                            None => self.skip_past_semi(),
+                        }
+                        self.pending_pub = false;
+                    }
+                    "macro_rules" => {
+                        if let Some(open) = self.find_punct_before_semi(self.i + 1, '{') {
+                            self.i = self.skip_balanced(open, '{', '}');
+                        } else {
+                            self.skip_past_semi();
+                        }
+                        self.pending_pub = false;
+                    }
+                    "fn" => {
+                        let is_pub = self.pending_pub;
+                        self.pending_pub = false;
+                        self.parse_fn(is_pub);
+                    }
+                    _ => self.i += 1,
+                },
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    // -- low-level helpers -------------------------------------------------
+
+    fn peek_punct(&self, ahead: usize, c: char) -> bool {
+        self.t.get(self.i + ahead).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn ident_at(&self, at: usize) -> Option<&str> {
+        self.t.get(at).and_then(|t| t.ident())
+    }
+
+    /// From an opening delimiter at `open`, return the index just past its
+    /// matching close.
+    fn skip_balanced(&self, open: usize, o: char, c: char) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.t.len() {
+            if self.t[i].is_punct(o) {
+                depth += 1;
+            } else if self.t[i].is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.t.len()
+    }
+
+    /// Find `c` at nesting level 0 starting at `from`, stopping at a `;`
+    /// that appears first. Used to find an item's opening brace.
+    fn find_punct_before_semi(&self, from: usize, c: char) -> Option<usize> {
+        let mut i = from;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while i < self.t.len() {
+            match &self.t[i].kind {
+                TokKind::Punct(p) if *p == c && paren == 0 && bracket == 0 => return Some(i),
+                TokKind::Punct(';') if paren == 0 && bracket == 0 => return None,
+                TokKind::Punct('(') => paren += 1,
+                TokKind::Punct(')') => paren -= 1,
+                TokKind::Punct('[') => bracket += 1,
+                TokKind::Punct(']') => bracket -= 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn skip_past_semi(&mut self) {
+        while self.i < self.t.len() && !self.t[self.i].is_punct(';') {
+            self.i += 1;
+        }
+        self.i += 1;
+    }
+
+    fn current_module(&self) -> Vec<String> {
+        let mut m = self.module.clone();
+        m.extend(self.mods.iter().map(|(n, _)| n.clone()));
+        m
+    }
+
+    // -- item parsers ------------------------------------------------------
+
+    /// `use a::b::{c, d as e, f::*};` — record aliases with heads
+    /// normalized to workspace-absolute form.
+    fn parse_use(&mut self) {
+        self.i += 1; // `use`
+        let prefix: Vec<String> = Vec::new();
+        self.parse_use_tree(prefix);
+        self.skip_past_semi();
+    }
+
+    fn parse_use_tree(&mut self, mut prefix: Vec<String>) {
+        loop {
+            match self.t.get(self.i).map(|t| &t.kind) {
+                Some(TokKind::Ident(s)) => {
+                    prefix.push(s.clone());
+                    self.i += 1;
+                    if self.peek_punct(0, ':') && self.peek_punct(1, ':') {
+                        self.i += 2;
+                        continue;
+                    }
+                    // `leaf as alias` renames the import.
+                    if self.t.get(self.i).map(|t| t.is_ident("as")).unwrap_or(false) {
+                        self.i += 1;
+                        if let Some(alias) = self.ident_at(self.i).map(str::to_string) {
+                            self.record_import(alias, prefix.clone());
+                            self.i += 1;
+                        }
+                        return;
+                    }
+                    // Leaf segment.
+                    let alias = prefix.last().cloned().unwrap_or_default();
+                    // `use foo::{self}` — alias is the parent segment.
+                    let (alias, path) = if alias == "self" {
+                        let parent = prefix[..prefix.len() - 1].to_vec();
+                        (parent.last().cloned().unwrap_or_default(), parent)
+                    } else {
+                        (alias, prefix.clone())
+                    };
+                    self.record_import(alias, path);
+                    return;
+                }
+                Some(TokKind::Punct('{')) => {
+                    self.i += 1;
+                    loop {
+                        self.parse_use_tree(prefix.clone());
+                        if self.peek_punct(0, ',') {
+                            self.i += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    if self.peek_punct(0, '}') {
+                        self.i += 1;
+                    }
+                    return;
+                }
+                Some(TokKind::Punct('*')) => {
+                    self.i += 1;
+                    let path = self.normalize_head(prefix.clone());
+                    self.out.globs.push(path);
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn record_import(&mut self, alias: String, path: Vec<String>) {
+        if alias.is_empty() || path.is_empty() {
+            return;
+        }
+        let path = self.normalize_head(path);
+        self.out.imports.insert(alias, path);
+    }
+
+    /// Resolve `crate`/`self`/`super` heads against the file module.
+    fn normalize_head(&self, mut path: Vec<String>) -> Vec<String> {
+        let module = self.current_module();
+        match path.first().map(String::as_str) {
+            Some("crate") => {
+                let mut out = vec![self.module[0].clone()];
+                out.extend(path.drain(1..));
+                out
+            }
+            Some("self") => {
+                let mut out = module;
+                out.extend(path.drain(1..));
+                out
+            }
+            Some("super") => {
+                let mut out = module;
+                out.pop();
+                // Chained `super::super::` heads.
+                let mut rest = path.drain(1..).peekable();
+                while rest.peek().map(String::as_str) == Some("super") {
+                    rest.next();
+                    out.pop();
+                }
+                out.extend(rest);
+                out
+            }
+            _ => path,
+        }
+    }
+
+    /// `impl [<...>] Type [for Type2] {` — push the *self type* leaf.
+    fn parse_impl_header(&mut self, depth: &mut usize) {
+        self.i += 1; // `impl`
+        if self.peek_punct(0, '<') {
+            self.i = self.skip_generics(self.i);
+        }
+        let Some(open) = self.find_impl_open_brace(self.i) else {
+            self.skip_past_semi();
+            return;
+        };
+        // Collect ident segments between here and the brace; the self type
+        // is the last path's final ident (after `for`, if present).
+        let mut ty: Option<String> = None;
+        let mut j = self.i;
+        while j < open {
+            match &self.t[j].kind {
+                TokKind::Ident(s) if s == "for" => {
+                    ty = None;
+                    j += 1;
+                }
+                TokKind::Ident(s) if s == "where" => break,
+                TokKind::Ident(s) if s != "dyn" && s != "mut" => {
+                    // Track the latest path leaf before generics.
+                    ty = Some(s.clone());
+                    j += 1;
+                    // Skip generic args of this segment.
+                    if j < open && self.t[j].is_punct('<') {
+                        j = self.skip_generics(j);
+                    }
+                }
+                _ => j += 1,
+            }
+        }
+        *depth += 1;
+        self.impls.push((ty.unwrap_or_default(), *depth));
+        self.i = open + 1;
+    }
+
+    /// Find the impl body's `{`, skipping generic argument lists (whose
+    /// `{..}` cannot appear) and where clauses.
+    fn find_impl_open_brace(&self, from: usize) -> Option<usize> {
+        let mut i = from;
+        while i < self.t.len() {
+            match &self.t[i].kind {
+                TokKind::Punct('{') => return Some(i),
+                TokKind::Punct(';') => return None,
+                TokKind::Punct('<') => i = self.skip_generics(i),
+                _ => i += 1,
+            }
+        }
+        None
+    }
+
+    /// From `<` at `open`, return the index past the matching `>`,
+    /// tolerating `->` arrows inside (they cannot appear in generics, but
+    /// guard anyway).
+    fn skip_generics(&self, open: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < self.t.len() {
+            match &self.t[i].kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => {
+                    // Ignore the `>` of a `->` arrow.
+                    if i > 0 && self.t[i - 1].is_punct('-') {
+                        i += 1;
+                        continue;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.t.len()
+    }
+
+    fn parse_enum(&mut self) {
+        let Some(name) = self.ident_at(self.i + 1).map(str::to_string) else {
+            self.i += 1;
+            return;
+        };
+        let Some(open) = self.find_punct_before_semi(self.i + 2, '{') else {
+            self.skip_past_semi();
+            return;
+        };
+        let mut variants = Vec::new();
+        let mut depth = 0usize;
+        let mut j = open;
+        let mut bracket = 0i32;
+        while j < self.t.len() {
+            match &self.t[j].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Punct('(') if depth == 1 => {
+                    // Tuple-variant payload: skip.
+                    j = self.skip_balanced(j, '(', ')');
+                    continue;
+                }
+                TokKind::Punct('[') => bracket += 1,
+                TokKind::Punct(']') => bracket -= 1,
+                TokKind::Ident(s) if depth == 1 && bracket == 0 => {
+                    let starts = j == open + 1
+                        || matches!(self.t[j - 1].kind, TokKind::Punct('{' | ',' | ']'));
+                    if starts {
+                        variants.push((s.clone(), self.t[j].line));
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.out.enums.insert(name, variants);
+        self.i = j + 1;
+    }
+
+    fn parse_fn(&mut self, is_pub: bool) {
+        let line = self.t[self.i].line;
+        let Some(name) = self.ident_at(self.i + 1).map(str::to_string) else {
+            self.i += 1;
+            return;
+        };
+        self.i += 2;
+        if self.peek_punct(0, '<') {
+            self.i = self.skip_generics(self.i);
+        }
+        // Parameter list.
+        let mut has_self = false;
+        if self.peek_punct(0, '(') {
+            let close = self.skip_balanced(self.i, '(', ')');
+            // `self` receiver appears before the first top-level comma.
+            let mut j = self.i + 1;
+            let mut depth = 0i32;
+            while j < close {
+                match &self.t[j].kind {
+                    TokKind::Punct('(' | '[' | '<') => depth += 1,
+                    TokKind::Punct(')' | ']' | '>') => depth -= 1,
+                    TokKind::Punct(',') if depth <= 0 => break,
+                    TokKind::Ident(s) if s == "self" => {
+                        has_self = true;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            self.i = close;
+        }
+        // Scan to the body `{` or a `;` (bodyless declaration).
+        let Some(open) = self.find_punct_before_semi(self.i, '{') else {
+            self.skip_past_semi();
+            return;
+        };
+        let end = self.skip_balanced(open, '{', '}');
+        let module = self.current_module();
+        let impl_type = self
+            .impls
+            .last()
+            .map(|(ty, _)| ty.clone())
+            .filter(|ty| !ty.is_empty());
+        let mut item = FnItem {
+            name: name.clone(),
+            path: {
+                let mut p = module.clone();
+                if let Some(ty) = &impl_type {
+                    p.push(ty.clone());
+                }
+                p.push(name);
+                p
+            },
+            module,
+            impl_type,
+            line,
+            is_pub,
+            has_self,
+            calls: Vec::new(),
+            panics: Vec::new(),
+            taints: Vec::new(),
+            mentions_determinant: false,
+        };
+        scan_body(self.t, open, end, &mut item, self);
+        self.out.fns.push(item);
+        self.i = end;
+    }
+}
+
+/// Collect call sites, panic facts, and taint facts from a body range.
+fn scan_body(t: &[Tok], lo: usize, hi: usize, item: &mut FnItem, p: &Parser<'_>) {
+    let mut j = lo;
+    while j < hi {
+        match &t[j].kind {
+            TokKind::Punct('[') => {
+                // Slice/array indexing: `x[..]`, `f()[..]`, `x[0][1]`.
+                let is_index = j > lo
+                    && matches!(
+                        t[j - 1].kind,
+                        TokKind::Ident(_) | TokKind::Punct(')') | TokKind::Punct(']')
+                    )
+                    // `vec![` and other macros are separated by `!`; attrs by `#`.
+                    && !(j > lo + 1 && t[j - 2].is_punct('#'));
+                if is_index {
+                    item.panics
+                        .push(PanicFact { line: t[j].line, what: "slice indexing `[..]`".into() });
+                }
+                j += 1;
+            }
+            TokKind::Ident(name) => {
+                let prev = if j > 0 { Some(&t[j - 1].kind) } else { None };
+                // Path continuation segments were consumed below; `.field`
+                // and `.method(` handled here.
+                if matches!(prev, Some(TokKind::Punct('.'))) {
+                    let (after, _turbo) = skip_turbofish(t, j + 1);
+                    if t.get(after).is_some_and(|n| n.is_punct('(')) {
+                        if PANIC_METHODS.contains(&name.as_str()) {
+                            item.panics.push(PanicFact {
+                                line: t[j].line,
+                                what: format!("`.{name}()`"),
+                            });
+                        } else {
+                            item.calls.push(CallSite {
+                                line: t[j].line,
+                                target: CallTarget::Method(name.clone()),
+                            });
+                        }
+                    }
+                    j += 1;
+                    continue;
+                }
+                // Skip identifiers that are declarations, not references.
+                if matches!(prev, Some(TokKind::Ident(k)) if k == "fn" || k == "let" || k == "mod" || k == "struct" || k == "enum")
+                {
+                    j += 1;
+                    continue;
+                }
+                // Start of a path: collect `a::b::c`.
+                let mut segs = vec![name.clone()];
+                let start_line = t[j].line;
+                let mut k = j + 1;
+                while t.get(k).is_some_and(|x| x.is_punct(':'))
+                    && t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                {
+                    match t.get(k + 2).map(|x| &x.kind) {
+                        Some(TokKind::Ident(s)) => {
+                            segs.push(s.clone());
+                            k += 3;
+                        }
+                        _ => break,
+                    }
+                }
+                let (after, _turbo) = skip_turbofish(t, k);
+                let is_macro = t.get(after).is_some_and(|n| n.is_punct('!'));
+                let is_call = t.get(after).is_some_and(|n| n.is_punct('('));
+
+                // Taint facts (independent of call-ness: type positions
+                // like `RandomState` in a generic argument also count).
+                for (ix, s) in segs.iter().enumerate() {
+                    if TAINT_IDENTS.contains(&s.as_str()) {
+                        item.taints.push(TaintFact { line: start_line, what: s.clone() });
+                    }
+                    if s == "Instant" && segs.get(ix + 1).map(String::as_str) == Some("now") {
+                        item.taints
+                            .push(TaintFact { line: start_line, what: "Instant::now".into() });
+                    }
+                    if s == "Determinant" {
+                        item.mentions_determinant = true;
+                    }
+                }
+
+                if is_macro {
+                    if segs.len() == 1 && PANIC_MACROS.contains(&segs[0].as_str()) {
+                        item.panics
+                            .push(PanicFact { line: start_line, what: format!("`{}!`", segs[0]) });
+                    }
+                    j = after + 1;
+                    continue;
+                }
+                if is_call {
+                    let segs = p.normalize_head(segs);
+                    item.calls
+                        .push(CallSite { line: start_line, target: CallTarget::Path(segs) });
+                }
+                j = k.max(j + 1);
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+/// If `at` starts a turbofish (`::<...>`), return the index past it.
+fn skip_turbofish(t: &[Tok], at: usize) -> (usize, bool) {
+    if t.get(at).is_some_and(|x| x.is_punct(':'))
+        && t.get(at + 1).is_some_and(|x| x.is_punct(':'))
+        && t.get(at + 2).is_some_and(|x| x.is_punct('<'))
+    {
+        let mut depth = 0i32;
+        let mut i = at + 2;
+        while i < t.len() {
+            match &t[i].kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => {
+                    if i > 0 && t[i - 1].is_punct('-') {
+                        i += 1;
+                        continue;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return (i + 1, true);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        (t.len(), true)
+    } else {
+        (at, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("crates/x/src/lib.rs", vec!["x".into()], &lex(src))
+    }
+
+    fn fn_named<'a>(f: &'a ParsedFile, name: &str) -> &'a FnItem {
+        f.fns.iter().find(|i| i.name == name).unwrap_or_else(|| panic!("no fn {name}: {f:#?}"))
+    }
+
+    #[test]
+    fn module_paths() {
+        assert_eq!(module_path_of("clonos", "crates/core/src/lib.rs"), vec!["clonos"]);
+        assert_eq!(
+            module_path_of("clonos", "crates/core/src/causal_log.rs"),
+            vec!["clonos", "causal_log"]
+        );
+        assert_eq!(module_path_of("e", "crates/e/src/a/mod.rs"), vec!["e", "a"]);
+        assert_eq!(module_path_of("e", "crates/e/src/a/b.rs"), vec!["e", "a", "b"]);
+    }
+
+    #[test]
+    fn fn_items_and_impl_methods() {
+        let f = parse(
+            "pub fn free() {}\n\
+             struct S;\n\
+             impl S {\n    pub fn method(&self) {}\n    fn private(x: u32) {}\n}\n\
+             impl Clone for S {\n    fn clone(&self) -> S { S }\n}\n",
+        );
+        let free = fn_named(&f, "free");
+        assert!(free.is_pub);
+        assert_eq!(free.path, vec!["x", "free"]);
+        let m = fn_named(&f, "method");
+        assert!(m.has_self);
+        assert_eq!(m.path, vec!["x", "S", "method"]);
+        let p = fn_named(&f, "private");
+        assert!(!p.is_pub && !p.has_self);
+        // Trait impl attributes methods to the self type, not the trait.
+        assert_eq!(fn_named(&f, "clone").path, vec!["x", "S", "clone"]);
+    }
+
+    #[test]
+    fn inline_mod_nesting() {
+        let f = parse("mod inner {\n    pub fn g() {}\n}\npub fn outer() {}\n");
+        assert_eq!(fn_named(&f, "g").path, vec!["x", "inner", "g"]);
+        assert_eq!(fn_named(&f, "outer").path, vec!["x", "outer"]);
+    }
+
+    #[test]
+    fn use_imports_and_globs() {
+        let f = parse(
+            "use std::collections::BTreeMap;\n\
+             use crate::util::{helper, other as o};\n\
+             use clonos_storage::codec::*;\n\
+             use super::sibling;\n",
+        );
+        assert_eq!(f.imports["BTreeMap"], vec!["std", "collections", "BTreeMap"]);
+        assert_eq!(f.imports["helper"], vec!["x", "util", "helper"]);
+        assert_eq!(f.imports["o"], vec!["x", "util", "other"]);
+        assert_eq!(f.globs, vec![vec!["clonos_storage", "codec"]]);
+        // super:: from the crate root pops the lib segment.
+        assert_eq!(f.imports["sibling"], vec!["sibling"]);
+    }
+
+    #[test]
+    fn call_sites_and_panics() {
+        let f = parse(
+            "fn f(o: Option<u32>, v: &[u32]) -> u32 {\n\
+                 crate::util::helper();\n\
+                 let a = o.unwrap();\n\
+                 let b = v[0];\n\
+                 decode(v).expect(\"boom\");\n\
+                 other_mod::g::<u32>();\n\
+                 panic!(\"no\");\n\
+                 a + b\n\
+             }\n",
+        );
+        let item = fn_named(&f, "f");
+        let paths: Vec<String> = item
+            .calls
+            .iter()
+            .filter_map(|c| match &c.target {
+                CallTarget::Path(p) => Some(p.join("::")),
+                _ => None,
+            })
+            .collect();
+        assert!(paths.contains(&"x::util::helper".to_string()), "{paths:?}");
+        assert!(paths.contains(&"decode".to_string()));
+        assert!(paths.contains(&"other_mod::g".to_string()));
+        let what: Vec<&str> = item.panics.iter().map(|p| p.what.as_str()).collect();
+        assert!(what.contains(&"`.unwrap()`"));
+        assert!(what.contains(&"`.expect()`"));
+        assert!(what.contains(&"`panic!`"));
+        assert!(what.contains(&"slice indexing `[..]`"), "{what:?}");
+    }
+
+    #[test]
+    fn method_calls_and_fields() {
+        let f = parse("fn f(s: S) { s.go(); let x = s.field; s.generic::<u8>(1); }\n");
+        let item = fn_named(&f, "f");
+        let methods: Vec<&str> = item
+            .calls
+            .iter()
+            .filter_map(|c| match &c.target {
+                CallTarget::Method(m) => Some(m.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(methods, vec!["go", "generic"]);
+    }
+
+    #[test]
+    fn taint_facts() {
+        let f = parse(
+            "fn f() {\n    let t = std::time::Instant::now();\n    let s = SystemTime::now();\n    let h: RandomState = RandomState::new();\n}\n",
+        );
+        let t: Vec<&str> = fn_named(&f, "f").taints.iter().map(|x| x.what.as_str()).collect();
+        assert!(t.contains(&"Instant::now"));
+        assert!(t.contains(&"SystemTime"));
+        assert!(t.contains(&"RandomState"));
+    }
+
+    #[test]
+    fn vec_macro_and_attrs_are_not_indexing() {
+        let f = parse("fn f() { let v = vec![1, 2]; #[allow(dead_code)] let w: [u8; 2] = [0; 2]; }\n");
+        assert!(fn_named(&f, "f").panics.is_empty(), "{:?}", fn_named(&f, "f").panics);
+    }
+
+    #[test]
+    fn enums_and_variants() {
+        let f = parse(
+            "pub enum Msg {\n    Data { from: u32 },\n    Tick,\n    Pair(u32, u32),\n}\n",
+        );
+        let vs: Vec<&str> = f.enums["Msg"].iter().map(|(v, _)| v.as_str()).collect();
+        assert_eq!(vs, vec!["Data", "Tick", "Pair"]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_invisible() {
+        let f = parse(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn dead() { x.unwrap(); }\n}\n",
+        );
+        assert!(f.fns.iter().all(|i| i.name != "dead"));
+        assert_eq!(f.fns.len(), 1);
+    }
+
+    #[test]
+    fn determinant_mention_is_tracked() {
+        let f = parse("fn replay(d: u8) { match d { _ => Determinant::decode(d) }; }\n");
+        assert!(fn_named(&f, "replay").mentions_determinant);
+    }
+
+    #[test]
+    fn trait_decls_are_skipped() {
+        let f = parse("pub trait T {\n    fn required(&self);\n    fn with_default(&self) { x.unwrap(); }\n}\nfn after() {}\n");
+        assert!(f.fns.iter().all(|i| i.name != "required" && i.name != "with_default"));
+        assert_eq!(fn_named(&f, "after").path, vec!["x", "after"]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Message-protocol exhaustiveness (`message-protocol`).
+//!
+//! The control-plane enums in `messages.rs` are a closed protocol: a
+//! variant someone constructs but no handler matches is a message that
+//! silently dies in a catch-all (the class of bug behind the
+//! stale-ReplayRequest fix), and a variant with a handler nobody ever
+//! constructs is dead protocol surface that rots. For every variant of
+//! every enum declared in `config::MESSAGES_FILE` this pass cross-checks:
+//!
+//! * **constructed** — an `Enum::Variant` occurrence anywhere in the graph
+//!   crates that is *not* a match-arm pattern;
+//! * **handled** — an `Enum::Variant` match-arm pattern (payload and guard
+//!   aware, `|` or-patterns included) in a handler file
+//!   (`config::MESSAGE_HANDLER_FILES`), outside `#[cfg(test)]`.
+//!
+//! A variant must be both or neither-is-fine-only-if-removed: constructed
+//! without a handler, handled without a constructor, or fully dead each
+//! raise an error anchored at the variant declaration, with the evidence
+//! sites (or their absence) in the diagnostic chain. Catch-all `_ =>` and
+//! binding arms deliberately do not count as handling — the whole point is
+//! that adding a variant must force a conscious handler decision.
+//!
+//! This is a cross-file invariant; it cannot be `allow`-annotated.
+
+use crate::callgraph::Workspace;
+use crate::config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::rules;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Default)]
+struct Evidence {
+    constructed: Vec<(String, u32)>,
+    handled: Vec<(String, u32)>,
+}
+
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(msg_file) = ws.files.get(config::MESSAGES_FILE) else {
+        return Vec::new(); // no protocol surface (fixture workspaces)
+    };
+    // (enum, variant) -> declaration line + gathered evidence.
+    let mut decl: BTreeMap<(String, String), u32> = BTreeMap::new();
+    let mut evidence: BTreeMap<(String, String), Evidence> = BTreeMap::new();
+    for (enum_name, variants) in &msg_file.enums {
+        for (v, line) in variants {
+            decl.insert((enum_name.clone(), v.clone()), *line);
+            evidence.insert((enum_name.clone(), v.clone()), Evidence::default());
+        }
+    }
+    if decl.is_empty() {
+        return Vec::new();
+    }
+
+    for (rel, pf) in &ws.files {
+        let is_handler = config::MESSAGE_HANDLER_FILES.contains(&rel.as_str());
+        let test_regions = rules::test_regions(&pf.toks);
+        let live =
+            |line: u32| !test_regions.iter().any(|&(a, b)| (a..=b).contains(&line));
+        scan_file(rel, &pf.toks, is_handler, &live, &mut evidence);
+    }
+
+    let mut out = Vec::new();
+    for ((enum_name, variant), ev) in &evidence {
+        let line = decl[&(enum_name.clone(), variant.clone())];
+        let qualified = format!("{enum_name}::{variant}");
+        let diag = match (ev.constructed.is_empty(), ev.handled.is_empty()) {
+            (false, false) => continue, // constructed and handled: healthy
+            (false, true) => Diagnostic::new(
+                config::MESSAGES_FILE,
+                line,
+                "message-protocol",
+                format!(
+                    "variant `{qualified}` is constructed but has no handling match arm in {}",
+                    config::MESSAGE_HANDLER_FILES.join(" / ")
+                ),
+            )
+            .with_chain(sites("constructed at", &ev.constructed)),
+            (true, false) => Diagnostic::new(
+                config::MESSAGES_FILE,
+                line,
+                "message-protocol",
+                format!(
+                    "variant `{qualified}` has a handling match arm but is never constructed \
+                     (dead control-plane message)"
+                ),
+            )
+            .with_chain(sites("handled at", &ev.handled)),
+            (true, true) => Diagnostic::new(
+                config::MESSAGES_FILE,
+                line,
+                "message-protocol",
+                format!(
+                    "variant `{qualified}` is never constructed and never handled (dead \
+                     control-plane message); remove it"
+                ),
+            ),
+        };
+        out.push(diag);
+    }
+    out
+}
+
+fn sites(label: &str, ev: &[(String, u32)]) -> Vec<String> {
+    ev.iter().take(3).map(|(f, l)| format!("{label} {f}:{l}")).collect()
+}
+
+/// Collect `Enum::Variant` occurrences in one token stream, classified as
+/// match-arm pattern or construction.
+fn scan_file(
+    rel: &str,
+    toks: &[Tok],
+    is_handler: bool,
+    live: &dyn Fn(u32) -> bool,
+    evidence: &mut BTreeMap<(String, String), Evidence>,
+) {
+    for i in 3..toks.len() {
+        let TokKind::Ident(variant) = &toks[i].kind else { continue };
+        if !(toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':')) {
+            continue;
+        }
+        let TokKind::Ident(enum_name) = &toks[i - 3].kind else { continue };
+        let Some(ev) = evidence.get_mut(&(enum_name.clone(), variant.clone())) else {
+            continue;
+        };
+        let line = toks[i].line;
+        if is_arm_pattern(toks, i) {
+            if is_handler && live(line) {
+                ev.handled.push((rel.to_string(), line));
+            }
+        } else {
+            ev.constructed.push((rel.to_string(), line));
+        }
+    }
+}
+
+/// Is the occurrence at `i` (the variant ident) a match-arm pattern? Skip
+/// an optional `{...}` / `(...)` payload, then look for `=>` (directly or
+/// past an `if` guard) or a `|` or-pattern continuation.
+fn is_arm_pattern(toks: &[Tok], i: usize) -> bool {
+    let mut j = i + 1;
+    if j < toks.len() && (toks[j].is_punct('{') || toks[j].is_punct('(')) {
+        j = skip_group(toks, j);
+    }
+    match toks.get(j).map(|t| &t.kind) {
+        Some(TokKind::Punct('|')) => true,
+        Some(TokKind::Punct('=')) => {
+            toks.get(j + 1).map(|t| t.is_punct('>')).unwrap_or(false)
+        }
+        Some(TokKind::Ident(s)) if s == "if" => {
+            // Guarded arm: scan the guard expression for its `=>`.
+            let mut depth = 0i32;
+            for k in j + 1..(j + 200).min(toks.len().saturating_sub(1)) {
+                match &toks[k].kind {
+                    TokKind::Punct('(' | '[' | '{') => depth += 1,
+                    TokKind::Punct(')' | ']' | '}') => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return false;
+                        }
+                    }
+                    TokKind::Punct(';') if depth == 0 => return false,
+                    TokKind::Punct('=') if depth == 0 => {
+                        return toks.get(k + 1).map(|t| t.is_punct('>')).unwrap_or(false);
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// From an opening `{`/`(` at `open`, return the index just past its
+/// matching close.
+fn skip_group(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = if toks[open].is_punct('{') { ('{', '}') } else { ('(', ')') };
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct(o) {
+            depth += 1;
+        } else if toks[j].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        ws.crate_roots.insert("clonos_engine".into());
+        for (rel, src) in files {
+            let module = parser::module_path_of("clonos_engine", rel);
+            ws.files.insert(rel.to_string(), parser::parse_file(rel, module, &lex(src)));
+        }
+        ws
+    }
+
+    const MESSAGES: &str = "pub enum Msg {\n    Ping { n: u64 },\n    Pong(u64),\n}\n";
+
+    #[test]
+    fn constructed_and_handled_is_clean() {
+        let w = ws(&[
+            ("crates/engine/src/messages.rs", MESSAGES),
+            (
+                "crates/engine/src/task.rs",
+                "fn h(m: Msg) { match m { Msg::Ping { n } => drop(n), Msg::Pong(n) if n > 0 => drop(n), Msg::Pong(_) => {} } }\n\
+                 fn send() { emit(Msg::Ping { n: 1 }); emit(Msg::Pong(2)); }\n",
+            ),
+        ]);
+        assert!(check(&w).is_empty(), "{:?}", check(&w));
+    }
+
+    #[test]
+    fn unhandled_variant_is_flagged_with_construction_site() {
+        let w = ws(&[
+            ("crates/engine/src/messages.rs", MESSAGES),
+            (
+                "crates/engine/src/task.rs",
+                "fn h(m: Msg) { match m { Msg::Ping { .. } => {}, _ => {} } }\n\
+                 fn send() { emit(Msg::Ping { n: 1 }); emit(Msg::Pong(2)); }\n",
+            ),
+        ]);
+        let d = check(&w);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`Msg::Pong` is constructed but has no handling"));
+        assert_eq!(d[0].file, config::MESSAGES_FILE);
+        assert_eq!(d[0].line, 3); // Pong declaration
+        assert!(d[0].chain[0].contains("constructed at crates/engine/src/task.rs:2"));
+    }
+
+    #[test]
+    fn never_constructed_variant_is_flagged() {
+        let w = ws(&[
+            ("crates/engine/src/messages.rs", MESSAGES),
+            (
+                "crates/engine/src/task.rs",
+                "fn h(m: Msg) { match m { Msg::Ping { .. } => {}, Msg::Pong(_) => {} } }\n\
+                 fn send() { emit(Msg::Ping { n: 1 }); }\n",
+            ),
+        ]);
+        let d = check(&w);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("never constructed"));
+        assert!(d[0].chain[0].contains("handled at"));
+    }
+
+    #[test]
+    fn fully_dead_variant_is_flagged() {
+        let w = ws(&[
+            ("crates/engine/src/messages.rs", MESSAGES),
+            (
+                "crates/engine/src/task.rs",
+                "fn h(m: Msg) { match m { Msg::Ping { .. } => {}, _ => {} } }\n\
+                 fn send() { emit(Msg::Ping { n: 1 }); }\n",
+            ),
+        ]);
+        let d = check(&w);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("never constructed and never handled"));
+    }
+
+    #[test]
+    fn arm_in_cfg_test_or_non_handler_file_does_not_count() {
+        let w = ws(&[
+            ("crates/engine/src/messages.rs", MESSAGES),
+            (
+                "crates/engine/src/task.rs",
+                "fn h(m: Msg) { match m { Msg::Ping { .. } => {}, _ => {} } }\n\
+                 fn send() { emit(Msg::Ping { n: 1 }); emit(Msg::Pong(2)); }\n\
+                 #[cfg(test)]\nmod tests {\n    fn t(m: Msg) { match m { Msg::Pong(_) => {}, _ => {} } }\n}\n",
+            ),
+            (
+                "crates/engine/src/other.rs",
+                "fn t(m: Msg) { match m { Msg::Pong(_) => {}, _ => {} } }\n",
+            ),
+        ]);
+        let d = check(&w);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`Msg::Pong` is constructed but has no handling"));
+    }
+
+    #[test]
+    fn or_pattern_counts_as_handled() {
+        let w = ws(&[
+            ("crates/engine/src/messages.rs", MESSAGES),
+            (
+                "crates/engine/src/cluster.rs",
+                "fn h(m: Msg) { match m { Msg::Ping { .. } | Msg::Pong(_) => {} } }\n\
+                 fn send() { emit(Msg::Ping { n: 1 }); emit(Msg::Pong(2)); }\n",
+            ),
+        ]);
+        assert!(check(&w).is_empty(), "{:?}", check(&w));
+    }
+}

@@ -1,0 +1,148 @@
+//! Transitive panic-reachability (`panic-path`) and the shared path-rule
+//! engine it is built on (`taint.rs` reuses it for `replay-taint`).
+//!
+//! Shape of both rules: a set of *entry* nodes, a set of *facts* attached
+//! to nodes (panic sinks / nondeterminism sources), and the claim that no
+//! entry may transitively reach a fact. Allow annotations act on the graph:
+//! a covered call site removes that edge (suppressing every path through
+//! it), a covered fact removes the sink. BFS from the entries yields a
+//! shortest exemplar blame chain per surviving fact, rendered into the
+//! diagnostic in both text and JSON.
+
+use crate::allows::AllowBook;
+use crate::callgraph::CallGraph;
+use crate::config;
+use crate::diagnostics::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Parameterization of one transitive path rule.
+pub struct PathRule<'a> {
+    /// Rule id (`panic-path` / `replay-taint`) — also the allow key.
+    pub rule: &'static str,
+    /// Entry node indexes (BFS sources).
+    pub entries: BTreeSet<usize>,
+    /// Rendered into the message: what an entry is.
+    pub entry_label: &'static str,
+    /// Facts per node: `(line, rendered fact)`, already filtered to the
+    /// rule's sink set (but not yet for allow coverage).
+    pub facts: Box<dyn Fn(usize) -> Vec<(u32, String)> + 'a>,
+    /// Appended fix hint.
+    pub hint: &'static str,
+}
+
+/// Run a path rule over the graph. Marks used allows in `book`.
+pub fn run(graph: &CallGraph, book: &mut AllowBook, rule: PathRule<'_>) -> Vec<Diagnostic> {
+    // Live facts: rule facts not suppressed by an allow at the fact line.
+    let live_facts: Vec<Vec<(u32, String)>> = (0..graph.nodes.len())
+        .map(|ix| {
+            (rule.facts)(ix)
+                .into_iter()
+                .filter(|(line, _)| !book.covers(&graph.nodes[ix].file, *line, rule.rule))
+                .collect()
+        })
+        .collect();
+
+    // Reachability with allow-covered edges removed.
+    let edge_live = |u: usize, e: &crate::callgraph::Edge| {
+        !book.covers(&graph.nodes[u].file, e.line, rule.rule)
+    };
+    let parent = graph.bfs(&rule.entries, edge_live);
+
+    let mut out = Vec::new();
+    for (ix, facts) in live_facts.iter().enumerate() {
+        if facts.is_empty() || !parent.contains_key(&ix) {
+            continue;
+        }
+        let chain = render_chain(graph, &parent, ix);
+        let entry_ix = graph.chain_to(&parent, ix)[0].0;
+        let node = &graph.nodes[ix];
+        for (line, what) in facts {
+            out.push(
+                Diagnostic::new(
+                    node.file.clone(),
+                    *line,
+                    rule.rule,
+                    format!(
+                        "{what} in `{}` is transitively reachable from {} `{}`; {}",
+                        node.path, rule.entry_label, graph.nodes[entry_ix].path, rule.hint
+                    ),
+                )
+                .with_chain(chain.clone()),
+            );
+        }
+    }
+
+    // Stale-allow bookkeeping: an allow is *used* when the site it covers
+    // lies on a would-be blame path — computed on the unfiltered graph so
+    // the allow that cut the path still counts as doing work.
+    let r0 = graph.bfs(&rule.entries, |_, _| true);
+    let all_sinks: BTreeSet<usize> =
+        (0..graph.nodes.len()).filter(|&ix| !(rule.facts)(ix).is_empty()).collect();
+    let can_reach_sink = graph.reaches(&all_sinks, |_, _| true);
+    for &ix in r0.keys() {
+        for (line, _) in (rule.facts)(ix) {
+            if book.covers(&graph.nodes[ix].file, line, rule.rule) {
+                book.mark_used(&graph.nodes[ix].file, line, rule.rule);
+            }
+        }
+    }
+    for (u, adj) in graph.edges.iter().enumerate() {
+        if !r0.contains_key(&u) {
+            continue;
+        }
+        for e in adj {
+            if can_reach_sink.contains(&e.to)
+                && book.covers(&graph.nodes[u].file, e.line, rule.rule)
+            {
+                book.mark_used(&graph.nodes[u].file, e.line, rule.rule);
+            }
+        }
+    }
+
+    out
+}
+
+/// `entry (file:line) → hop (file:line) → ...`, one rendered hop per node.
+fn render_chain(
+    graph: &CallGraph,
+    parent: &std::collections::BTreeMap<usize, Option<(usize, u32)>>,
+    ix: usize,
+) -> Vec<String> {
+    graph
+        .chain_to(parent, ix)
+        .into_iter()
+        .map(|(n, _)| {
+            let node = &graph.nodes[n];
+            format!("{} ({}:{})", node.path, node.file, node.line)
+        })
+        .collect()
+}
+
+/// The `panic-path` rule: no function transitively reachable from a
+/// recovery entry point (public fns of the recovery-path files) may panic.
+/// Sinks *inside* the recovery-path files are excluded — the per-file
+/// `recovery-panic` rule owns those lines, with its own audited allows.
+pub fn check(graph: &CallGraph, book: &mut AllowBook) -> Vec<Diagnostic> {
+    let entries: BTreeSet<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_pub && config::RECOVERY_PATH_FILES.contains(&n.file.as_str()))
+        .map(|(ix, _)| ix)
+        .collect();
+    let rule = PathRule {
+        rule: "panic-path",
+        entries,
+        entry_label: "recovery entry point",
+        facts: Box::new(|ix| {
+            let n = &graph.nodes[ix];
+            if config::RECOVERY_PATH_FILES.contains(&n.file.as_str()) {
+                return Vec::new();
+            }
+            n.panics.iter().map(|p| (p.line, p.what.clone())).collect()
+        }),
+        hint: "surface an error into the retry/escalation ladder or add an audited allow on a \
+               hop of the printed path",
+    };
+    run(graph, book, rule)
+}

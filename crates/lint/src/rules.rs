@@ -1,8 +1,10 @@
 //! The per-file rule engine: determinism rules and recovery-path panic
-//! rules over the token stream, with `#[cfg(test)]` regions excluded and
-//! `// clonos-lint: allow(...)` suppression handling.
+//! rules over the token stream, with `#[cfg(test)]` regions excluded.
+//! Allow-annotation resolution lives in `allows::AllowBook` (shared with
+//! the transitive graph rules); `check_file` remains as the single-file
+//! convenience wrapper.
 
-use crate::config;
+use crate::allows::AllowBook;
 use crate::diagnostics::Diagnostic;
 use crate::lexer::{LexedFile, Tok, TokKind};
 
@@ -40,8 +42,29 @@ const PANIC_MACROS: &[&str] =
 /// Methods that panic on None/Err (recovery-path rule).
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 
-/// Run all applicable per-file rules.
+/// Run all applicable per-file rules on one file, resolving suppressions
+/// against a file-local `AllowBook`. The workspace driver (`lib.rs`)
+/// instead calls `scan_file` and shares one book across every pass.
 pub fn check_file(rel: &str, lexed: &LexedFile, rules: &RuleSet) -> Vec<Diagnostic> {
+    let mut book = AllowBook::default();
+    let skip = test_regions(&lexed.toks);
+    book.add_file(rel, &lexed.allows, |line| {
+        !skip.iter().any(|&(a, b)| (a..=b).contains(&line))
+    });
+    let mut out: Vec<Diagnostic> = scan_file(rel, lexed, rules)
+        .into_iter()
+        .filter(|d| !book.suppress(&d.file, d.line, &d.rule))
+        .collect();
+    out.extend(book.finish());
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Raw per-file findings with `#[cfg(test)]` regions excluded; suppression
+/// is the caller's job (via `AllowBook`). Two identical triggers on one
+/// line (e.g. `HashMap` twice) are deduplicated to one finding.
+pub fn scan_file(rel: &str, lexed: &LexedFile, rules: &RuleSet) -> Vec<Diagnostic> {
     let skip = test_regions(&lexed.toks);
     let live = |line: u32| !skip.iter().any(|&(a, b)| (a..=b).contains(&line));
 
@@ -112,72 +135,9 @@ pub fn check_file(rel: &str, lexed: &LexedFile, rules: &RuleSet) -> Vec<Diagnost
         }
     }
 
-    resolve_suppressions(rel, lexed, found, &live)
-}
-
-/// Apply annotations: drop suppressed findings, flag malformed and stale
-/// annotations.
-fn resolve_suppressions(
-    rel: &str,
-    lexed: &LexedFile,
-    found: Vec<Diagnostic>,
-    live: &dyn Fn(u32) -> bool,
-) -> Vec<Diagnostic> {
-    let allows: Vec<_> = lexed.allows.iter().filter(|a| live(a.line)).collect();
-    let mut used = vec![false; allows.len()];
-    let mut out = Vec::new();
-
-    for d in found {
-        // An annotation suppresses findings on its own line (trailing
-        // comment) and on the following line.
-        let hit = allows.iter().enumerate().find(|(_, a)| {
-            a.parse_error.is_none()
-                && (a.line == d.line || a.line + 1 == d.line)
-                && a.rules.iter().any(|r| r == &d.rule)
-        });
-        match hit {
-            Some((idx, _)) => used[idx] = true,
-            None => out.push(d),
-        }
-    }
-
-    for (idx, a) in allows.iter().enumerate() {
-        if let Some(err) = &a.parse_error {
-            out.push(Diagnostic::new(rel, a.line, "bad-annotation", err.clone()));
-            continue;
-        }
-        if let Some(unknown) = a.rules.iter().find(|r| !config::rule_exists(r)) {
-            out.push(Diagnostic::new(
-                rel,
-                a.line,
-                "bad-annotation",
-                format!("unknown rule `{unknown}`"),
-            ));
-            continue;
-        }
-        if let Some(fixed) = a.rules.iter().find(|r| !config::rule_allowable(r)) {
-            out.push(Diagnostic::new(
-                rel,
-                a.line,
-                "bad-annotation",
-                format!("rule `{fixed}` cannot be suppressed with an allow annotation"),
-            ));
-            continue;
-        }
-        if !used[idx] {
-            out.push(Diagnostic::new(
-                rel,
-                a.line,
-                "unused-allow",
-                format!("allow({}) suppresses nothing; remove the stale exception", a.rules.join(", ")),
-            ));
-        }
-    }
-    // Two identical triggers on one line (e.g. `HashMap` twice) are one
-    // finding.
-    out.sort();
-    out.dedup();
-    out
+    found.sort();
+    found.dedup();
+    found
 }
 
 /// Line ranges covered by `#[cfg(test)]`-gated items (inclusive).

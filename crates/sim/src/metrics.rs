@@ -87,6 +87,7 @@ impl ThroughputSeries {
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
+        // clonos-lint: allow(panic-path, reason = "index resized in-bounds on the line above")
         self.counts[idx] += n;
     }
 

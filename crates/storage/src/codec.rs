@@ -132,6 +132,7 @@ impl ByteWriter {
     #[inline]
     pub fn end_u32_len(&mut self, pos: usize) {
         let len = (self.buf.len() - pos - 4) as u32;
+        // clonos-lint: allow(panic-path, reason = "pos is a begin_u32_len cookie; the 4-byte prefix exists by construction")
         self.buf[pos..pos + 4].copy_from_slice(&len.to_le_bytes());
     }
 
@@ -193,6 +194,7 @@ impl<'a> ByteReader<'a> {
         if self.remaining() < n {
             return Err(CodecError::UnexpectedEof { needed: n, remaining: self.remaining() });
         }
+        // clonos-lint: allow(panic-path, reason = "bounds checked above; short reads surface CodecError::UnexpectedEof")
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)

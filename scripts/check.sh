@@ -12,7 +12,19 @@ echo "== tier-1: test suite =="
 cargo test -q
 
 echo "== lint: clonos-lint + clippy (blocking) =="
-scripts/lint.sh
+lint_time_file=$(mktemp)
+LINT_TIME_FILE="$lint_time_file" scripts/lint.sh
+lint_ms=$(cat "$lint_time_file" 2>/dev/null || echo "")
+rm -f "$lint_time_file"
+if [[ -z "$lint_ms" ]]; then
+  echo "ERROR: lint timing summary missing (expected a '... in N ms' stats line)" >&2
+  exit 1
+fi
+if [[ "$lint_ms" -gt 2000 ]]; then
+  echo "ERROR: clonos-lint analysis took ${lint_ms} ms (> 2000 ms budget) — the call-graph pass regressed" >&2
+  exit 1
+fi
+echo "== lint: analysis wall time ${lint_ms} ms (budget 2000 ms) =="
 
 echo "== chaos: bounded seed sweep (25 seeds x 3 modes, release) =="
 CHAOS_SEEDS=25 cargo test --release -q -p clonos-integration --test chaos_sweep

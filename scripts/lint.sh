@@ -1,13 +1,33 @@
 #!/usr/bin/env bash
 # Static-analysis gate: clonos-lint (determinism + recovery-path + protocol
-# invariants) followed by a warning-free clippy pass with the clippy.toml
-# disallow lists. Blocking: any violation exits non-zero.
-# Usage: scripts/lint.sh [--json]
+# invariants + call-graph transitive analyses) followed by a warning-free
+# clippy pass with the clippy.toml disallow lists. Blocking: any violation
+# exits non-zero.
+#
+# The clonos-lint stage prints a one-line timing summary (parsed from the
+# tool's own stderr stats line); LINT_TIME_FILE, when set, receives the
+# analysis wall time in ms so check.sh can enforce its perf budget.
+# Usage: scripts/lint.sh [--json] [--baseline <file>]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== lint: clonos-lint =="
-cargo run --release -q -p clonos-lint -- "$@"
+echo "== lint: clonos-lint (per-file + call-graph) =="
+cargo build --release -q -p clonos-lint
+errfile=$(mktemp)
+status=0
+target/release/clonos-lint "$@" 2>"$errfile" || status=$?
+cat "$errfile" >&2
+ms=$(sed -n 's/.* in \([0-9][0-9]*\) ms$/\1/p' "$errfile" | head -n1)
+rm -f "$errfile"
+if [[ -n "${ms:-}" ]]; then
+  echo "== lint: call-graph analysis wall time: ${ms} ms =="
+  if [[ -n "${LINT_TIME_FILE:-}" ]]; then
+    echo "$ms" >"$LINT_TIME_FILE"
+  fi
+fi
+if [[ "$status" -ne 0 ]]; then
+  exit "$status"
+fi
 
 echo "== lint: clippy (deny warnings, disallow lists from clippy.toml) =="
 cargo clippy --all-targets -- -D warnings
