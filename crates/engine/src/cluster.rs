@@ -75,6 +75,9 @@ pub struct Cluster {
     pub entropy: SimRng,
     pub metrics: JobMetrics,
     pub graph: ExecutionGraph,
+    /// Counters from the multi-threaded runtime (all zero under the sim
+    /// scheduler); installed at parallel-runtime teardown.
+    pub runtime_stats: crate::metrics::RuntimeStats,
     job: JobGraph,
     tasks: BTreeMap<TaskId, Option<Task>>,
     /// Task → hosting node (round-robin placement; standbys anti-affine).
@@ -104,6 +107,7 @@ impl Cluster {
             entropy: root.fork(0xC0FFEE),
             metrics: JobMetrics::new(VirtualDuration::from_secs(1)),
             graph,
+            runtime_stats: crate::metrics::RuntimeStats::default(),
             job,
             tasks: BTreeMap::new(),
             nodes: BTreeMap::new(),
@@ -159,6 +163,24 @@ impl Cluster {
         Task::new(spec, &kind, self.edge_partitionings(), &self.config, self.depth, gen)
     }
 
+    /// Detach a live task from the cluster (parallel-runtime handoff: the
+    /// actor cell takes ownership for the duration of the threaded run).
+    pub(crate) fn take_task(&mut self, id: TaskId) -> Option<Task> {
+        self.tasks.get_mut(&id).and_then(|slot| slot.take())
+    }
+
+    /// Re-attach a task after a parallel run so the report-time aggregators
+    /// (log/routing/checkpoint stats, state digests) see its final state.
+    pub(crate) fn install_task(&mut self, id: TaskId, task: Task) {
+        self.tasks.insert(id, Some(task));
+    }
+
+    /// Mirror the coordinator's completed-checkpoint watermark back into the
+    /// JM state after a parallel run.
+    pub(crate) fn set_last_completed(&mut self, cp: u64) {
+        self.jm.last_completed = self.jm.last_completed.max(cp);
+    }
+
     fn deploy(&mut self) {
         let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
         let num_nodes = self.config.num_nodes;
@@ -203,7 +225,7 @@ impl Cluster {
         let Some(slot) = self.tasks.get_mut(&id) else { return };
         let Some(mut task) = slot.take() else { return };
         let mut ctx = TaskCtx {
-            sim: &mut self.sim,
+            sched: &mut self.sim,
             links: &mut self.links,
             external: &mut self.external,
             topics: &mut self.topics,
@@ -222,7 +244,7 @@ impl Cluster {
                     .clonos()
                     .map(|c| c.prefer_availability_on_orphans)
                     .unwrap_or(false);
-                let now = ctx.sim.now();
+                let now = ctx.sched.now();
                 if prefer_availability {
                     ctx.metrics.event(
                         now,

@@ -28,6 +28,7 @@ pub mod operator;
 pub mod operators;
 pub mod record;
 pub mod runner;
+pub mod runtime;
 pub mod state;
 pub mod task;
 
@@ -35,6 +36,8 @@ pub use cluster::Cluster;
 pub use config::{EngineConfig, FtMode};
 pub use error::EngineError;
 pub use graph::{JobGraph, Partitioning, SinkSpec, SourceSpec, TimestampMode, VertexId};
+pub use metrics::RuntimeStats;
 pub use operator::{factory, OpCtx, Operator, TimerKind};
 pub use record::{Datum, Record, Row, StreamElement};
 pub use runner::{FailurePlan, JobRunner, RunReport};
+pub use runtime::ParallelConfig;

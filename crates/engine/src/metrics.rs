@@ -107,6 +107,26 @@ impl RecoveryStats {
     }
 }
 
+/// Counters from the multi-threaded sharded actor runtime (all zero for
+/// runs driven by the deterministic sim scheduler). Aggregated once at
+/// runtime teardown and surfaced through `RunReport` so benchmarks and the
+/// smoke gate can assert on scheduler behaviour, not just output bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Worker threads the run was sharded across (0 = sim scheduler).
+    pub workers: u64,
+    /// Shard sweeps in which a worker processed another worker's actor.
+    pub steals: u64,
+    /// Producer stalls on a full destination mailbox (backpressure events).
+    pub mailbox_stalls: u64,
+    /// Deepest any bounded mailbox ever got (queue-depth highwater mark).
+    pub mailbox_depth_highwater: u64,
+    /// Fewest events handled by any single worker (skew floor).
+    pub min_worker_events: u64,
+    /// Most events handled by any single worker (skew ceiling).
+    pub max_worker_events: u64,
+}
+
 /// Collected during a run by sinks and the job manager.
 #[derive(Debug)]
 pub struct JobMetrics {
@@ -147,6 +167,22 @@ impl JobMetrics {
 
     pub fn event(&mut self, at: VirtualTime, what: impl Into<String>) {
         self.events.push(RunEvent { at, what: what.into() });
+    }
+
+    /// Fold a per-actor metrics shard (from the parallel runtime) into the
+    /// job-wide accumulator. Recovery counters are deliberately untouched:
+    /// the parallel runtime only runs failure-free, so shards never record
+    /// any.
+    pub fn absorb(&mut self, other: JobMetrics) {
+        for (sink, series) in other.latency_series {
+            self.latency_series.entry(sink).or_default().absorb(&series);
+        }
+        self.latency.absorb(&other.latency);
+        self.throughput.absorb(&other.throughput);
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| e.at);
+        self.records_out += other.records_out;
+        self.records_in += other.records_in;
     }
 
     /// Combined latency time series across sinks, time-ordered.

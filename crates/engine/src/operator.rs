@@ -12,7 +12,7 @@ use clonos::causal_log::CausalLogManager;
 use clonos::services::CausalServices;
 use clonos_sim::VirtualTime;
 use clonos_storage::external::ExternalKv;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Stable id for a processing-time timer: hashes its identity so the same
 /// logical timer gets the same id before and after recovery.
@@ -194,15 +194,15 @@ pub trait Operator {
 
 /// Factory producing fresh operator instances — used at deployment, for
 /// standby replacements, and for global-rollback restarts.
-pub type OperatorFactory = Rc<dyn Fn() -> Box<dyn Operator>>;
+pub type OperatorFactory = Arc<dyn Fn() -> Box<dyn Operator + Send> + Send + Sync>;
 
 /// Convenience: build a factory from a cloneable constructor closure.
 pub fn factory<F, O>(f: F) -> OperatorFactory
 where
-    F: Fn() -> O + 'static,
-    O: Operator + 'static,
+    F: Fn() -> O + Send + Sync + 'static,
+    O: Operator + Send + 'static,
 {
-    Rc::new(move || Box::new(f()) as Box<dyn Operator>)
+    Arc::new(move || Box::new(f()) as Box<dyn Operator + Send>)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use crate::error::EngineError;
 use crate::operator::{OpCtx, Operator, TimerKind};
 use crate::record::{Datum, Record, Row};
 use crate::state::StateTimer;
-use std::rc::Rc;
+use std::sync::Arc;
 
 // State ids used by the built-ins (operators own their whole task's store).
 const S_ACC: u16 = 0;
@@ -44,9 +44,9 @@ where
 
 /// Map: 1→1 row transform, optionally re-keying. Returns an
 /// [`crate::operator::OperatorFactory`]-compatible constructor.
-pub fn map_op(f: impl Fn(&Record) -> (u64, Row) + 'static) -> crate::operator::OperatorFactory {
-    let f = Rc::new(f);
-    Rc::new(move || {
+pub fn map_op(f: impl Fn(&Record) -> (u64, Row) + Send + Sync + 'static) -> crate::operator::OperatorFactory {
+    let f = Arc::new(f);
+    Arc::new(move || {
         let f = f.clone();
         Box::new(ProcessOp::new(move |_input, rec: &Record, ctx: &mut OpCtx<'_>| {
             let (key, row) = f(rec);
@@ -57,9 +57,9 @@ pub fn map_op(f: impl Fn(&Record) -> (u64, Row) + 'static) -> crate::operator::O
 }
 
 /// Filter: pass records satisfying the predicate.
-pub fn filter_op(pred: impl Fn(&Record) -> bool + 'static) -> crate::operator::OperatorFactory {
-    let pred = Rc::new(pred);
-    Rc::new(move || {
+pub fn filter_op(pred: impl Fn(&Record) -> bool + Send + Sync + 'static) -> crate::operator::OperatorFactory {
+    let pred = Arc::new(pred);
+    Arc::new(move || {
         let pred = pred.clone();
         Box::new(ProcessOp::new(move |_input, rec: &Record, ctx: &mut OpCtx<'_>| {
             if pred(rec) {
@@ -72,10 +72,10 @@ pub fn filter_op(pred: impl Fn(&Record) -> bool + 'static) -> crate::operator::O
 
 /// Flat-map: 0..n outputs per record.
 pub fn flat_map_op(
-    f: impl Fn(&Record) -> Vec<(u64, Row)> + 'static,
+    f: impl Fn(&Record) -> Vec<(u64, Row)> + Send + Sync + 'static,
 ) -> crate::operator::OperatorFactory {
-    let f = Rc::new(f);
-    Rc::new(move || {
+    let f = Arc::new(f);
+    Arc::new(move || {
         let f = f.clone();
         Box::new(ProcessOp::new(move |_input, rec: &Record, ctx: &mut OpCtx<'_>| {
             for (key, row) in f(rec) {

@@ -95,6 +95,10 @@ pub struct RunReport {
     /// Incremental-checkpoint counters (full vs delta images, bytes, chain
     /// rebases, reconstructions, delta standby dispatches).
     pub checkpoint_stats: crate::metrics::CheckpointStats,
+    /// Multi-threaded runtime counters (all zero for sim-scheduled runs):
+    /// worker count, steals, backpressure stalls, mailbox depth highwater,
+    /// and per-worker event min/max.
+    pub runtime_stats: crate::metrics::RuntimeStats,
     /// Host wall-clock seconds spent driving the simulation (the Figure-5
     /// overhead metric: causal logging is real CPU work here).
     pub wall_seconds: f64,
@@ -275,6 +279,29 @@ impl JobRunner {
         self.report(wall_seconds)
     }
 
+    /// Drive the job for `duration` of virtual time on the multi-threaded
+    /// sharded actor runtime (see [`crate::runtime`]) and collect the same
+    /// report as [`run_for`](JobRunner::run_for). Failure-free only: the
+    /// chaos/recovery machinery is pinned to the deterministic sim
+    /// scheduler, so a non-empty failure plan panics.
+    #[allow(clippy::disallowed_methods)] // see clonos-lint allow below
+    pub fn run_parallel_for(
+        mut self,
+        duration: VirtualDuration,
+        pcfg: &crate::runtime::ParallelConfig,
+    ) -> RunReport {
+        assert!(
+            self.plan.faults.is_empty(),
+            "the parallel runtime is failure-free; use run_for for failure plans"
+        );
+        // clonos-lint: allow(wall-clock, reason = "measures host CPU for the throughput benchmark; feeds only the human-facing RunReport")
+        let wall_start = std::time::Instant::now();
+        let end = VirtualTime::ZERO + duration;
+        crate::runtime::run(&mut self.cluster, end, pcfg);
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        self.report(wall_seconds)
+    }
+
     fn report(mut self, wall_seconds: f64) -> RunReport {
         // Gather effective sink output from every sink task's partition.
         let mut sink_output = Vec::new();
@@ -321,6 +348,7 @@ impl JobRunner {
             last_completed_checkpoint: self.cluster.last_completed_checkpoint(),
             recovery_stats: self.cluster.metrics.recovery,
             checkpoint_stats: self.cluster.checkpoint_stats(),
+            runtime_stats: self.cluster.runtime_stats,
             wall_seconds,
         }
     }

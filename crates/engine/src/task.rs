@@ -32,7 +32,7 @@ use clonos::inflight::{InFlightLog, ReplayCursor, SentBuffer};
 use clonos::recovery::LogRetrievalResponse;
 use clonos::services::CausalServices;
 use clonos::{ChannelId, EpochId, TaskId};
-use clonos_sim::{Link, ServiceQueue, SimRng, Simulation, VirtualDuration, VirtualTime};
+use clonos_sim::{Link, Scheduler, ServiceQueue, SimRng, VirtualDuration, VirtualTime};
 use clonos_storage::codec::{ByteReader, ByteWriter};
 use clonos_storage::deltamap;
 use clonos_storage::log::DurableLog;
@@ -46,7 +46,7 @@ const WM_TIMER_ID: u64 = u64::MAX - 1;
 
 /// Everything a task handler may touch outside the task itself.
 pub struct TaskCtx<'a> {
-    pub sim: &'a mut Simulation<Msg>,
+    pub sched: &'a mut dyn Scheduler<Msg>,
     pub links: &'a mut BTreeMap<(TaskId, TaskId), Link>,
     pub external: &'a mut ExternalKv,
     pub topics: &'a mut BTreeMap<String, DurableLog>,
@@ -69,15 +69,15 @@ impl<'a> TaskCtx<'a> {
                     SimRng::new(self.config.seed).fork(from.wrapping_mul(1_000_003) ^ to),
                 )
             });
-        let base = at.max(self.sim.now());
+        let base = at.max(self.sched.now());
         // delivery_time uses "now" as the send instant.
         let deliver = link.delivery_time(base);
-        self.sim.schedule_at(deliver, to, msg);
+        self.sched.schedule_at(deliver, to, msg);
     }
 
     /// Send a control-plane message (fixed small latency).
     pub fn send_ctrl(&mut self, to: TaskId, msg: Msg) {
-        self.sim.schedule_in(VirtualDuration::from_micros(100), to, msg);
+        self.sched.schedule_in(VirtualDuration::from_micros(100), to, msg);
     }
 
     /// Send a recovery-path control message (LogResponse / ReplayRequest),
@@ -102,7 +102,7 @@ impl<'a> TaskCtx<'a> {
                     self.entropy.gen_range(self.config.ctrl_max_delay.as_micros().max(1)),
                 );
         }
-        self.sim.schedule_in(delay, to, msg);
+        self.sched.schedule_in(delay, to, msg);
     }
 }
 
@@ -168,7 +168,7 @@ enum Role {
         max_event_time: u64,
     },
     Op {
-        op: Box<dyn Operator>,
+        op: Box<dyn Operator + Send>,
     },
     Sink {
         spec: SinkSpec,
@@ -469,9 +469,9 @@ impl Task {
     pub fn start(&mut self, ctx: &mut TaskCtx<'_>) {
         let me = self.spec.id;
         if self.is_source() {
-            ctx.sim.schedule_in(VirtualDuration::from_micros(10), me, Msg::SourcePoll);
+            ctx.sched.schedule_in(VirtualDuration::from_micros(10), me, Msg::SourcePoll);
             if let Role::Source { spec, .. } = &self.role {
-                ctx.sim.schedule_in(
+                ctx.sched.schedule_in(
                     VirtualDuration::from_micros(spec.watermark_interval_us),
                     me,
                     Msg::WatermarkTick,
@@ -479,13 +479,13 @@ impl Task {
             }
         }
         if !self.outs.is_empty() {
-            ctx.sim.schedule_in(ctx.config.flush_interval, me, Msg::FlushTick);
+            ctx.sched.schedule_in(ctx.config.flush_interval, me, Msg::FlushTick);
         }
         // Reschedule restored processing-time timers.
         let timers: Vec<StateTimer> = self.state.proc_timers().copied().collect();
         for t in timers {
-            let at = VirtualTime(t.ts).max(ctx.sim.now());
-            ctx.sim.schedule_at(at, me, Msg::ProcTimerFire(t));
+            let at = VirtualTime(t.ts).max(ctx.sched.now());
+            ctx.sched.schedule_at(at, me, Msg::ProcTimerFire(t));
         }
         // Initial epoch's RNG seed (normal mode records it; replay pops it in
         // try_process instead).
@@ -497,6 +497,31 @@ impl Task {
 
     fn replaying(&self) -> bool {
         self.log.replaying()
+    }
+
+    /// Input topic, if this task is a source (the parallel runtime uses
+    /// this to give each source actor a private copy of its partition).
+    pub fn source_topic(&self) -> Option<&str> {
+        match &self.role {
+            Role::Source { spec, .. } => Some(&spec.topic),
+            _ => None,
+        }
+    }
+
+    /// Output topic, if this task is a sink.
+    pub fn sink_topic(&self) -> Option<&str> {
+        match &self.role {
+            Role::Sink { spec, .. } => Some(&spec.topic),
+            _ => None,
+        }
+    }
+
+    /// True if any out-channel holds buffered-but-unflushed records. The
+    /// parallel runtime injects a flush before parking such a task: its
+    /// remaining flush ticks are horizon-gated, and without checkpoint
+    /// barriers nothing else would push out a trailing partial buffer.
+    pub fn has_buffered_output(&self) -> bool {
+        !self.dead && self.outs.iter().any(|o| o.records > 0)
     }
 
     /// Entry point for all messages.
@@ -735,7 +760,7 @@ impl Task {
         rec: Record,
         ctx: &mut TaskCtx<'_>,
     ) -> Result<(), EngineError> {
-        let finish = self.queue.admit(ctx.sim.now(), ctx.config.record_cost);
+        let finish = self.queue.admit(ctx.sched.now(), ctx.config.record_cost);
         match &mut self.role {
             Role::Op { .. } => {
                 let create = rec.create_ts;
@@ -761,17 +786,17 @@ impl Task {
     /// emissions and schedule new timers.
     fn run_operator(
         &mut self,
-        f: impl FnOnce(&mut Box<dyn Operator>, &mut OpCtx<'_>) -> Result<(), EngineError>,
+        f: impl FnOnce(&mut Box<dyn Operator + Send>, &mut OpCtx<'_>) -> Result<(), EngineError>,
         default_create: u64,
         ctx: &mut TaskCtx<'_>,
     ) -> Result<(), EngineError> {
-        let at = self.queue.busy_until().max(ctx.sim.now());
+        let at = self.queue.busy_until().max(ctx.sched.now());
         self.run_operator_at(f, default_create, at, ctx)
     }
 
     fn run_operator_at(
         &mut self,
-        f: impl FnOnce(&mut Box<dyn Operator>, &mut OpCtx<'_>) -> Result<(), EngineError>,
+        f: impl FnOnce(&mut Box<dyn Operator + Send>, &mut OpCtx<'_>) -> Result<(), EngineError>,
         default_create: u64,
         at: VirtualTime,
         ctx: &mut TaskCtx<'_>,
@@ -797,8 +822,8 @@ impl Task {
         // them from determinants instead).
         if !self.replaying() {
             for t in new_timers {
-                let fire_at = VirtualTime(t.ts).max(ctx.sim.now());
-                ctx.sim.schedule_at(fire_at, self.spec.id, Msg::ProcTimerFire(t));
+                let fire_at = VirtualTime(t.ts).max(ctx.sched.now());
+                ctx.sched.schedule_at(fire_at, self.spec.id, Msg::ProcTimerFire(t));
             }
         }
         for e in emits {
@@ -948,7 +973,7 @@ impl Task {
     }
 
     fn drain_replay_flushes(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
-        let at = self.queue.busy_until().max(ctx.sim.now());
+        let at = self.queue.busy_until().max(ctx.sched.now());
         for i in 0..self.outs.len() {
             if self.log.replaying_flushes(i as ChannelId) {
                 self.drain_replay_flushes_for(i, at, ctx)?;
@@ -1032,7 +1057,7 @@ impl Task {
     }
 
     fn flush_all(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
-        let at = self.queue.busy_until().max(ctx.sim.now());
+        let at = self.queue.busy_until().max(ctx.sched.now());
         for i in 0..self.outs.len() {
             if !self.log.replaying_flushes(i as ChannelId) {
                 self.flush_channel(i, at, ctx)?;
@@ -1045,7 +1070,7 @@ impl Task {
         if !self.replaying() {
             self.flush_all(ctx)?;
         }
-        ctx.sim.schedule_in(ctx.config.flush_interval, self.spec.id, Msg::FlushTick);
+        ctx.sched.schedule_in(ctx.config.flush_interval, self.spec.id, Msg::FlushTick);
         Ok(())
     }
 
@@ -1073,7 +1098,7 @@ impl Task {
         }
         self.run_operator(|op, opctx| op.on_watermark(min_wm, opctx), 0, ctx)?;
         // Forward the watermark on every output channel.
-        let at = self.queue.busy_until().max(ctx.sim.now());
+        let at = self.queue.busy_until().max(ctx.sched.now());
         for i in 0..self.outs.len() {
             self.write_element(i, &StreamElement::Watermark(min_wm), false, at, ctx)?;
         }
@@ -1106,7 +1131,7 @@ impl Task {
         // (after a rollback rewound it, or after an outage), it catches up
         // at several times the nominal rate — like a real consumer draining
         // Kafka at full speed.
-        let frontier = (spec.rate * ctx.sim.now().as_micros()) / 1_000_000;
+        let frontier = (spec.rate * ctx.sched.now().as_micros()) / 1_000_000;
         let behind = *offset + 4 * (batch as u64) < frontier;
         if !self.replaying() {
             let n = if behind { batch * 8 } else { batch };
@@ -1117,7 +1142,7 @@ impl Task {
             }
         }
         let delay = VirtualDuration::from_micros((batch as u64 * 1_000_000) / rate.max(1));
-        ctx.sim.schedule_in(delay, self.spec.id, Msg::SourcePoll);
+        ctx.sched.schedule_in(delay, self.spec.id, Msg::SourcePoll);
         Ok(())
     }
 
@@ -1132,7 +1157,7 @@ impl Task {
         // (replay may read anything the predecessor already read).
         if !self.replaying() {
             let frontier =
-                (spec.rate * ctx.sim.now().as_micros()) / 1_000_000 + spec.batch as u64;
+                (spec.rate * ctx.sched.now().as_micros()) / 1_000_000 + spec.batch as u64;
             if off >= frontier {
                 return Ok(false);
             }
@@ -1146,7 +1171,7 @@ impl Task {
             return Ok(false);
         };
         let row = Row::decode(&mut ByteReader::new(&log_rec.payload))?;
-        let finish = self.queue.admit(ctx.sim.now(), ctx.config.record_cost);
+        let finish = self.queue.admit(ctx.sched.now(), ctx.config.record_cost);
         // Ingestion timestamp through the causal service (logged/replayed).
         let ingest_ts = self.services.timestamp(&mut self.log, finish, self.step)?;
         let (event_time, key) = {
@@ -1198,7 +1223,7 @@ impl Task {
             self.log.record(Determinant::Timer { timer_id: WM_TIMER_ID, offset: self.step });
             self.emit_source_watermark(ctx)?;
         }
-        ctx.sim.schedule_in(
+        ctx.sched.schedule_in(
             VirtualDuration::from_micros(interval),
             self.spec.id,
             Msg::WatermarkTick,
@@ -1216,7 +1241,7 @@ impl Task {
             return Ok(());
         }
         self.watermark = wm;
-        let at = self.queue.busy_until().max(ctx.sim.now());
+        let at = self.queue.busy_until().max(ctx.sched.now());
         for i in 0..self.outs.len() {
             self.write_element(i, &StreamElement::Watermark(wm), false, at, ctx)?;
         }
@@ -1265,7 +1290,7 @@ impl Task {
 
     /// Shared path: flush, forward the barrier, snapshot, ack, open epoch.
     fn emit_barrier_and_snapshot(&mut self, id: u64, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
-        let at = self.queue.busy_until().max(ctx.sim.now());
+        let at = self.queue.busy_until().max(ctx.sched.now());
         // Flush pending data, then the barrier, in dedicated buffers. In
         // replay mode both cuts come from logged flush determinants.
         for i in 0..self.outs.len() {
@@ -1370,7 +1395,7 @@ impl Task {
                 }
             }
         }
-        let now = ctx.sim.now();
+        let now = ctx.sched.now();
         for rec in to_write {
             self.write_out(rec, now, ctx)?;
         }
@@ -1559,7 +1584,7 @@ impl Task {
             );
         }
         if has_upstreams {
-            ctx.sim.schedule_in(
+            ctx.sched.schedule_in(
                 ctx.config.replay_request_timeout,
                 me,
                 Msg::ReplayRetryTick { attempt: 0 },
@@ -1588,7 +1613,7 @@ impl Task {
         let from_epoch = self.replay_from_epoch;
         ctx.metrics.recovery.replay_request_retries += 1;
         ctx.metrics.event(
-            ctx.sim.now(),
+            ctx.sched.now(),
             format!("task {me} replay retry {} (re-requesting upstream replay)", attempt + 1),
         );
         let ups: Vec<(TaskId, ChannelId)> =
@@ -1602,7 +1627,7 @@ impl Task {
         let backoff = VirtualDuration::from_micros(
             ctx.config.replay_request_timeout.as_micros() << (attempt + 1),
         );
-        ctx.sim.schedule_in(backoff, me, Msg::ReplayRetryTick { attempt: attempt + 1 });
+        ctx.sched.schedule_in(backoff, me, Msg::ReplayRetryTick { attempt: attempt + 1 });
     }
 
     fn finish_recovery(&mut self, ctx: &mut TaskCtx<'_>) {
@@ -1611,7 +1636,7 @@ impl Task {
         }
         self.installed = false;
         ctx.metrics.event(
-            ctx.sim.now(),
+            ctx.sched.now(),
             format!("task {} ({}) replay complete", self.spec.id, self.spec.name),
         );
         ctx.send_ctrl(0, Msg::RecoveryDone { task: self.spec.id });
@@ -1620,8 +1645,8 @@ impl Task {
         let me = self.spec.id;
         let timers: Vec<StateTimer> = self.state.proc_timers().copied().collect();
         for t in timers {
-            let at = VirtualTime(t.ts).max(ctx.sim.now());
-            ctx.sim.schedule_at(at, me, Msg::ProcTimerFire(t));
+            let at = VirtualTime(t.ts).max(ctx.sched.now());
+            ctx.sched.schedule_at(at, me, Msg::ProcTimerFire(t));
         }
     }
 
@@ -1664,7 +1689,7 @@ impl Task {
                 let cursor = inflight.open_replay(idx as ChannelId, from_epoch);
                 self.outs[idx].pump = Some(cursor);
                 self.outs[idx].live = false;
-                ctx.sim.schedule_in(
+                ctx.sched.schedule_in(
                     VirtualDuration::from_micros(200),
                     self.spec.id,
                     Msg::ReplayPump { channel: idx as ChannelId },
@@ -1698,7 +1723,7 @@ impl Task {
                         buffer,
                     };
                     let to = oc.to;
-                    let now = ctx.sim.now();
+                    let now = ctx.sched.now();
                     ctx.send_data(me, to, now, msg);
                 }
                 None => {
@@ -1706,7 +1731,7 @@ impl Task {
                     // Caught up. If we are ourselves mid-replay, more rebuilt
                     // buffers may still be appended — check again shortly.
                     if self.replaying() {
-                        ctx.sim.schedule_in(
+                        ctx.sched.schedule_in(
                             VirtualDuration::from_millis(2),
                             me,
                             Msg::ReplayPump { channel },
@@ -1719,7 +1744,7 @@ impl Task {
                 }
             }
         }
-        ctx.sim.schedule_in(VirtualDuration::from_millis(1), me, Msg::ReplayPump { channel });
+        ctx.sched.schedule_in(VirtualDuration::from_millis(1), me, Msg::ReplayPump { channel });
         Ok(())
     }
 }

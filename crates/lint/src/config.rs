@@ -34,6 +34,13 @@ pub const RULES: &[RuleInfo] = &[
         allowable: true,
     },
     RuleInfo {
+        id: "threading",
+        summary: "Mutex/RwLock/Condvar/Atomic*/std::thread are thread-coordination \
+                  primitives; determinism-sensitive code runs single-threaded under the sim \
+                  scheduler — threading belongs in the sharded actor runtime module only",
+        allowable: true,
+    },
+    RuleInfo {
         id: "float-ordering",
         summary: "partial_cmp-based ordering is not total over floats (NaN); use total_cmp or \
                   integer keys",
@@ -115,6 +122,13 @@ pub fn rule_allowable(id: &str) -> bool {
 /// are `tests/` and `benches/` directories of the listed crates.
 pub const DETERMINISTIC_CRATES: &[&str] = &["core", "engine", "sim", "storage", "nexmark"];
 
+/// The one place threading primitives are legitimate: the sharded actor
+/// runtime. Everything else in the deterministic crates must be runnable
+/// single-threaded under the sim scheduler (determinant replay, chaos
+/// injection, and the oracles all assume it), so `Mutex`/`Atomic*`/
+/// `std::thread` outside this prefix is a `threading` finding.
+pub const THREADING_EXEMPT_PREFIXES: &[&str] = &["crates/engine/src/runtime/"];
+
 /// Modules on the failure/recovery path, where a panic tears down the
 /// process the protocol is trying to keep alive. Errors here must flow into
 /// the retry/escalation ladders (gather retries, replay-request retries,
@@ -148,6 +162,7 @@ pub const STATS_STRUCTS: &[(&str, &str)] = &[
     ("RoutingStats", "crates/engine/src/metrics.rs"),
     ("CheckpointStats", "crates/engine/src/metrics.rs"),
     ("CausalLogStats", "crates/core/src/causal_log.rs"),
+    ("RuntimeStats", "crates/engine/src/metrics.rs"),
 ];
 
 /// File holding `struct RunReport`, which must embed every stats struct.

@@ -71,7 +71,14 @@ pub fn analyze_ordered(
         let prefix = format!("crates/{krate}/src/");
         for rel in files {
             if rel.starts_with(&prefix) {
-                plan.entry(rel.clone()).or_default().determinism = true;
+                let rules = plan.entry(rel.clone()).or_default();
+                rules.determinism = true;
+                // The sharded actor runtime is the sanctioned home for
+                // thread coordination; everywhere else in the deterministic
+                // crates must stay single-thread-runnable.
+                rules.threading = !config::THREADING_EXEMPT_PREFIXES
+                    .iter()
+                    .any(|p| rel.starts_with(p));
                 graph_files.entry(krate.to_string()).or_default().push(rel.clone());
             }
         }

@@ -13,13 +13,15 @@ use crate::lexer::{LexedFile, Tok, TokKind};
 pub struct RuleSet {
     /// hash-collections / wall-clock / os-entropy / float-ordering.
     pub determinism: bool,
+    /// threading (deterministic crates outside the runtime module).
+    pub threading: bool,
     /// recovery-panic.
     pub recovery_panic: bool,
 }
 
 impl RuleSet {
     pub fn any(&self) -> bool {
-        self.determinism || self.recovery_panic
+        self.determinism || self.threading || self.recovery_panic
     }
 }
 
@@ -32,6 +34,12 @@ const WALL_CLOCK_IDENTS: &[&str] = &["SystemTime", "UNIX_EPOCH"];
 
 /// Identifiers that draw OS entropy.
 const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Lock/coordination types (threading rule). `Barrier` is deliberately
+/// absent: `StreamElement::Barrier` is the engine's checkpoint barrier and
+/// would false-positive everywhere; `std::sync::Barrier` use would still
+/// trip on the `thread::`/spawn machinery needed to exercise it.
+const SYNC_PRIMITIVE_IDENTS: &[&str] = &["Mutex", "RwLock", "Condvar"];
 
 /// Macros that abort instead of returning an error (recovery-path rule).
 /// `debug_assert*` is deliberately absent: it compiles out in release and
@@ -110,6 +118,24 @@ pub fn scan_file(rel: &str, lexed: &LexedFile, rules: &RuleSet) -> Vec<Diagnosti
                     t.line,
                     "float-ordering",
                     "`partial_cmp` is not a total order over floats; use total_cmp or integer keys",
+                ));
+            }
+        }
+        if rules.threading {
+            let is_atomic = name.starts_with("Atomic") && name.len() > "Atomic".len();
+            let is_thread_path = name == "thread"
+                && toks.get(i + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+                && toks.get(i + 2).map(|n| n.is_punct(':')).unwrap_or(false);
+            if SYNC_PRIMITIVE_IDENTS.contains(&name) || is_atomic || is_thread_path {
+                found.push(Diagnostic::new(
+                    rel,
+                    t.line,
+                    "threading",
+                    format!(
+                        "`{name}` is a thread-coordination primitive; determinism-sensitive \
+                         code runs single-threaded under the sim scheduler — threading \
+                         belongs in crates/engine/src/runtime/"
+                    ),
                 ));
             }
         }
@@ -245,11 +271,15 @@ mod tests {
     use crate::lexer::lex;
 
     fn det(src: &str) -> Vec<Diagnostic> {
-        check_file("x.rs", &lex(src), &RuleSet { determinism: true, recovery_panic: false })
+        check_file("x.rs", &lex(src), &RuleSet { determinism: true, ..RuleSet::default() })
     }
 
     fn rec(src: &str) -> Vec<Diagnostic> {
-        check_file("x.rs", &lex(src), &RuleSet { determinism: false, recovery_panic: true })
+        check_file("x.rs", &lex(src), &RuleSet { recovery_panic: true, ..RuleSet::default() })
+    }
+
+    fn thr(src: &str) -> Vec<Diagnostic> {
+        check_file("x.rs", &lex(src), &RuleSet { threading: true, ..RuleSet::default() })
     }
 
     #[test]
@@ -290,6 +320,20 @@ mod tests {
     fn debug_assert_is_permitted_on_recovery_path() {
         assert!(rec("debug_assert!(a <= b);\ndebug_assert_eq!(a, b);\n").is_empty());
         assert_eq!(rec("assert!(a <= b);\n").len(), 1);
+    }
+
+    #[test]
+    fn threading_primitives_are_flagged() {
+        assert_eq!(thr("use std::sync::Mutex;\n").len(), 1);
+        assert_eq!(thr("let n = AtomicU64::new(0);\n").len(), 1);
+        assert_eq!(thr("std::thread::spawn(f);\n").len(), 1);
+        assert_eq!(thr("thread::sleep(d);\n").len(), 1);
+        // The engine's checkpoint barrier variant is not std::sync::Barrier.
+        assert!(thr("let b = StreamElement::Barrier(3);\n").is_empty());
+        // Bare `thread` (no path separator) and `Atomic` alone are not calls.
+        assert!(thr("let thread = 1; let a = Atomic;\n").is_empty());
+        let allowed = "let m = Mutex::new(()); // clonos-lint: allow(threading, reason = \"x\")\n";
+        assert!(thr(allowed).is_empty());
     }
 
     #[test]

@@ -5,8 +5,9 @@ use clonos_lint::lexer::lex;
 use clonos_lint::rules::{check_file, RuleSet};
 use clonos_lint::Diagnostic;
 
-const DET: RuleSet = RuleSet { determinism: true, recovery_panic: false };
-const REC: RuleSet = RuleSet { determinism: false, recovery_panic: true };
+const DET: RuleSet = RuleSet { determinism: true, threading: false, recovery_panic: false };
+const THR: RuleSet = RuleSet { determinism: false, threading: true, recovery_panic: false };
+const REC: RuleSet = RuleSet { determinism: false, threading: false, recovery_panic: true };
 
 fn run(src: &str, rules: RuleSet) -> Vec<Diagnostic> {
     check_file("fixture.rs", &lex(src), &rules)
@@ -55,6 +56,21 @@ fn float_ordering_fixtures() {
 }
 
 #[test]
+fn threading_fixtures() {
+    assert_rule("threading", "let m = Mutex::new(state);", THR);
+    assert_rule("threading", "let l: RwLock<u32> = RwLock::new(0);", THR);
+    assert_rule("threading", "let c = Condvar::new();", THR);
+    assert_rule("threading", "let n = AtomicUsize::new(0);", THR);
+    assert_rule("threading", "std::thread::spawn(move || work());", THR);
+    assert_rule("threading", "thread::sleep(Duration::from_micros(20));", THR);
+}
+
+#[test]
+fn checkpoint_barrier_variant_is_not_threading() {
+    assert!(run("fn f() { let b = StreamElement::Barrier(7); }\n", THR).is_empty());
+}
+
+#[test]
 fn recovery_panic_fixtures() {
     assert_rule("recovery-panic", "let x = maybe.unwrap();", REC);
     assert_rule("recovery-panic", "let x = res.expect(\"fine\");", REC);
@@ -79,7 +95,7 @@ fn occurrences_in_comments_and_strings_do_not_fire() {
 #[test]
 fn cfg_test_code_is_exempt_from_every_rule() {
     let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() {\n        let t = std::time::Instant::now();\n        let x = opt.unwrap();\n        let _ = (HashMap::<u8, u8>::new(), t, x);\n    }\n}\n";
-    assert!(run(src, RuleSet { determinism: true, recovery_panic: true }).is_empty());
+    assert!(run(src, RuleSet { determinism: true, threading: true, recovery_panic: true }).is_empty());
 }
 
 #[test]

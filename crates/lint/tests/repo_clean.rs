@@ -90,11 +90,12 @@ impl MiniRepo {
             "crates/engine/src/metrics.rs",
             "pub struct RecoveryStats {\n    pub escalations: u64,\n}\n\
              pub struct RoutingStats {\n    pub record_clones: u64,\n}\n\
-             pub struct CheckpointStats {\n    pub rebases: u64,\n}\n",
+             pub struct CheckpointStats {\n    pub rebases: u64,\n}\n\
+             pub struct RuntimeStats {\n    pub steals: u64,\n}\n",
         );
         repo.write(
             "crates/engine/src/runner.rs",
-            "pub struct RunReport {\n    pub recovery_stats: RecoveryStats,\n    pub routing_stats: RoutingStats,\n    pub checkpoint_stats: CheckpointStats,\n    pub log_stats: CausalLogStats,\n}\n",
+            "pub struct RunReport {\n    pub recovery_stats: RecoveryStats,\n    pub routing_stats: RoutingStats,\n    pub checkpoint_stats: CheckpointStats,\n    pub log_stats: CausalLogStats,\n    pub runtime_stats: RuntimeStats,\n}\n",
         );
         repo.write(
             "crates/core/src/causal_log.rs",
@@ -102,7 +103,7 @@ impl MiniRepo {
         );
         repo.write(
             "crates/engine/tests/counters.rs",
-            "fn consume(r: RunReport) {\n    let _ = (r.recovery_stats.escalations, r.routing_stats.record_clones, r.checkpoint_stats.rebases, r.log_stats.deltas_ingested);\n}\n",
+            "fn consume(r: RunReport) {\n    let _ = (r.recovery_stats.escalations, r.routing_stats.record_clones, r.checkpoint_stats.rebases, r.log_stats.deltas_ingested, r.runtime_stats.steals);\n}\n",
         );
         for f in ["recovery.rs", "standby.rs", "inflight.rs", "services.rs"] {
             repo.write(&format!("crates/core/src/{f}"), "// empty recovery-path module\n");
@@ -206,6 +207,26 @@ fn stats_struct_missing_from_run_report_is_detected() {
             .iter()
             .any(|d| d.rule == "stats-surfaced" && d.message.contains("`RoutingStats`")),
         "{diags:?}"
+    );
+}
+
+#[test]
+fn threading_outside_runtime_fails_inside_runtime_is_exempt() {
+    let repo = MiniRepo::consistent("threading");
+    repo.write(
+        "crates/storage/src/lib.rs",
+        "use std::sync::Mutex;\npub struct S {\n    m: Mutex<u8>,\n}\n",
+    );
+    repo.write(
+        "crates/engine/src/runtime/mod.rs",
+        "use std::sync::Mutex;\nuse std::sync::atomic::AtomicU64;\npub struct M {\n    m: Mutex<u8>,\n    n: AtomicU64,\n}\n",
+    );
+    let diags = analyze(&repo.root).unwrap();
+    let thr: Vec<_> = diags.iter().filter(|d| d.rule == "threading").collect();
+    assert!(!thr.is_empty(), "{diags:?}");
+    assert!(
+        thr.iter().all(|d| d.file == "crates/storage/src/lib.rs"),
+        "runtime module must be exempt: {diags:?}"
     );
 }
 

@@ -117,10 +117,42 @@ impl<M> Simulation<M> {
     /// process is killed: in-flight deliveries to a dead process are lost).
     pub fn drop_events_for(&mut self, dest: ActorId) -> usize {
         let before = self.queue.len();
-        let retained: Vec<Scheduled<M>> =
-            std::mem::take(&mut self.queue).into_iter().filter(|e| e.dest != dest).collect();
-        self.queue = retained.into();
+        self.queue.retain(|e| e.dest != dest);
         before - self.queue.len()
+    }
+}
+
+/// The scheduling interface actors program against: a virtual clock plus
+/// timed message delivery. The deterministic event queue ([`Simulation`]) is
+/// one implementation; the engine's multi-threaded actor runtime provides
+/// another whose clock is per-actor (Lamport-style: receivers advance to
+/// `max(local, msg.at)`). Code written against `dyn Scheduler` runs
+/// unchanged on either.
+pub trait Scheduler<M> {
+    /// Current virtual time as seen by the calling actor.
+    fn now(&self) -> VirtualTime;
+
+    /// Schedule `msg` for delivery to `dest` at absolute virtual time `at`.
+    /// Scheduling in the past clamps to `now`.
+    fn schedule_at(&mut self, at: VirtualTime, dest: ActorId, msg: M);
+
+    /// Schedule `msg` for delivery `delay` from now.
+    fn schedule_in(&mut self, delay: VirtualDuration, dest: ActorId, msg: M) {
+        self.schedule_at(self.now() + delay, dest, msg);
+    }
+}
+
+impl<M> Scheduler<M> for Simulation<M> {
+    fn now(&self) -> VirtualTime {
+        Simulation::now(self)
+    }
+
+    fn schedule_at(&mut self, at: VirtualTime, dest: ActorId, msg: M) {
+        Simulation::schedule_at(self, at, dest, msg);
+    }
+
+    fn schedule_in(&mut self, delay: VirtualDuration, dest: ActorId, msg: M) {
+        Simulation::schedule_in(self, delay, dest, msg);
     }
 }
 

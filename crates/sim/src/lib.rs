@@ -26,7 +26,7 @@ pub mod service;
 pub mod time;
 
 pub use chaos::{ChaosEvent, ChaosInjection, ChaosPlan, ChaosSpace};
-pub use events::Simulation;
+pub use events::{ActorId, Delivery, Scheduler, Simulation};
 pub use metrics::{LatencyRecorder, ThroughputSeries, TimeSeries};
 pub use net::Link;
 pub use rng::SimRng;

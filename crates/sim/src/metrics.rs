@@ -30,6 +30,14 @@ impl TimeSeries {
         &self.points
     }
 
+    /// Fold another series into this one, keeping the merged points
+    /// time-ordered (stable, so same-time points keep `self`-then-`other`
+    /// order).
+    pub fn absorb(&mut self, other: &TimeSeries) {
+        self.points.extend_from_slice(&other.points);
+        self.points.sort_by_key(|&(t, _)| t);
+    }
+
     /// Mean of values with `t >= from && t < to`.
     pub fn mean_in(&self, from: VirtualTime, to: VirtualTime) -> Option<f64> {
         let mut sum = 0.0;
@@ -105,6 +113,21 @@ impl ThroughputSeries {
         self.counts.iter().sum()
     }
 
+    /// Fold another series (same window size) into this one, element-wise.
+    pub fn absorb(&mut self, other: &ThroughputSeries) {
+        assert_eq!(
+            self.window.as_micros(),
+            other.window.as_micros(),
+            "cannot absorb a throughput series with a different window"
+        );
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+    }
+
     /// Mean rate over buckets fully inside `[from, to)`.
     pub fn mean_rate_in(&self, from: VirtualTime, to: VirtualTime) -> f64 {
         let w = self.window.as_micros();
@@ -141,6 +164,12 @@ impl LatencyRecorder {
 
     pub fn record(&mut self, latency: VirtualDuration) {
         self.samples.push(latency.as_micros());
+        self.sorted = false;
+    }
+
+    /// Fold another recorder's samples into this one.
+    pub fn absorb(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
     }
 

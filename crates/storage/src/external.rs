@@ -14,7 +14,7 @@ use clonos_sim::{SimRng, VirtualTime};
 use std::collections::BTreeMap;
 
 /// Time-varying external key-value service.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ExternalKv {
     seed: u64,
     /// Granularity at which autonomous values change, in microseconds.

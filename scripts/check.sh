@@ -32,4 +32,7 @@ CHAOS_SEEDS=25 cargo test --release -q -p clonos-integration --test chaos_sweep
 echo "== bench: checkpoint smoke (full-vs-delta barrier encoding) =="
 BENCH_CHECKPOINT_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_checkpoint
 
+echo "== bench: throughput smoke (sharded actor runtime vs sim scheduler) =="
+BENCH_THROUGHPUT_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_throughput
+
 echo "== OK =="
