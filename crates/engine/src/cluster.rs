@@ -320,6 +320,21 @@ impl Cluster {
         }
     }
 
+    /// Inject a sustained slowdown: `task` consumes records `factor`× slower
+    /// than its configured cost until `window` elapses. Input queues back up
+    /// behind the throttle, which is what creates real barrier-overtaking
+    /// pressure for aligned-vs-unaligned checkpoint comparisons.
+    pub fn slow_task(&mut self, task: TaskId, factor: u64, window: VirtualDuration) {
+        let now = self.sim.now();
+        self.metrics
+            .event(now, format!("SLOWDOWN task {task} x{factor} for {}us", window.as_micros()));
+        let until = now + window;
+        self.with_task(task, |t, _| {
+            t.apply_slowdown(factor, until);
+            Ok(())
+        });
+    }
+
     /// Interrupt an in-flight standby state transfer (no-op if none is in
     /// transit); the standby reverts to empty and the next activation
     /// cold-starts from the snapshot store.
@@ -428,6 +443,7 @@ impl Cluster {
         }
         self.jm.next_cp += 1;
         let id = self.jm.next_cp;
+        self.metrics.event(self.sim.now(), format!("checkpoint {id} triggered"));
         self.jm.pending.insert(id, BTreeSet::new());
         let sources: Vec<TaskId> = self
             .graph
@@ -833,17 +849,18 @@ impl Cluster {
         let new_gen = self.gens.values().copied().max().unwrap_or(0) + 1;
         let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
 
-        // Abort markers: un-checkpointed output of immediate sinks becomes
-        // invisible to read-committed consumers (§5.5 fallback semantics).
-        if self.config.ft.is_clonos() {
-            for spec in self.graph.tasks.clone() {
-                let VertexKind::Sink(s) = self.vertex_kind(spec.id) else { continue };
-                if let Some(topic) = self.topics.get_mut(&s.topic) {
-                    let p = spec.subtask % topic.num_partitions();
-                    topic
-                        .partition_mut(p)
-                        .append_with_meta(Bytes::new(), Some(encode_abort_marker(spec.id, new_gen, resume_cp)));
-                }
+        // Abort markers: older-generation output past the restored
+        // checkpoint becomes invisible to read-committed consumers — §5.5
+        // fallback semantics for immediate sinks, and the abort half of the
+        // transactional sinks' two-phase commit (pre-committed transactions
+        // whose checkpoint never completed roll back here).
+        for spec in self.graph.tasks.clone() {
+            let VertexKind::Sink(s) = self.vertex_kind(spec.id) else { continue };
+            if let Some(topic) = self.topics.get_mut(&s.topic) {
+                let p = spec.subtask % topic.num_partitions();
+                topic
+                    .partition_mut(p)
+                    .append_with_meta(Bytes::new(), Some(encode_abort_marker(spec.id, new_gen, resume_cp)));
             }
         }
 
@@ -961,6 +978,12 @@ impl Cluster {
         r.delta_bytes += t.ckpt.delta_bytes;
         r.dirty_entries += t.ckpt.dirty_entries;
         r.rebases += t.ckpt.rebases;
+        r.alignment_stall_us += t.ckpt.alignment_stall_us;
+        r.channels_blocked_highwater =
+            r.channels_blocked_highwater.max(t.ckpt.channels_blocked_highwater);
+        r.overtaken_records += t.ckpt.overtaken_records;
+        r.overtaken_bytes += t.ckpt.overtaken_bytes;
+        r.unaligned_reinjections += t.ckpt.unaligned_reinjections;
     }
 
     /// Aggregate incremental-checkpoint counters: per-task encoder stats
@@ -975,6 +998,12 @@ impl Cluster {
             total.delta_bytes += t.ckpt.delta_bytes;
             total.dirty_entries += t.ckpt.dirty_entries;
             total.rebases += t.ckpt.rebases;
+            total.alignment_stall_us += t.ckpt.alignment_stall_us;
+            total.channels_blocked_highwater =
+                total.channels_blocked_highwater.max(t.ckpt.channels_blocked_highwater);
+            total.overtaken_records += t.ckpt.overtaken_records;
+            total.overtaken_bytes += t.ckpt.overtaken_bytes;
+            total.unaligned_reinjections += t.ckpt.unaligned_reinjections;
         }
         total.reconstructions = self.snapshots.reconstructions();
         total.reconstruct_us = self.snapshots.reconstruct_us();

@@ -28,6 +28,24 @@ impl FtMode {
     }
 }
 
+/// How checkpoint barriers interact with in-flight records.
+///
+/// `Aligned` is the classic Chandy–Lamport cut: a task that has seen a
+/// barrier on one input blocks that channel until the barrier arrives on
+/// every input, so the snapshot is state-only but one congested channel
+/// stalls checkpointing job-wide. `Unaligned` (Carbone et al., "Lightweight
+/// Asynchronous Snapshots") snapshots on *first* barrier arrival, forwards
+/// the barrier immediately, and captures records the barrier overtook on
+/// not-yet-barriered channels into the checkpoint itself — O(in-flight)
+/// extra bytes, but barrier latency independent of backpressure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Block already-barriered channels until alignment (state-only snapshot).
+    Aligned,
+    /// Snapshot on first barrier; overtaken records ride in the checkpoint.
+    Unaligned,
+}
+
 /// Full engine configuration. Defaults follow the paper's evaluation setup
 /// (§7.1) scaled to simulation: checkpoint interval 5 s, Flink failure
 /// detection via 4 s heartbeats timing out after 6 s, small per-channel
@@ -108,6 +126,9 @@ pub struct EngineConfig {
     /// length (restore reads at most this many blobs plus the base) and lets
     /// the store GC superseded chains.
     pub checkpoint_rebase_interval: u32,
+    /// Barrier alignment discipline; `Aligned` is the default, `Unaligned`
+    /// lets barriers overtake backlogged input queues (see `CheckpointMode`).
+    pub checkpoint_mode: CheckpointMode,
 }
 
 impl Default for EngineConfig {
@@ -139,6 +160,7 @@ impl Default for EngineConfig {
             synthetic_state_bytes: 0,
             incremental_checkpoints: true,
             checkpoint_rebase_interval: 8,
+            checkpoint_mode: CheckpointMode::Aligned,
         }
     }
 }
@@ -154,12 +176,49 @@ impl EngineConfig {
         self
     }
 
+    pub fn with_checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
+        self.checkpoint_mode = mode;
+        self
+    }
+
     /// Detection delay applicable to the configured mode.
     pub fn detection_delay(&self) -> VirtualDuration {
         match self.ft {
             FtMode::Clonos(_) => self.detection_local,
             _ => self.detection_global,
         }
+    }
+
+    /// Reject incoherent configurations up front with a typed error instead
+    /// of a mid-run panic (a rebase interval of 0 would divide by zero on
+    /// the barrier path; zero-sized buffers or batches hang the pipeline).
+    pub fn validate(&self) -> Result<(), crate::error::EngineError> {
+        let bad = |msg: String| Err(crate::error::EngineError::Config(msg));
+        if self.buffer_size == 0 {
+            return bad("buffer_size must be > 0 (records could never be flushed)".into());
+        }
+        if self.replay_batch == 0 {
+            return bad("replay_batch must be > 0 (replay pumping would never progress)".into());
+        }
+        if self.incremental_checkpoints && self.checkpoint_rebase_interval == 0 {
+            return bad(
+                "checkpoint_rebase_interval must be > 0 when incremental_checkpoints is on \
+                 (the barrier path takes checkpoint id modulo the interval)"
+                    .into(),
+            );
+        }
+        if !matches!(self.ft, FtMode::None) && self.checkpoint_interval == VirtualDuration::ZERO {
+            return bad(
+                "checkpoint_interval must be > 0 when fault tolerance is enabled \
+                 (a zero interval would re-trigger checkpoints in a tight loop)"
+                    .into(),
+            );
+        }
+        if !(0.0..=1.0).contains(&self.ctrl_loss_prob) || !(0.0..=1.0).contains(&self.ctrl_delay_prob)
+        {
+            return bad("ctrl_loss_prob / ctrl_delay_prob must lie in [0, 1]".into());
+        }
+        Ok(())
     }
 }
 
@@ -191,5 +250,56 @@ mod tests {
         assert!(worst_gather < c.recovery_timeout.as_micros());
         // Jitter is opt-in too: zero keeps concurrent detections concurrent.
         assert_eq!(c.detection_jitter, VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn default_mode_is_aligned_and_valid() {
+        let c = EngineConfig::default();
+        assert_eq!(c.checkpoint_mode, CheckpointMode::Aligned);
+        assert!(c.validate().is_ok());
+        let u = c.with_checkpoint_mode(CheckpointMode::Unaligned);
+        assert_eq!(u.checkpoint_mode, CheckpointMode::Unaligned);
+        assert!(u.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_incoherent_combinations() {
+        use crate::error::EngineError;
+        let reject = |c: EngineConfig, needle: &str| match c.validate() {
+            Err(EngineError::Config(msg)) => {
+                assert!(msg.contains(needle), "expected {needle:?} in {msg:?}")
+            }
+            other => panic!("expected Config error mentioning {needle:?}, got {other:?}"),
+        };
+
+        let c = EngineConfig { checkpoint_rebase_interval: 0, ..EngineConfig::default() };
+        reject(c, "checkpoint_rebase_interval");
+
+        // ... but rebase interval 0 is fine when incremental encoding is off.
+        let c = EngineConfig {
+            checkpoint_rebase_interval: 0,
+            incremental_checkpoints: false,
+            ..EngineConfig::default()
+        };
+        assert!(c.validate().is_ok());
+
+        let c = EngineConfig { buffer_size: 0, ..EngineConfig::default() };
+        reject(c, "buffer_size");
+
+        let c = EngineConfig { replay_batch: 0, ..EngineConfig::default() };
+        reject(c, "replay_batch");
+
+        let c = EngineConfig { checkpoint_interval: VirtualDuration::ZERO, ..EngineConfig::default() };
+        reject(c, "checkpoint_interval");
+
+        // Zero checkpoint interval is tolerable with FT off (never triggers).
+        let c = EngineConfig {
+            checkpoint_interval: VirtualDuration::ZERO,
+            ..EngineConfig::default().with_ft(FtMode::None)
+        };
+        assert!(c.validate().is_ok());
+
+        let c = EngineConfig { ctrl_loss_prob: 1.5, ..EngineConfig::default() };
+        reject(c, "ctrl_loss_prob");
     }
 }

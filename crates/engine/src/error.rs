@@ -17,6 +17,8 @@ pub enum EngineError {
     Protocol(String),
     /// Job construction error (bad graph, mismatched parallelism, ...).
     Build(String),
+    /// Incoherent engine configuration, rejected before the run starts.
+    Config(String),
 }
 
 impl EngineError {
@@ -48,6 +50,7 @@ impl fmt::Display for EngineError {
             EngineError::Delta(e) => write!(f, "delta error: {e}"),
             EngineError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             EngineError::Build(msg) => write!(f, "job build error: {msg}"),
+            EngineError::Config(msg) => write!(f, "config error: {msg}"),
         }
     }
 }

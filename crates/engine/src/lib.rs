@@ -33,7 +33,7 @@ pub mod state;
 pub mod task;
 
 pub use cluster::Cluster;
-pub use config::{EngineConfig, FtMode};
+pub use config::{CheckpointMode, EngineConfig, FtMode};
 pub use error::EngineError;
 pub use graph::{JobGraph, Partitioning, SinkSpec, SourceSpec, TimestampMode, VertexId};
 pub use metrics::RuntimeStats;

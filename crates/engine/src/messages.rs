@@ -33,6 +33,11 @@ pub enum Msg {
     WatermarkTick,
     /// A processing-time timer fired.
     ProcTimerFire(StateTimer),
+    /// Task-local wakeup: the service queue of a throttled (chaos-slowed)
+    /// task has drained enough to admit the next queued arrival; re-enter
+    /// the consumption loop. Only scheduled while a `SlowTask` injection is
+    /// gating consumption — un-slowed tasks never see one.
+    ServiceTick,
 
     // ----- checkpointing -----
     /// JM → sources: inject a barrier for checkpoint `id`.

@@ -58,6 +58,21 @@ pub struct CheckpointStats {
     /// Standby state transfers that shipped only a delta because the standby
     /// already held the parent image (§6.4).
     pub delta_dispatches: u64,
+    /// Aligned mode: virtual microseconds tasks spent with at least one
+    /// input channel blocked waiting for barrier alignment (first blocked
+    /// channel → all channels barriered, summed per checkpoint per task).
+    pub alignment_stall_us: u64,
+    /// Aligned mode: most input channels any task ever had blocked on
+    /// alignment at once (job-wide highwater mark, folded with `max`).
+    pub channels_blocked_highwater: u64,
+    /// Unaligned mode: records the barrier overtook on not-yet-barriered
+    /// channels, captured into checkpoint images.
+    pub overtaken_records: u64,
+    /// Unaligned mode: encoded bytes of captured overtaken buffers.
+    pub overtaken_bytes: u64,
+    /// Unaligned mode: captured buffers re-injected ahead of channel replay
+    /// during recovery.
+    pub unaligned_reinjections: u64,
 }
 
 /// Robustness counters for the failure/recovery machinery: how often the

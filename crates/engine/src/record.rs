@@ -224,6 +224,22 @@ impl StreamElement {
     }
 }
 
+/// If `payload` encodes exactly one element and it is a barrier, return its
+/// checkpoint id. The flush-before-barrier discipline in
+/// `emit_barrier_and_snapshot` guarantees barriers always travel alone, so
+/// the unaligned receive path can intercept barrier buffers with a one-byte
+/// tag probe plus a single decode — never a full-buffer scan.
+pub fn barrier_only(payload: &[u8]) -> Option<u64> {
+    if payload.first() != Some(&2) {
+        return None;
+    }
+    let mut r = ByteReader::new(payload);
+    match StreamElement::decode(&mut r) {
+        Ok(StreamElement::Barrier(id)) if r.is_empty() => Some(id),
+        _ => None,
+    }
+}
+
 /// Decode all elements in a buffer payload.
 pub fn decode_buffer(payload: &[u8]) -> Result<Vec<StreamElement>, CodecError> {
     let mut r = ByteReader::new(payload);
@@ -313,6 +329,29 @@ mod tests {
     #[test]
     fn corrupt_buffer_is_an_error_not_a_panic() {
         assert!(decode_buffer(&[9, 9, 9]).is_err());
+    }
+
+    #[test]
+    fn barrier_only_detects_lone_barriers() {
+        let mut w = ByteWriter::new();
+        StreamElement::Barrier(17).encode(&mut w);
+        assert_eq!(barrier_only(&w.freeze()), Some(17));
+
+        // Barrier followed by anything else is not barrier-only.
+        let mut w = ByteWriter::new();
+        StreamElement::Barrier(17).encode(&mut w);
+        StreamElement::Watermark(5).encode(&mut w);
+        assert_eq!(barrier_only(&w.freeze()), None);
+
+        // Records, watermarks, empty and corrupt payloads all decline.
+        let mut w = ByteWriter::new();
+        StreamElement::Record(sample_record()).encode(&mut w);
+        assert_eq!(barrier_only(&w.freeze()), None);
+        let mut w = ByteWriter::new();
+        StreamElement::Watermark(9).encode(&mut w);
+        assert_eq!(barrier_only(&w.freeze()), None);
+        assert_eq!(barrier_only(&[]), None);
+        assert_eq!(barrier_only(&[2]), None); // truncated varint
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum Fault {
     KillNode(u32),
     /// Interrupt an in-flight standby state transfer for the task.
     InterruptStandby(TaskId),
+    /// Throttle the task's record consumption by `factor` for `window`
+    /// (sustained slow consumer — queues back up behind it).
+    SlowTask { task: TaskId, factor: u64, window: VirtualDuration },
 }
 
 /// Failure injection plan: faults at given instants.
@@ -49,6 +52,17 @@ impl FailurePlan {
         self
     }
 
+    pub fn slow_at(
+        mut self,
+        at: VirtualTime,
+        task: TaskId,
+        factor: u64,
+        window: VirtualDuration,
+    ) -> FailurePlan {
+        self.faults.push((at, Fault::SlowTask { task, factor, window }));
+        self
+    }
+
     /// Translate a generated chaos scenario's discrete injections into a
     /// plan (the plan's control-plane knobs are applied separately by
     /// [`JobRunner::with_chaos`]).
@@ -59,6 +73,11 @@ impl FailurePlan {
                 ChaosEvent::KillTask(t) => Fault::KillTask(t),
                 ChaosEvent::KillNode(n) => Fault::KillNode(n),
                 ChaosEvent::InterruptStandby(t) => Fault::InterruptStandby(t),
+                ChaosEvent::SlowTask(t) => Fault::SlowTask {
+                    task: t,
+                    factor: plan.slow_factor.max(1),
+                    window: plan.slow_window,
+                },
             };
             fp.faults.push((inj.at, fault));
         }
@@ -203,6 +222,11 @@ pub struct JobRunner {
 
 impl JobRunner {
     pub fn new(job: JobGraph, config: EngineConfig) -> JobRunner {
+        // Reject incoherent configurations up front — a bad knob combination
+        // should fail loudly at build time, not corrupt a run.
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         // Auto-create topics referenced by sources and sinks.
         let mut topics: Vec<(String, usize)> = Vec::new();
         for v in &job.vertices {
@@ -272,6 +296,9 @@ impl JobRunner {
                 Fault::KillTask(task) => self.cluster.kill_task(task),
                 Fault::KillNode(node) => self.cluster.kill_node(node),
                 Fault::InterruptStandby(task) => self.cluster.interrupt_standby(task),
+                Fault::SlowTask { task, factor, window } => {
+                    self.cluster.slow_task(task, factor, window)
+                }
             }
         }
         self.cluster.run_until(end);

@@ -16,13 +16,13 @@
 //!   logged sizes and the first `skip[ch]` buffers per channel are rebuilt
 //!   but not re-sent (sender-side deduplication, protocol step 6).
 
-use crate::config::{EngineConfig, FtMode};
+use crate::config::{CheckpointMode, EngineConfig, FtMode};
 use crate::error::EngineError;
 use crate::graph::{Partitioning, SinkSpec, SourceSpec, TaskSpec, TimestampMode, VertexKind};
 use crate::messages::Msg;
 use crate::metrics::{CheckpointStats, JobMetrics, RoutingStats};
 use crate::operator::{timer_id, OpCtx, Operator, TimerKind};
-use crate::record::{decode_buffer, Datum, Record, Row, StreamElement};
+use crate::record::{barrier_only, decode_buffer, Datum, Record, Row, StreamElement};
 use crate::state::{StateStore, StateTimer, SEC_META};
 use bytes::Bytes;
 use clonos::causal_log::{CausalLogManager, TaskLogSnapshot};
@@ -123,6 +123,11 @@ pub struct TaskSnapshot {
     /// restarts, Clonos' local replay must reproduce the exact emission
     /// sequence, and watermark-advance decisions depend on this state.
     pub channel_watermarks: Vec<u64>,
+    /// Unaligned checkpoints only: in-flight buffers the barrier overtook,
+    /// captured per input channel in arrival order (the canonical
+    /// `(channel, seq)` key order of `SEC_OVERTAKEN` preserves it). Recovery
+    /// re-injects these ahead of replayed channel traffic.
+    pub overtaken: Vec<(ChannelId, SentBuffer)>,
 }
 
 impl TaskSnapshot {
@@ -142,6 +147,25 @@ impl TaskSnapshot {
                 for _ in 0..n {
                     snap.channel_watermarks.push(r.get_varint()?);
                 }
+            } else if e.section == deltamap::SEC_OVERTAKEN {
+                // Intercept before the state store (which rejects unknown
+                // sections): key = channel u16 BE ++ seq u32 BE, value = an
+                // encoded SentBuffer.
+                let Some(v) = e.value else { continue };
+                if e.key.len() != 6 {
+                    return Err(EngineError::Protocol(format!(
+                        "overtaken-record key has {} bytes, expected 6",
+                        e.key.len()
+                    )));
+                }
+                let ch = u16::from_be_bytes([e.key[0], e.key[1]]) as ChannelId;
+                let mut r = ByteReader::new(v);
+                let epoch = r.get_varint()?;
+                let records = r.get_varint()? as u32;
+                let dlen = r.get_varint()? as usize;
+                let delta = Bytes::copy_from_slice(r.get_raw(dlen)?);
+                let payload = Bytes::copy_from_slice(r.get_raw(r.remaining())?);
+                snap.overtaken.push((ch, SentBuffer { epoch, payload, delta, records }));
             } else {
                 snap.store.apply_entry(&e)?;
             }
@@ -156,8 +180,11 @@ enum SinkMode {
     /// Write records immediately; `dedup` rebuilds the committed-ident set
     /// from the output log's determinant metadata on recovery (§5.5).
     Immediate { dedup: bool },
-    /// Buffer per epoch; commit when the checkpoint completes (the baseline's
-    /// transactional two-phase sink).
+    /// Buffer per epoch; pre-commit to the output topic at the snapshot cut
+    /// that seals the epoch (the baseline's transactional two-phase sink).
+    /// The pre-committed write is durable — it survives the sink dying
+    /// right after its checkpoint ack — and a restart's abort markers roll
+    /// back any transaction whose checkpoint never completed.
     Transactional,
 }
 
@@ -227,6 +254,25 @@ struct FtFlags {
     skip_dedup: bool,
 }
 
+/// An unaligned checkpoint in progress at a non-source task: the state was
+/// snapshotted at first barrier arrival, and buffers the barrier overtook on
+/// not-yet-barriered channels accumulate here until every input has
+/// delivered its barrier. Only then is the final image assembled and acked —
+/// completing earlier would let the JM truncate upstream in-flight logs
+/// while overtaken buffers are still on the wire.
+struct UaCapture {
+    /// Encoded META + state entries (no entry-count prefix), frozen at the
+    /// snapshot point.
+    state_bytes: Bytes,
+    /// Entries in `state_bytes`, META included.
+    state_entries: u64,
+    /// Whether the image is a full base (vs an O(dirty) delta).
+    full: bool,
+    delta_parent: Option<u64>,
+    /// Overtaken buffers per input channel, in arrival (FIFO) order.
+    captured: Vec<Vec<SentBuffer>>,
+}
+
 /// One deployed (or standby-activated) task instance.
 pub struct Task {
     pub spec: TaskSpec,
@@ -275,6 +321,24 @@ pub struct Task {
     snaps_since_base: u32,
     /// Incremental-checkpoint counters, aggregated job-wide by the cluster.
     pub ckpt: CheckpointStats,
+    /// Chaos slow-consumer injection: processing-cost multiplier in effect
+    /// until `slow_until` (1 = normal speed).
+    slow_factor: u64,
+    slow_until: VirtualTime,
+    /// A `ServiceTick` wakeup is already scheduled (throttled consumption).
+    service_tick_pending: bool,
+    /// Aligned mode: when the first input channel blocked on barrier
+    /// alignment (cleared when the last barrier arrives).
+    align_start: Option<VirtualTime>,
+    /// Unaligned mode: input channels whose barrier for a given checkpoint
+    /// id has arrived (pruned when the capture closes / completes).
+    ua_seen: BTreeMap<u64, std::collections::BTreeSet<usize>>,
+    /// Unaligned mode: open captures by checkpoint id (close in id order).
+    ua_captures: BTreeMap<u64, UaCapture>,
+    /// Per-channel overtaken-buffer counts in this incarnation's previous
+    /// image — delta images tombstone `new..prev` so `merge_chain` never
+    /// resurrects a stale capture.
+    prev_overtaken: Vec<u32>,
 }
 
 impl Task {
@@ -311,6 +375,7 @@ impl Task {
             ),
         };
         let num_outs = spec.outputs.len();
+        let num_ins = spec.inputs.len();
         let role = match kind {
             VertexKind::Source(s) => {
                 Role::Source { spec: s.clone(), offset: 0, max_event_time: 0 }
@@ -404,6 +469,13 @@ impl Task {
             chain_parent: None,
             snaps_since_base: 0,
             ckpt: CheckpointStats::default(),
+            slow_factor: 1,
+            slow_until: VirtualTime::ZERO,
+            service_tick_pending: false,
+            align_start: None,
+            ua_seen: BTreeMap::new(),
+            ua_captures: BTreeMap::new(),
+            prev_overtaken: vec![0; num_ins],
         }
     }
 
@@ -424,6 +496,21 @@ impl Task {
         matches!(self.role, Role::Source { .. })
     }
 
+    /// Chaos slow-consumer injection: multiply this task's per-record
+    /// processing cost by `factor` until `until`. While throttled, the task
+    /// stops consuming ahead of its service queue (see `try_process`), so
+    /// input queues actually back up — the backpressure that makes barrier
+    /// alignment stall and unaligned overtaking observable.
+    pub fn apply_slowdown(&mut self, factor: u64, until: VirtualTime) {
+        self.slow_factor = factor.max(1);
+        self.slow_until = until;
+    }
+
+    /// True while the chaos slowdown window is active.
+    fn slowed(&self, now: VirtualTime) -> bool {
+        self.slow_factor > 1 && now < self.slow_until
+    }
+
     /// Abandon determinant-guided replay mid-flight: continue live with
     /// fresh nondeterminism and no sender-side dedup (at-least-once for this
     /// incident, §5.4).
@@ -433,7 +520,7 @@ impl Task {
             *s = 0;
         }
         self.services.invalidate_cache();
-        self.finish_recovery(ctx);
+        let _ = self.finish_recovery(ctx);
         // Consume whatever input queued up while replay was stuck.
         let _ = self.try_process(ctx);
     }
@@ -534,6 +621,10 @@ impl Task {
                 self.on_data(from, channel, from_gen, dest_gen, buffer, ctx)
             }
             Msg::SourcePoll => self.on_source_poll(ctx),
+            Msg::ServiceTick => {
+                self.service_tick_pending = false;
+                self.try_process(ctx)
+            }
             Msg::FlushTick => self.on_flush_tick(ctx),
             Msg::WatermarkTick => self.on_watermark_tick(ctx),
             Msg::ProcTimerFire(t) => self.on_proc_timer(t, ctx),
@@ -595,9 +686,61 @@ impl Task {
         // affect state (always-no-orphans, Eq. 2).
         self.log.ingest_delta(&buffer.delta)?;
         *in_ch.received.entry(buffer.epoch).or_insert(0) += 1;
-        in_ch.pending.push_back(buffer);
+        if ctx.config.checkpoint_mode == CheckpointMode::Unaligned && !self.is_source() {
+            // Barriers travel alone (flush/barrier/flush discipline) and are
+            // handled out-of-band: they never queue behind backlogged data,
+            // which is the entire point of the unaligned mode.
+            if let Some(id) = barrier_only(&buffer.payload) {
+                return self.on_unaligned_barrier(ch, id, ctx);
+            }
+            // Data arriving on a channel whose barrier for an open capture
+            // has not arrived yet was overtaken by that barrier: it belongs
+            // to the capture's channel state (a buffer can land in several
+            // overlapping captures).
+            if !self.ua_captures.is_empty() {
+                let seen = &self.ua_seen;
+                for (&id, cap) in self.ua_captures.iter_mut() {
+                    if buffer.epoch <= id && !seen.get(&id).is_some_and(|s| s.contains(&ch)) {
+                        cap.captured[ch].push(buffer.clone());
+                    }
+                }
+            }
+        }
+        self.ins[ch].pending.push_back(buffer);
         self.arrivals.push_back(channel);
         self.try_process(ctx)
+    }
+
+    /// Unaligned mode, barrier for checkpoint `id` arrived on input `ch`
+    /// (out-of-band — the buffer never enters the pending queue). The first
+    /// barrier of a checkpoint snapshots immediately and forwards the
+    /// barrier; later barriers just retire their channel from the capture.
+    /// The ack is deferred until every channel's barrier has arrived.
+    fn on_unaligned_barrier(
+        &mut self,
+        ch: usize,
+        id: u64,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Result<(), EngineError> {
+        let first = !self.ua_seen.contains_key(&id);
+        self.ua_seen.entry(id).or_default().insert(ch);
+        if first && !self.replaying() {
+            // Anchor the snapshot point in the determinant stream BEFORE the
+            // barrier flush so the decision replicates downstream with the
+            // barrier itself — a replacement replays the snapshot at the
+            // same point even if this task dies right after forwarding.
+            self.log.record(Determinant::Rpc {
+                kind: RpcKind::TriggerCheckpoint,
+                arg: id,
+                offset: self.step,
+            });
+            self.emit_barrier_and_snapshot(id, ctx)?;
+        }
+        // During replay the snapshot is driven by the logged Rpc determinant
+        // instead; barriers arriving off the replay pump only mark their
+        // channel (and orphans — barriers the dead incarnation never reached
+        // — are snapshotted when replay drains, see `finish_recovery`).
+        self.maybe_close_unaligned_captures(ctx)
     }
 
     /// The main processing loop: consume whatever can be consumed.
@@ -608,9 +751,21 @@ impl Task {
                     break;
                 }
                 if !self.replaying() {
-                    self.finish_recovery(ctx);
+                    self.finish_recovery(ctx)?;
                 }
                 continue;
+            }
+            // Throttled (chaos slow-consumer): never consume ahead of the
+            // service queue. Instead of the instant-consume model, queue the
+            // arrival and wake up when the in-progress record finishes —
+            // this is what lets input queues physically back up.
+            let now = ctx.sched.now();
+            if self.slowed(now) && self.queue.busy_until() > now {
+                if !self.service_tick_pending && !self.arrivals.is_empty() {
+                    self.service_tick_pending = true;
+                    ctx.sched.schedule_at(self.queue.busy_until(), self.spec.id, Msg::ServiceTick);
+                }
+                break;
             }
             // Normal mode: consume the oldest unblocked arrival.
             let Some(pos) = self
@@ -760,7 +915,13 @@ impl Task {
         rec: Record,
         ctx: &mut TaskCtx<'_>,
     ) -> Result<(), EngineError> {
-        let finish = self.queue.admit(ctx.sched.now(), ctx.config.record_cost);
+        let now = ctx.sched.now();
+        let cost = if self.slowed(now) {
+            VirtualDuration::from_micros(ctx.config.record_cost.as_micros() * self.slow_factor)
+        } else {
+            ctx.config.record_cost
+        };
+        let finish = self.queue.admit(now, cost);
         match &mut self.role {
             Role::Op { .. } => {
                 let create = rec.create_ts;
@@ -1275,10 +1436,28 @@ impl Task {
         id: u64,
         ctx: &mut TaskCtx<'_>,
     ) -> Result<(), EngineError> {
+        if ctx.config.checkpoint_mode == CheckpointMode::Unaligned && !self.is_source() {
+            // Unaligned barriers are normally intercepted at arrival and
+            // never reach the consume path; if one does (a barrier that
+            // shared a buffer with data, which the flush discipline rules
+            // out), treat it as a late out-of-band arrival.
+            return self.on_unaligned_barrier(ch as usize, id, ctx);
+        }
         self.ins[ch as usize].blocked = true;
         let all = self.ins.iter().all(|c| c.blocked);
         if !all {
+            // Alignment stall begins at the first blocked channel; the
+            // highwater tracks how wide the stall got.
+            let blocked = self.ins.iter().filter(|c| c.blocked).count() as u64;
+            self.ckpt.channels_blocked_highwater =
+                self.ckpt.channels_blocked_highwater.max(blocked);
+            if self.align_start.is_none() {
+                self.align_start = Some(ctx.sched.now());
+            }
             return Ok(());
+        }
+        if let Some(start) = self.align_start.take() {
+            self.ckpt.alignment_stall_us += ctx.sched.now().saturating_sub(start).as_micros();
         }
         self.emit_barrier_and_snapshot(id, ctx)?;
         for c in &mut self.ins {
@@ -1308,25 +1487,41 @@ impl Task {
         let full = !ctx.config.incremental_checkpoints
             || self.chain_parent.is_none()
             || self.snaps_since_base >= ctx.config.checkpoint_rebase_interval;
-        let snapshot = self.encode_snapshot(full);
         let delta_parent = if full { None } else { self.chain_parent };
         if full {
             if self.chain_parent.is_some() {
                 self.ckpt.rebases += 1;
             }
             self.ckpt.full_snapshots += 1;
-            self.ckpt.full_bytes += snapshot.len() as u64;
             self.snaps_since_base = 0;
         } else {
             self.ckpt.delta_snapshots += 1;
-            self.ckpt.delta_bytes += snapshot.len() as u64;
             self.snaps_since_base += 1;
         }
         self.chain_parent = Some(id);
-        ctx.send_ctrl(
-            0,
-            Msg::CheckpointAck { task: self.spec.id, id, snapshot, delta_parent },
-        );
+        if ctx.config.checkpoint_mode == CheckpointMode::Unaligned && !self.is_source() {
+            // Unaligned: the state cut is taken now (at first-barrier time),
+            // but the image is not sealed — records the barrier overtook on
+            // not-yet-barriered channels still have to be captured into it.
+            // The ack is deferred until every input channel has barriered.
+            self.open_unaligned_capture(id, full, delta_parent);
+            self.maybe_close_unaligned_captures(ctx)?;
+        } else {
+            let snapshot = self.encode_snapshot(full);
+            if full {
+                self.ckpt.full_bytes += snapshot.len() as u64;
+            } else {
+                self.ckpt.delta_bytes += snapshot.len() as u64;
+            }
+            ctx.send_ctrl(
+                0,
+                Msg::CheckpointAck { task: self.spec.id, id, snapshot, delta_parent },
+            );
+        }
+        // 2PC pre-commit: the cut seals every buffered transaction up to
+        // this checkpoint — write them out now so they survive the sink
+        // (aligned and unaligned cuts both pass through here).
+        self.commit_pending(id, ctx)?;
         // Transactional sinks learn their epoch boundary from barriers.
         // Open the next epoch.
         self.epoch = id + 1;
@@ -1345,18 +1540,32 @@ impl Task {
     /// follow in canonical order, so a full image here is byte-identical to
     /// what `merge_chain` reconstructs from a base + its deltas.
     fn encode_snapshot(&mut self, full: bool) -> Bytes {
+        self.snap_scratch.clear();
+        let entries = self.count_snapshot_entries(full);
+        self.snap_scratch.put_varint(entries);
+        self.write_snapshot_entries(full);
+        self.snap_scratch.take_frozen()
+    }
+
+    /// Entry count for the state portion of an image: the META entry plus
+    /// full or dirty state entries.
+    fn count_snapshot_entries(&self, full: bool) -> u64 {
+        1 + if full { self.state.full_entry_count() } else { self.state.dirty_entry_count() }
+    }
+
+    /// Write the state portion of an image (META entry + state sections in
+    /// canonical order) into `snap_scratch` at its current position — shared
+    /// by sealed aligned images and the state cut inside unaligned captures.
+    /// The caller writes the total entry count first.
+    fn write_snapshot_entries(&mut self, full: bool) {
         let source_offset = self.source_offset();
         let max_event_time = match &self.role {
             Role::Source { max_event_time, .. } => *max_event_time,
             _ => 0,
         };
-        self.snap_scratch.clear();
-        let entries =
-            if full { self.state.full_entry_count() } else { self.state.dirty_entry_count() };
         if !full {
-            self.ckpt.dirty_entries += entries;
+            self.ckpt.dirty_entries += self.state.dirty_entry_count();
         }
-        self.snap_scratch.put_varint(1 + entries);
         let pos = deltamap::write_put_header(&mut self.snap_scratch, SEC_META, &[]);
         self.snap_scratch.put_varint(self.emit_seq);
         self.snap_scratch.put_varint(source_offset);
@@ -1373,10 +1582,112 @@ impl Task {
         } else {
             self.state.write_dirty_entries(&mut self.snap_scratch);
         }
-        self.snap_scratch.take_frozen()
     }
 
-    fn on_checkpoint_complete(&mut self, id: u64, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+    /// Unaligned mode: cut the state for checkpoint `id` now and start
+    /// collecting the records its barrier overtakes. The state bytes are
+    /// encoded immediately (the cut is at first-barrier time, exactly like
+    /// the aligned snapshot point); every input channel's still-queued
+    /// buffers from epochs `<= id` are unconsumed at this cut and therefore
+    /// belong to the capture. Channels that have not barriered yet keep
+    /// feeding the capture as data arrives (`on_data`).
+    fn open_unaligned_capture(&mut self, id: u64, full: bool, delta_parent: Option<u64>) {
+        self.snap_scratch.clear();
+        let state_entries = self.count_snapshot_entries(full);
+        self.write_snapshot_entries(full);
+        let state_bytes = self.snap_scratch.take_frozen();
+        let mut captured: Vec<Vec<SentBuffer>> = vec![Vec::new(); self.ins.len()];
+        for (ch, c) in self.ins.iter().enumerate() {
+            for buf in &c.pending {
+                if buf.epoch <= id {
+                    debug_assert!(
+                        barrier_only(&buf.payload).is_none(),
+                        "barrier buffers must never enter pending in unaligned mode"
+                    );
+                    captured[ch].push(buf.clone());
+                }
+            }
+        }
+        self.ua_captures
+            .insert(id, UaCapture { state_bytes, state_entries, full, delta_parent, captured });
+    }
+
+    /// Seal and ack every open capture whose barriers have all arrived, in
+    /// checkpoint-id order. FIFO channels guarantee barrier `id - 1` arrives
+    /// before `id` on every channel, so completion is always a prefix of the
+    /// open set — the loop stops at the first incomplete capture.
+    fn maybe_close_unaligned_captures(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        loop {
+            let Some((&id, _)) = self.ua_captures.iter().next() else { return Ok(()) };
+            let complete = self
+                .ua_seen
+                .get(&id)
+                .is_some_and(|seen| (0..self.ins.len()).all(|ch| seen.contains(&ch)));
+            if !complete {
+                return Ok(());
+            }
+            let Some(cap) = self.ua_captures.remove(&id) else { return Ok(()) };
+            self.close_unaligned_capture(id, cap, ctx);
+        }
+    }
+
+    /// Append the overtaken-record section to the capture's state cut,
+    /// producing the sealed image, and ack it to the JM. Delta images also
+    /// write tombstones for the previous checkpoint's now-stale capture
+    /// slots so `merge_chain` cannot resurrect them.
+    fn close_unaligned_capture(&mut self, id: u64, cap: UaCapture, ctx: &mut TaskCtx<'_>) {
+        let UaCapture { state_bytes, state_entries, full, delta_parent, captured } = cap;
+        let mut entries = state_entries;
+        for (ch, bufs) in captured.iter().enumerate() {
+            let prev = if full { bufs.len() } else { self.prev_overtaken[ch] as usize };
+            entries += bufs.len() as u64 + prev.saturating_sub(bufs.len()) as u64;
+        }
+        self.snap_scratch.clear();
+        self.snap_scratch.put_varint(entries);
+        self.snap_scratch.put_raw(&state_bytes);
+        let sec_start = self.snap_scratch.len();
+        for (ch, bufs) in captured.iter().enumerate() {
+            let mut key = [0u8; 6];
+            key[..2].copy_from_slice(&(ch as u16).to_be_bytes());
+            for (seq, buf) in bufs.iter().enumerate() {
+                key[2..].copy_from_slice(&(seq as u32).to_be_bytes());
+                let pos =
+                    deltamap::write_put_header(&mut self.snap_scratch, deltamap::SEC_OVERTAKEN, &key);
+                self.snap_scratch.put_varint(buf.epoch);
+                self.snap_scratch.put_varint(buf.records as u64);
+                self.snap_scratch.put_varint(buf.delta.len() as u64);
+                self.snap_scratch.put_raw(&buf.delta);
+                self.snap_scratch.put_raw(&buf.payload);
+                self.snap_scratch.end_u32_len(pos);
+                self.ckpt.overtaken_records += buf.records as u64;
+            }
+            if !full {
+                // Tombstone the previous capture's higher slots.
+                for seq in bufs.len()..self.prev_overtaken[ch] as usize {
+                    key[2..].copy_from_slice(&(seq as u32).to_be_bytes());
+                    deltamap::write_tombstone(
+                        &mut self.snap_scratch,
+                        deltamap::SEC_OVERTAKEN,
+                        &key,
+                    );
+                }
+            }
+            self.prev_overtaken[ch] = bufs.len() as u32;
+        }
+        self.ckpt.overtaken_bytes += (self.snap_scratch.len() - sec_start) as u64;
+        let snapshot = self.snap_scratch.take_frozen();
+        if full {
+            self.ckpt.full_bytes += snapshot.len() as u64;
+        } else {
+            self.ckpt.delta_bytes += snapshot.len() as u64;
+        }
+        ctx.send_ctrl(
+            0,
+            Msg::CheckpointAck { task: self.spec.id, id, snapshot, delta_parent },
+        );
+    }
+
+    fn on_checkpoint_complete(&mut self, id: u64, _ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
         self.log.truncate_through(id);
         if let Some(inflight) = &mut self.inflight {
             inflight.truncate_through(id, &mut self.spill);
@@ -1384,20 +1695,11 @@ impl Task {
         for c in &mut self.ins {
             c.received.retain(|&e, _| e > id);
         }
-        let mut to_write: Vec<Record> = Vec::new();
-        if let Role::Sink { mode, committed, pending, .. } = &mut self.role {
+        // Completed checkpoints will never reopen; drop their barrier-seen
+        // bookkeeping (captures for <= id are already sealed and gone).
+        self.ua_seen.retain(|&k, _| k > id);
+        if let Role::Sink { committed, .. } = &mut self.role {
             committed.retain(|&e, _| e > id);
-            if *mode == SinkMode::Transactional {
-                // Commit buffered epochs <= id.
-                let epochs: Vec<EpochId> = pending.keys().copied().filter(|&e| e <= id).collect();
-                for e in epochs {
-                    to_write.extend(pending.remove(&e).unwrap_or_default());
-                }
-            }
-        }
-        let now = ctx.sched.now();
-        for rec in to_write {
-            self.write_out(rec, now, ctx)?;
         }
         Ok(())
     }
@@ -1426,7 +1728,7 @@ impl Task {
                     }
                     committed.entry(epoch).or_default().insert(rec.ident);
                 }
-                self.write_out(rec, commit_at, ctx)
+                self.write_out(rec, epoch, commit_at, ctx)
             }
             SinkMode::Transactional => {
                 pending.entry(epoch).or_default().push(rec);
@@ -1435,10 +1737,43 @@ impl Task {
         }
     }
 
-    /// Physically append to the output topic and record metrics.
+    /// Two-phase-commit pre-commit for transactional sinks, run at the
+    /// snapshot cut for checkpoint `through`: append every buffered epoch
+    /// `<= through` to the output topic, tagged with the epoch that produced
+    /// it. The write makes the transaction durable the moment the sink acks
+    /// — a sink that dies between its ack and the completion notification no
+    /// longer takes committed-but-unwritten records down with it. Visibility
+    /// stays read-committed through the abort markers a restart appends: a
+    /// rollback to checkpoint `r` hides every older-generation record with
+    /// epoch `> r`, which is exactly the set of pre-committed transactions
+    /// whose checkpoint never completed.
+    fn commit_pending(&mut self, through: EpochId, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
+        let mut to_write: Vec<(EpochId, Vec<Record>)> = Vec::new();
+        if let Role::Sink { mode, pending, .. } = &mut self.role {
+            if *mode == SinkMode::Transactional {
+                let epochs: Vec<EpochId> = pending.keys().copied().filter(|&e| e <= through).collect();
+                for e in epochs {
+                    to_write.push((e, pending.remove(&e).unwrap_or_default()));
+                }
+            }
+        }
+        let now = ctx.sched.now();
+        for (e, recs) in to_write {
+            for rec in recs {
+                self.write_out(rec, e, now, ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Physically append to the output topic and record metrics. `epoch` is
+    /// the transaction tag the record is committed under (the epoch that
+    /// produced it), which the read-committed filter compares against abort
+    /// markers.
     fn write_out(
         &mut self,
         rec: Record,
+        epoch: EpochId,
         commit_at: VirtualTime,
         ctx: &mut TaskCtx<'_>,
     ) -> Result<(), EngineError> {
@@ -1451,7 +1786,7 @@ impl Task {
         meta.put_u8(crate::task::META_DATA);
         meta.put_varint(self.spec.id);
         meta.put_varint(self.gen as u64);
-        meta.put_varint(self.epoch);
+        meta.put_varint(epoch);
         meta.put_varint(rec.ident);
         let mut payload = ByteWriter::new();
         rec.encode(&mut payload);
@@ -1525,11 +1860,21 @@ impl Task {
         // chains on read); this incarnation's own chain starts over with a
         // full base at its first barrier (`chain_parent` is None).
         self.watermark = 0;
+        // Replacements are built fresh, but abandon-and-restart paths reuse
+        // this task object: drop any unaligned bookkeeping from the previous
+        // attempt before installing the image.
+        self.ua_seen.clear();
+        self.ua_captures.clear();
+        for p in &mut self.prev_overtaken {
+            *p = 0;
+        }
+        let mut overtaken: Vec<(ChannelId, SentBuffer)> = Vec::new();
         if !state.is_empty() {
             let snap = TaskSnapshot::decode(&state)?;
             self.state = snap.store;
             self.emit_seq = snap.emit_seq;
             self.watermark = snap.watermark;
+            overtaken = snap.overtaken;
             for (c, wm) in self.ins.iter_mut().zip(&snap.channel_watermarks) {
                 c.watermark = *wm;
             }
@@ -1548,6 +1893,20 @@ impl Task {
             }
         }
         self.log.begin_replay(snapshot, resume_cp + 1);
+        // Unaligned images carry the buffers their barrier overtook: re-queue
+        // them ahead of replayed channel traffic (they preceded the barrier
+        // on the wire, so FIFO order demands they are consumed first). Their
+        // piggybacked determinant deltas rebuild the upstream replicas in the
+        // original order, ahead of the deltas replay will deliver. Received
+        // counts are NOT bumped: the sender-side skip math counts only
+        // post-checkpoint deliveries, and these buffers are part of the
+        // checkpoint itself.
+        for (ch, buf) in overtaken {
+            self.log.ingest_delta(&buf.delta)?;
+            self.ins[ch as usize].pending.push_back(buf);
+            self.arrivals.push_back(ch);
+            self.ckpt.unaligned_reinjections += 1;
+        }
         // Sinks rebuild their committed-ident sets from the output topic's
         // determinant metadata (§5.5's "return them when requested").
         if let Role::Sink { spec, mode, committed, .. } = &mut self.role {
@@ -1595,7 +1954,7 @@ impl Task {
         // Sources with replay determinants start re-emitting immediately.
         self.try_process(ctx)?;
         if !self.replaying() {
-            self.finish_recovery(ctx);
+            self.finish_recovery(ctx)?;
         }
         Ok(())
     }
@@ -1630,11 +1989,37 @@ impl Task {
         ctx.sched.schedule_in(backoff, me, Msg::ReplayRetryTick { attempt: attempt + 1 });
     }
 
-    fn finish_recovery(&mut self, ctx: &mut TaskCtx<'_>) {
+    fn finish_recovery(&mut self, ctx: &mut TaskCtx<'_>) -> Result<(), EngineError> {
         if !self.installed {
-            return;
+            return Ok(());
         }
         self.installed = false;
+        // Unaligned orphan barriers: ids whose barriers arrived during replay
+        // but for which the dead incarnation never logged a TriggerCheckpoint
+        // determinant (it died before its first barrier for that id). The
+        // replay pump only marked their channels; snapshot them now, in id
+        // order, exactly as the live path would have at first-barrier time.
+        // (Aligned replay gets this for free: the replayed barrier buffers
+        // sit in pending and are consumed after replay drains.)
+        let orphans: Vec<u64> = self
+            .ua_seen
+            .keys()
+            .copied()
+            .filter(|&id| {
+                !self.ua_captures.contains_key(&id)
+                    && id >= self.replay_from_epoch
+                    && self.chain_parent.is_none_or(|p| id > p)
+            })
+            .collect();
+        for id in orphans {
+            self.log.record(Determinant::Rpc {
+                kind: RpcKind::TriggerCheckpoint,
+                arg: id,
+                offset: self.step,
+            });
+            self.emit_barrier_and_snapshot(id, ctx)?;
+        }
+        self.maybe_close_unaligned_captures(ctx)?;
         ctx.metrics.event(
             ctx.sched.now(),
             format!("task {} ({}) replay complete", self.spec.id, self.spec.name),
@@ -1648,6 +2033,7 @@ impl Task {
             let at = VirtualTime(t.ts).max(ctx.sched.now());
             ctx.sched.schedule_at(at, me, Msg::ProcTimerFire(t));
         }
+        Ok(())
     }
 
     /// Step 4/5 (upstream side): switch the channel into replay mode.

@@ -165,7 +165,7 @@ pub fn run_oracle(ft: FtMode, seed: u64, chaos: Option<&ChaosPlan>) -> RunReport
 
 /// [`run_oracle`] with an engine-config tweak applied before launch, for
 /// sweeps that vary knobs the oracle defaults pin down (e.g. incremental
-/// checkpointing and its rebase interval).
+/// checkpointing and its rebase interval, or the checkpoint mode).
 pub fn run_oracle_with(
     ft: FtMode,
     seed: u64,
@@ -188,6 +188,31 @@ pub fn run_oracle_with(
         runner = runner.with_chaos(plan);
     }
     runner.run_for(VirtualDuration::from_secs(ORACLE_SECS))
+}
+
+/// [`run_oracle_with`] driven by a hand-built [`FailurePlan`] instead of a
+/// generated chaos scenario — for regression tests that need faults at
+/// surgically chosen instants (e.g. a kill inside an open unaligned
+/// capture).
+pub fn run_oracle_plan(
+    ft: FtMode,
+    seed: u64,
+    plan: FailurePlan,
+    tweak: impl FnOnce(&mut EngineConfig),
+) -> RunReport {
+    let parallelism = ORACLE_PARALLELISM;
+    let mut cfg = EngineConfig::default().with_seed(seed).with_ft(ft);
+    cfg.num_nodes = ORACLE_NODES;
+    tweak(&mut cfg);
+    let mut runner = JobRunner::new(oracle_job(parallelism), cfg);
+    let n = ORACLE_RATE as i64 * parallelism as i64 * ORACLE_INPUT_SECS;
+    let rows: Vec<Row> =
+        (0..n).map(|i| Row::new(vec![Datum::Int(i % ORACLE_KEYS), Datum::Int(i)])).collect();
+    for p in 0..parallelism {
+        let slice: Vec<Row> = rows.iter().skip(p).step_by(parallelism).cloned().collect();
+        runner.populate("in", p, slice);
+    }
+    runner.with_failures(plan).run_for(VirtualDuration::from_secs(ORACLE_SECS))
 }
 
 /// Committed sink rows grouped by key, in per-key commit order.

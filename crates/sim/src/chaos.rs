@@ -34,6 +34,12 @@ pub enum ChaosEvent {
     /// standby's preloaded state is lost and the next activation must
     /// cold-start from the snapshot store.
     InterruptStandby(ActorId),
+    /// Throttle this task's record consumption for a sustained window (the
+    /// plan-level `slow_factor`/`slow_window` knobs say how hard and how
+    /// long). Queues back up behind the slow consumer, so checkpoint
+    /// barriers arrive into deep backlogs — the scenario where aligned and
+    /// unaligned checkpointing diverge hardest.
+    SlowTask(ActorId),
 }
 
 /// A timed injection.
@@ -79,6 +85,12 @@ pub struct ChaosPlan {
     pub ctrl_max_delay: VirtualDuration,
     /// Seeded jitter bound added to the failure-detection delay.
     pub detection_jitter: VirtualDuration,
+    /// Consumption-cost multiplier applied by [`ChaosEvent::SlowTask`]
+    /// injections (1 = no-op; sampled well past the point where the slowed
+    /// task's service rate falls below its arrival rate).
+    pub slow_factor: u64,
+    /// How long each [`ChaosEvent::SlowTask`] throttle lasts.
+    pub slow_window: VirtualDuration,
 }
 
 impl ChaosPlan {
@@ -107,6 +119,27 @@ impl ChaosPlan {
             } else if roll < 0.30 {
                 let t = pick(&mut rng, &space.tasks);
                 injections.push(ChaosInjection { at, event: ChaosEvent::InterruptStandby(t) });
+            } else if roll < 0.45 {
+                // Sustained slow consumer. Often paired with a kill snapped
+                // to the next checkpoint boundary inside the slow window, so
+                // the victim dies while barriers sit in (or behind) the
+                // backlog the throttle built up — mid-alignment for aligned
+                // runs, mid-capture for unaligned ones.
+                let t = pick(&mut rng, &space.tasks);
+                injections.push(ChaosInjection { at, event: ChaosEvent::SlowTask(t) });
+                if rng.gen_f64() < 0.40 {
+                    let cp_us = space.checkpoint_interval.as_micros();
+                    let kill_at = match at.as_micros().checked_div(cp_us) {
+                        None => at.as_micros() + rng.gen_range_in(150, 1_200_000),
+                        Some(intervals) => {
+                            (intervals + 1) * cp_us + rng.gen_range(100_000)
+                        }
+                    };
+                    injections.push(ChaosInjection {
+                        at: VirtualTime(kill_at.min(hi)),
+                        event: ChaosEvent::KillTask(t),
+                    });
+                }
             } else {
                 let t = pick(&mut rng, &space.tasks);
                 injections.push(ChaosInjection { at, event: ChaosEvent::KillTask(t) });
@@ -144,6 +177,8 @@ impl ChaosPlan {
             ctrl_delay_prob: delay_p,
             ctrl_max_delay: VirtualDuration::from_micros(rng.gen_range_in(50_000, 600_000)),
             detection_jitter: VirtualDuration::from_micros(rng.gen_range_in(1_000, 150_000)),
+            slow_factor: rng.gen_range_in(60, 160),
+            slow_window: VirtualDuration::from_micros(rng.gen_range_in(2_000_000, 5_000_000)),
         }
     }
 
@@ -181,6 +216,7 @@ fn event_rank(e: &ChaosEvent) -> (u8, u64) {
         ChaosEvent::KillNode(n) => (0, n as u64),
         ChaosEvent::KillTask(t) => (1, t),
         ChaosEvent::InterruptStandby(t) => (2, t),
+        ChaosEvent::SlowTask(t) => (3, t),
     }
 }
 
@@ -254,12 +290,16 @@ mod tests {
     fn sweep_covers_every_event_class() {
         let s = space();
         let (mut kills, mut nodes, mut standbys, mut followups, mut lossy) = (0, 0, 0, 0, 0);
+        let (mut slows, mut slow_then_kill) = (0, 0);
         for seed in 0..300 {
             let p = ChaosPlan::generate(seed, &s);
             if p.ctrl_loss_prob > 0.0 || p.ctrl_delay_prob > 0.0 {
                 lossy += 1;
             }
+            assert!(p.slow_factor >= 60, "seed {seed}: slow_factor={}", p.slow_factor);
+            assert!(p.slow_window >= VirtualDuration::from_secs(2), "seed {seed}");
             let mut last_kill: Option<(VirtualTime, ActorId)> = None;
+            let mut last_slow: Option<ActorId> = None;
             for i in &p.injections {
                 match i.event {
                     ChaosEvent::KillTask(t) => {
@@ -269,17 +309,26 @@ mod tests {
                                 followups += 1;
                             }
                         }
+                        if last_slow == Some(t) {
+                            slow_then_kill += 1;
+                        }
                         last_kill = Some((i.at, t));
                     }
                     ChaosEvent::KillNode(_) => nodes += 1,
                     ChaosEvent::InterruptStandby(_) => standbys += 1,
+                    ChaosEvent::SlowTask(t) => {
+                        slows += 1;
+                        last_slow = Some(t);
+                    }
                 }
             }
         }
-        assert!(kills > 200, "kills={kills}");
+        assert!(kills > 150, "kills={kills}");
         assert!(nodes > 20, "nodes={nodes}");
         assert!(standbys > 30, "standbys={standbys}");
         assert!(followups > 10, "followups={followups}");
+        assert!(slows > 40, "slows={slows}");
+        assert!(slow_then_kill > 15, "slow_then_kill={slow_then_kill}");
         assert!((80..=220).contains(&lossy), "lossy={lossy}/300");
     }
 }

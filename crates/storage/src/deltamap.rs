@@ -23,6 +23,15 @@ pub const OP_TOMBSTONE: u8 = 0;
 /// Entry op: the `(section, key)` pair maps to the attached value.
 pub const OP_PUT: u8 = 1;
 
+/// Section id for overtaken in-flight records captured by an unaligned
+/// checkpoint. Keys are `channel: u16 BE ++ seq: u32 BE` (per-channel capture
+/// order), values an encoded `SentBuffer`; the id deliberately sorts after
+/// every operator-state section (0–4) so canonical `(section, key)` order
+/// keeps state entries and the in-flight section contiguous. Deltas ship
+/// tombstones for the parent image's captured records that the new capture
+/// did not re-take, so `merge_chain` never resurrects stale buffers.
+pub const SEC_OVERTAKEN: u8 = 5;
+
 /// One decoded entry, borrowing key/value bytes from the underlying image.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EntryRef<'a> {
@@ -197,6 +206,133 @@ mod tests {
         w.put_varint(0);
         w.put_u8(7);
         assert!(read_entries(&w.freeze()).is_err());
+    }
+
+    /// Strategy pieces for the overtaken-section property: an image mixes
+    /// operator-state sections (0–4, short ascii keys) with zero or more
+    /// SEC_OVERTAKEN entries keyed `channel u16 BE ++ seq u32 BE`.
+    mod overtaken_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        type Owned = (u8, Vec<u8>, Option<Vec<u8>>);
+
+        fn state_entry() -> impl Strategy<Value = Owned> {
+            (
+                0u8..=4,
+                proptest::collection::vec(any::<u8>(), 1..8),
+                proptest::collection::vec(any::<u8>(), 0..32),
+            )
+                .prop_map(|(s, k, v)| (s, k, Some(v)))
+        }
+
+        fn overtaken_entry() -> impl Strategy<Value = Owned> {
+            (0u16..4, 0u32..16, proptest::collection::vec(any::<u8>(), 0..48)).prop_map(
+                |(ch, seq, v)| {
+                    let mut key = Vec::with_capacity(6);
+                    key.extend_from_slice(&ch.to_be_bytes());
+                    key.extend_from_slice(&seq.to_be_bytes());
+                    (SEC_OVERTAKEN, key, Some(v))
+                },
+            )
+        }
+
+        fn canonical(entries: &[Owned]) -> Bytes {
+            let mut map: BTreeMap<(u8, &[u8]), &[u8]> = BTreeMap::new();
+            for (s, k, v) in entries {
+                match v {
+                    Some(v) => {
+                        map.insert((*s, k.as_slice()), v.as_slice());
+                    }
+                    None => {
+                        map.remove(&(*s, k.as_slice()));
+                    }
+                }
+            }
+            let mut w = ByteWriter::new();
+            w.put_varint(map.len() as u64);
+            for (&(section, key), &value) in &map {
+                write_put(&mut w, section, key, value);
+            }
+            w.freeze()
+        }
+
+        proptest! {
+            /// A canonical image carrying 0..N overtaken entries decodes and
+            /// re-encodes byte-identically — the section is just entries to
+            /// the codec, whether present or empty.
+            #[test]
+            fn roundtrip_byte_identity_with_overtaken_section(
+                state in proptest::collection::vec(state_entry(), 0..12),
+                overtaken in proptest::collection::vec(overtaken_entry(), 0..10),
+            ) {
+                let mut all = state;
+                all.extend(overtaken);
+                let img = canonical(&all);
+                let decoded = read_entries(&img).unwrap();
+                let mut w = ByteWriter::new();
+                w.put_varint(decoded.len() as u64);
+                for e in &decoded {
+                    match e.value {
+                        Some(v) => write_put(&mut w, e.section, e.key, v),
+                        None => write_tombstone(&mut w, e.section, e.key),
+                    }
+                }
+                prop_assert_eq!(w.freeze(), img);
+            }
+
+            /// Base + deltas that add, overwrite, and tombstone overtaken
+            /// entries merge to exactly the canonical image of the fold —
+            /// i.e. delta-shipped captures reconstruct bit-for-bit and
+            /// tombstoned captures never resurface.
+            #[test]
+            fn merge_chain_identity_over_overtaken_deltas(
+                base_state in proptest::collection::vec(state_entry(), 0..8),
+                base_ot in proptest::collection::vec(overtaken_entry(), 0..6),
+                delta_ot in proptest::collection::vec(overtaken_entry(), 0..6),
+                drop_base_ot in any::<bool>(),
+            ) {
+                let mut base_entries = base_state.clone();
+                base_entries.extend(base_ot.clone());
+                let base = canonical(&base_entries);
+
+                // Delta: new/overwritten captures, plus (optionally)
+                // tombstones retiring every base capture — the hygiene the
+                // task encoder emits so stale buffers can't be re-injected.
+                let mut delta_entries: Vec<Owned> = delta_ot.clone();
+                if drop_base_ot {
+                    for (s, k, _) in &base_ot {
+                        delta_entries.push((*s, k.clone(), None));
+                    }
+                }
+                let delta = {
+                    let mut w = ByteWriter::new();
+                    w.put_varint(delta_entries.len() as u64);
+                    for (s, k, v) in &delta_entries {
+                        match v {
+                            Some(v) => write_put(&mut w, *s, k, v),
+                            None => write_tombstone(&mut w, *s, k),
+                        }
+                    }
+                    w.freeze()
+                };
+
+                let mut folded = base_entries;
+                folded.extend(delta_entries);
+                let expect = canonical(&folded);
+                prop_assert_eq!(merge_chain(&base, &[&delta]).unwrap(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn sec_overtaken_sorts_after_state_sections() {
+        // The canonical order property the task encoder relies on when it
+        // assembles `state entries ++ overtaken entries` single-pass.
+        const { assert!(SEC_OVERTAKEN > 4) };
+        let base = image(&[(SEC_OVERTAKEN, b"\x00\x00\x00\x00\x00\x01", Some(b"buf"))]);
+        let merged = merge_chain(&base, &[]).unwrap();
+        assert_eq!(merged, base);
     }
 
     #[test]

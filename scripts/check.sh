@@ -35,4 +35,7 @@ BENCH_CHECKPOINT_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_chec
 echo "== bench: throughput smoke (sharded actor runtime vs sim scheduler) =="
 BENCH_THROUGHPUT_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_throughput
 
+echo "== bench: barrier smoke (aligned vs unaligned under backpressure) =="
+BENCH_BARRIER_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_barrier
+
 echo "== OK =="

@@ -7,12 +7,14 @@
 //! a one-off test). The in-tree default keeps debug-mode test time modest;
 //! `scripts/chaos.sh` drives the full ≥100-seed sweep in release mode.
 
-use clonos_engine::FtMode;
+use clonos_engine::config::CheckpointMode;
+use clonos_engine::{FailurePlan, FtMode};
 use clonos_integration::{
     assert_exactly_once, assert_matches_reference, at_least_once_orphan, clonos_full,
-    oracle_reference, oracle_space, run_oracle, run_oracle_with, OracleReference,
+    oracle_reference, oracle_space, run_oracle, run_oracle_plan, run_oracle_with, OracleReference,
 };
 use clonos_sim::chaos::ChaosPlan;
+use clonos_sim::{VirtualDuration, VirtualTime};
 use proptest::prelude::*;
 
 fn sweep_seeds() -> u64 {
@@ -75,6 +77,94 @@ fn chaos_sweep_incremental_long_chains_exactly_once() {
     }
 }
 
+/// Unaligned-checkpoint sweep: same seeds, same chaos scenarios (which now
+/// include sustained slow-task injections paired with barrier-aligned
+/// kills), but with `CheckpointMode::Unaligned` — barriers jump queues and
+/// overtaken records ride inside checkpoint images. Output must still be a
+/// byte-identical per-key prefix of the failure-free reference.
+fn sweep_unaligned(ft: impl Fn() -> FtMode, mode: &str, reference: &OracleReference) {
+    let space = oracle_space();
+    let mut overtaken_total = 0u64;
+    for seed in 0..sweep_seeds() {
+        let plan = ChaosPlan::generate(seed, &space);
+        let report = run_oracle_with(ft(), seed, Some(&plan), |cfg| {
+            cfg.checkpoint_mode = CheckpointMode::Unaligned;
+        });
+        let label = format!("{mode}-unaligned seed {seed} ({plan:?})");
+        assert!(report.records_out > 0, "{label}: no committed output");
+        assert_eq!(
+            report.checkpoint_stats.alignment_stall_us, 0,
+            "{label}: unaligned run recorded alignment stalls"
+        );
+        overtaken_total += report.checkpoint_stats.overtaken_records;
+        assert_exactly_once(&report, &label);
+        assert_matches_reference(&report, reference, &label);
+    }
+    assert!(
+        overtaken_total > 0,
+        "{mode}: no seed ever captured an overtaken record — the sweep is not \
+         exercising the unaligned path"
+    );
+}
+
+#[test]
+fn chaos_sweep_unaligned_clonos_exactly_once() {
+    let reference = oracle_reference();
+    sweep_unaligned(clonos_full, "clonos", &reference);
+}
+
+#[test]
+fn chaos_sweep_unaligned_global_rollback_exactly_once() {
+    let reference = oracle_reference();
+    sweep_unaligned(|| FtMode::GlobalRollback, "global-rollback", &reference);
+}
+
+/// Kills timed against an unaligned capture built over a deep backlog.
+/// Checkpoint ticks fire at 5 s, 10 s, ...; barriers leave sources ~100 µs
+/// later and jump queues, so with task 3 ("a" stage) throttled 150× from
+/// 8 s, the 10 s checkpoint captures a multi-hundred-record backlog.
+///
+/// Scenario "mid-capture": the victim dies right at barrier flight time —
+/// before/while its capture for checkpoint 2 is open and unacked. The
+/// checkpoint must not complete with a hole; recovery resumes from the last
+/// completed checkpoint and the replayed (or orphan-flushed)
+/// TriggerCheckpoint determinant re-takes the snapshot.
+///
+/// Scenario "after-capture": the victim dies once checkpoint 2 (whose image
+/// carries the captured backlog) has completed. Recovery restores that
+/// image and must re-inject every captured record ahead of channel replay.
+///
+/// Both must leave sink content a byte-identical per-key prefix of the
+/// failure-free reference.
+#[test]
+fn unaligned_kill_mid_capture_recovers_exactly_once() {
+    let reference = oracle_reference();
+    for (mode, ft) in [("clonos", clonos_full()), ("global-rollback", FtMode::GlobalRollback)] {
+        for (phase, kill_at) in [("mid-capture", 10_000_150), ("after-capture", 10_200_000)] {
+            let plan = FailurePlan::none()
+                .slow_at(VirtualTime(8_000_000), 3, 150, VirtualDuration::from_secs(4))
+                .kill_at(VirtualTime(kill_at), 3);
+            let report = run_oracle_plan(ft.clone(), 7, plan, |cfg| {
+                cfg.checkpoint_mode = CheckpointMode::Unaligned;
+            });
+            let label = format!("kill-{phase} {mode}");
+            assert!(report.records_out > 0, "{label}: no committed output");
+            assert!(
+                report.checkpoint_stats.overtaken_records > 0,
+                "{label}: the backlog never produced an overtaken capture"
+            );
+            if phase == "after-capture" {
+                assert!(
+                    report.checkpoint_stats.unaligned_reinjections > 0,
+                    "{label}: recovery never re-injected captured records"
+                );
+            }
+            assert_exactly_once(&report, &label);
+            assert_matches_reference(&report, &reference, &label);
+        }
+    }
+}
+
 #[test]
 fn chaos_sweep_at_least_once_orphan_never_loses() {
     // The documented availability-over-consistency configuration (§5.4):
@@ -117,5 +207,39 @@ proptest! {
         prop_assert_eq!(a.recovery_stats, b.recovery_stats, "robustness counters diverge");
         prop_assert_eq!(a.checkpoint_stats, b.checkpoint_stats, "checkpoint counters diverge");
         prop_assert_eq!(a.last_completed_checkpoint, b.last_completed_checkpoint);
+    }
+}
+/// A transactional sink killed in the window between its checkpoint ack and
+/// the JM's completion notification (chaos seed 39 originally found this).
+/// The checkpoint completes — every ack arrived — so recovery restores from
+/// it; but the sink's buffered transaction for the sealed epoch used to live
+/// only in task memory, and the restored incarnation resumes *after* the
+/// cut, so nothing ever re-wrote those records: a permanent mid-sequence
+/// hole. The two-phase-commit pre-commit (write the sealed epoch's records
+/// at the snapshot cut, abort markers roll back incomplete transactions)
+/// must close the window in both barrier modes. Unaligned checkpoints widen
+/// the window enormously — under backpressure the fast ack can precede the
+/// aligned-equivalent ack by whole seconds — which is why the unaligned
+/// sweep was the first to catch it.
+#[test]
+fn sink_killed_between_ack_and_commit_loses_nothing() {
+    let reference = oracle_reference();
+    // Barriers leave the JM at 10 s and reach the sinks ~200 us later; the
+    // completion notification lands ~2 ms after that. Kill sink task 8 at
+    // 10.001 s: after its ack, before the commit notification.
+    for mode in [CheckpointMode::Aligned, CheckpointMode::Unaligned] {
+        let plan = FailurePlan::none().kill_at(VirtualTime(10_001_000), 8);
+        let report = run_oracle_plan(FtMode::GlobalRollback, 11, plan, |cfg| {
+            cfg.checkpoint_mode = mode;
+        });
+        let label = format!("ack-window kill ({mode:?})");
+        assert!(report.records_out > 0, "{label}: no committed output");
+        assert!(
+            report.last_completed_checkpoint >= 2,
+            "{label}: checkpoint 2 never completed — the kill missed the \
+             ack-to-notification window and the scenario lost its teeth"
+        );
+        assert_exactly_once(&report, &label);
+        assert_matches_reference(&report, &reference, &label);
     }
 }
