@@ -32,6 +32,7 @@ impl Mailbox {
 
     /// Push a delivery; a full mailbox returns it to the caller unchanged.
     pub(crate) fn try_push(&self, d: Delivery<Msg>) -> Result<(), Delivery<Msg>> {
+        // clonos-lint: allow(blocking-under-lock, reason = "audited: queue is the leaf of the state→queue hierarchy (DESIGN.md §9) — its critical sections are a few queue ops and never block, so waiting on it under a cell state lock is bounded")
         let mut q = self.queue.lock().expect("mailbox poisoned");
         if q.len() >= self.capacity {
             return Err(d);
@@ -43,6 +44,7 @@ impl Mailbox {
 
     /// Pop the oldest delivery (FIFO).
     pub(crate) fn pop(&self) -> Option<Delivery<Msg>> {
+        // clonos-lint: allow(blocking-under-lock, reason = "audited: leaf lock of the state→queue hierarchy (DESIGN.md §9); the critical section is one pop_front")
         self.queue.lock().expect("mailbox poisoned").pop_front()
     }
 
@@ -50,6 +52,7 @@ impl Mailbox {
     /// self-timer's timestamp; the timer wins ties). One lock for the
     /// peek-and-pop the scheduling loop runs per event.
     pub(crate) fn pop_before(&self, bound: Option<VirtualTime>) -> Option<Delivery<Msg>> {
+        // clonos-lint: allow(blocking-under-lock, reason = "audited: leaf lock of the state→queue hierarchy (DESIGN.md §9); the critical section is one peek-and-pop")
         let mut q = self.queue.lock().expect("mailbox poisoned");
         match (q.front(), bound) {
             (Some(d), Some(b)) if d.at >= b => None,
@@ -68,6 +71,7 @@ impl Mailbox {
     /// by-name call resolution would conflate it with recovery-path
     /// `is_empty` methods and blame the lock-poison `expect` on them.)
     pub(crate) fn is_drained(&self) -> bool {
+        // clonos-lint: allow(blocking-under-lock, reason = "audited: leaf lock of the state→queue hierarchy (DESIGN.md §9); the critical section is one emptiness check")
         self.queue.lock().expect("mailbox poisoned").is_empty()
     }
 

@@ -109,6 +109,8 @@ pub(crate) fn flush_outbox(
                         continue;
                     }
                     // (c) Out of options: spin politely.
+                    #[allow(clippy::disallowed_methods)]
+                    // clonos-lint: allow(guard-across-park, reason = "audited: last rung of the drain→help→yield ladder (DESIGN.md §9) — the yield happens only after self-drain emptied our mailbox and help recursion hit MAX_HELP_DEPTH; holding `state` here is what makes the stalled send retry-safe, and the destination owner never waits on our state lock (try_lock only)")
                     std::thread::yield_now();
                 }
             }
@@ -245,6 +247,9 @@ pub(crate) fn worker_loop(shared: &Shared<'_>, worker: usize, nworkers: usize) -
             // core to whoever holds the work); only back off to a real sleep
             // after the gap has persisted for a while.
             idle_rounds += 1;
+            // Idle backoff on host time, not modelled time: no lock is held
+            // here and the sleep never shapes the virtual-time order.
+            #[allow(clippy::disallowed_methods)]
             if idle_rounds < 64 {
                 std::thread::yield_now();
             } else {
@@ -288,6 +293,8 @@ pub(crate) fn coordinator_loop(shared: &Shared<'_>) -> u64 {
         } else {
             quiet_rounds = 0;
         }
+        // Host-time poll backoff; lock-free at this point (see doc comment).
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(std::time::Duration::from_micros(50));
     }
 }

@@ -10,7 +10,10 @@
 //! 2. **Method calls** (`.m(..)`) resolve *by name* to every workspace
 //!    method called `m` that takes a `self` receiver — a deliberate,
 //!    conservative over-approximation (class-hierarchy analysis without
-//!    types): a path through *any* same-named method is considered.
+//!    types): a path through *any* same-named method is considered. Trait
+//!    *default* method bodies parse into nodes (`module::Trait::m`), so
+//!    `dyn Trait` call sites whose only implementation is the default body
+//!    (e.g. `Scheduler::schedule_in`) resolve instead of going dark.
 //! 3. A ≥2-segment path that roots in the workspace (a known module or
 //!    type) but matches no item is reported as an `unknown-callee`
 //!    **warning** — never silently dropped. Single-segment misses and
@@ -97,14 +100,19 @@ pub struct Node {
     pub is_pub: bool,
     pub panics: Vec<parser::PanicFact>,
     pub taints: Vec<parser::TaintFact>,
+    pub locks: Vec<parser::LockFact>,
+    pub blocks: Vec<parser::BlockFact>,
     pub mentions_determinant: bool,
 }
 
-/// Directed call edge; `line` is the call site in the caller's file.
+/// Directed call edge; `line` is the call site in the caller's file and
+/// `ord` its token ordinal — the same scale as `LockFact::ord`, so the
+/// lockgraph pass can tell which calls happen while a guard is live.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Edge {
     pub to: usize,
     pub line: u32,
+    pub ord: u32,
     /// Resolved by method-name over-approximation rather than a path.
     pub by_name: bool,
 }
@@ -121,7 +129,8 @@ pub struct GraphStats {
 
 pub struct CallGraph {
     pub nodes: Vec<Node>,
-    /// Adjacency, sorted, deduplicated by target (first call site wins).
+    /// Adjacency, sorted; distinct call *sites* to the same target are kept
+    /// (the lockgraph pass needs every site to test guard liveness).
     pub edges: Vec<Vec<Edge>>,
     /// `unknown-callee` warnings gathered during resolution.
     pub unknown: Vec<Diagnostic>,
@@ -174,6 +183,8 @@ impl CallGraph {
                     is_pub: item.is_pub,
                     panics: item.panics.clone(),
                     taints: item.taints.clone(),
+                    locks: item.locks.clone(),
+                    blocks: item.blocks.clone(),
                     mentions_determinant: item.mentions_determinant,
                 });
             }
@@ -231,7 +242,12 @@ impl CallGraph {
                             Resolution::Fns(targets) => {
                                 stats.resolved_paths += 1;
                                 for t in targets {
-                                    edges[ix].push(Edge { to: t, line: call.line, by_name: false });
+                                    edges[ix].push(Edge {
+                                        to: t,
+                                        line: call.line,
+                                        ord: call.ord,
+                                        by_name: false,
+                                    });
                                 }
                             }
                             Resolution::Unknown(path) => {
@@ -248,7 +264,12 @@ impl CallGraph {
                         if let Some(targets) = method_index.get(name.as_str()) {
                             stats.by_name_edges += targets.len();
                             for &t in targets {
-                                edges[ix].push(Edge { to: t, line: call.line, by_name: true });
+                                edges[ix].push(Edge {
+                                    to: t,
+                                    line: call.line,
+                                    ord: call.ord,
+                                    by_name: true,
+                                });
                             }
                         }
                     }
@@ -257,7 +278,7 @@ impl CallGraph {
         }
         for adj in &mut edges {
             adj.sort();
-            adj.dedup_by_key(|e| e.to);
+            adj.dedup();
         }
         stats.edges = edges.iter().map(Vec::len).sum();
         stats.unknown_callees = unknown_keys.len();
@@ -563,6 +584,48 @@ mod tests {
             "pub enum E { V(u32) }\npub fn f() -> E { E::V(1) }\n",
         )]);
         assert!(g.unknown.is_empty(), "{:?}", g.unknown);
+    }
+
+    #[test]
+    fn trait_default_method_resolves_dyn_dispatch() {
+        // `dyn Scheduler`-style call sites: the only body behind
+        // `.schedule_in()` is the trait default, which must be a node so
+        // the by-name edge lands on it (and its own calls are analysed).
+        let g = build(&[(
+            "crates/core/src/t.rs",
+            "clonos",
+            "pub trait Sched {\n    fn schedule_at(&mut self, t: u64);\n    fn schedule_in(&mut self, d: u64) { self.schedule_at(d); }\n}\nfn f(s: &mut dyn Sched) { s.schedule_in(1); }\n",
+        )]);
+        assert!(has_edge(&g, "clonos::t::f", "clonos::t::Sched::schedule_in"));
+        assert!(g.unknown.is_empty(), "{:?}", g.unknown);
+    }
+
+    #[test]
+    fn distinct_call_sites_to_same_target_are_kept() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "pub fn a() { b(); b(); }\nfn b() {}\n",
+        )]);
+        let f = ix(&g, "clonos::a::a");
+        let t = ix(&g, "clonos::a::b");
+        let sites: Vec<u32> =
+            g.edges[f].iter().filter(|e| e.to == t).map(|e| e.ord).collect();
+        assert_eq!(sites.len(), 2, "{:?}", g.edges[f]);
+        assert!(sites[0] < sites[1]);
+    }
+
+    #[test]
+    fn nodes_carry_lock_and_block_facts() {
+        let g = build(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "struct S { q: Mutex<u32> }\nimpl S { fn f(&self) { let g = self.q.lock().unwrap(); std::thread::sleep(d); } }\n",
+        )]);
+        let n = &g.nodes[ix(&g, "clonos::a::S::f")];
+        assert_eq!(n.locks.len(), 1);
+        assert_eq!(n.locks[0].lock, "q");
+        assert_eq!(n.blocks.len(), 1);
     }
 
     #[test]

@@ -67,6 +67,28 @@ pub const RULES: &[RuleInfo] = &[
         allowable: true,
     },
     RuleInfo {
+        id: "lock-order",
+        summary: "two call paths acquire the same pair of locks in opposite orders; workers \
+                  interleaving them deadlock — impose the single DESIGN.md §9 hierarchy or \
+                  add an audited allow on a hop of the printed cycle",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "blocking-under-lock",
+        summary: "a blocking operation (`.lock()`, `Condvar::wait`, `recv`, \
+                  `std::thread::sleep`) is transitively reachable while a lock guard is \
+                  live; a stalled owner wedges the worker — use `try_lock` with the bounded \
+                  help ladder (the audited escape hatch) or an audited allow",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "guard-across-park",
+        summary: "a lock guard is live across a park/yield point \
+                  (`std::thread::yield_now`/`park`); the scheduler can starve every thread \
+                  waiting on that lock — drop the guard before yielding",
+        allowable: true,
+    },
+    RuleInfo {
         id: "message-protocol",
         summary: "every messages.rs enum variant constructed anywhere must have a handling \
                   match arm in task.rs/cluster.rs and vice versa (no dead or unhandled \

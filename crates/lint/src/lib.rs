@@ -4,12 +4,15 @@
 //! the chaos-sweep content oracle — all reduce to the codebase being
 //! *deterministic by construction* and the recovery path being *non-panicking
 //! by construction*. This crate enforces both statically: per-file token
-//! rules, cross-file protocol invariants, and — since the call-graph PR —
-//! three whole-workspace transitive analyses (panic-reachability from the
-//! recovery entry points, nondeterminism taint into the replay surface, and
-//! message-protocol exhaustiveness) over a hand-rolled item parser and call
-//! graph. See `DESIGN.md` §7 ("Whole-program analyses") for construction,
-//! resolution limits, and the `unknown-callee` reporting contract.
+//! rules, cross-file protocol invariants, and whole-workspace transitive
+//! analyses (panic-reachability from the recovery entry points,
+//! nondeterminism taint into the replay surface, message-protocol
+//! exhaustiveness, and the concurrency-soundness pass — lock-order cycles,
+//! blocking-under-lock, guard-across-park — over the sharded runtime's
+//! lock-acquisition facts) over a hand-rolled item parser and call graph.
+//! See `DESIGN.md` §7 ("Whole-program analyses" and "Concurrency
+//! soundness") for construction, resolution limits, and the
+//! `unknown-callee` reporting contract.
 //!
 //! Self-contained by design: a hand-rolled comment/string-aware lexer, no
 //! registry dependencies (the build environment is offline), `std` only.
@@ -23,6 +26,7 @@ pub mod config;
 pub mod diagnostics;
 pub mod invariants;
 pub mod lexer;
+pub mod lockgraph;
 pub mod parser;
 pub mod protocol;
 pub mod reach;
@@ -124,6 +128,7 @@ pub fn analyze_ordered(
     let graph = CallGraph::build(&ws);
     diags.extend(reach::check(&graph, &mut book));
     diags.extend(taint::check(&graph, &mut book));
+    diags.extend(lockgraph::check(&ws, &graph, &mut book));
     diags.extend(protocol::check(&ws));
     diags.extend(graph.unknown.iter().cloned());
     let stats = graph.stats;

@@ -1,0 +1,776 @@
+//! Concurrency-soundness pass: transitive held-lock analysis over the
+//! sharded runtime (and any other lock-bearing code the parser sees).
+//!
+//! The parser records a `LockFact` at every `.lock()`/`.try_lock()`/
+//! `Condvar::wait` site — which lock field is acquired, whether the guard
+//! is bound (live to the end of the enclosing block) or a temporary (live
+//! to the end of the statement) — and a `BlockFact` at every blocking or
+//! parking operation (`recv`, `std::thread::sleep`, `yield_now`, `park`).
+//! All facts share a token-ordinal scale with call-graph edges, so "call
+//! made while guard live" is a plain ordinal-window test.
+//!
+//! From those facts this pass computes **held-lock states**: `(function,
+//! lock)` pairs meaning "this function can be entered with that lock
+//! held", propagated breadth-first over the call graph from every
+//! acquisition whose guard window covers the call site. Three rules read
+//! the states:
+//!
+//! * `lock-order` — directed order edges `L → M` wherever `M` is acquired
+//!   *blockingly* while `L` is held (however `L` itself was acquired —
+//!   a `try_lock`-ed guard deadlocks its waiters all the same); a cycle
+//!   among the order edges is the classic AB/BA deadlock and is reported
+//!   once per cycle with one exemplar blame chain per edge.
+//! * `blocking-under-lock` — any blocking acquisition, `Condvar::wait`,
+//!   blocking channel `recv`, or `std::thread::sleep` reachable while a
+//!   lock is held. `try_lock` is *not* a sink: failing fast and helping
+//!   (the DESIGN.md §9 drain→help→yield ladder) is the sanctioned pattern.
+//! * `guard-across-park` — a guard live across `yield_now`/`park`: the
+//!   scheduler may run every other thread into the held lock first.
+//!
+//! Allow semantics mirror `reach.rs`: an audited allow on the acquisition
+//! line kills every path from that guard, one on a call-site line kills
+//! paths through that edge, one on the sink line kills the sink — so an
+//! allow works on any hop of the printed chain. Stale-allow bookkeeping
+//! runs on the *unfiltered* states so a load-bearing allow still counts
+//! as used. Lock identity is the receiver field name (`queue`, `state`),
+//! rendered as `Struct::field` when the workspace declares the field
+//! exactly once — same-named fields on different structs conflate, which
+//! is conservative (more states, never fewer).
+
+use crate::allows::AllowBook;
+use crate::callgraph::{CallGraph, Workspace};
+use crate::diagnostics::Diagnostic;
+use crate::parser::{BlockKind, LockFact, LockOp};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+const RULE_ORDER: &str = "lock-order";
+const RULE_BLOCK: &str = "blocking-under-lock";
+const RULE_PARK: &str = "guard-across-park";
+
+/// `(callee node, lock name)`: the callee can run with the lock held.
+type State = (usize, String);
+
+/// How a held state was first reached (BFS, deterministic first-wins).
+#[derive(Clone, Debug)]
+enum Prov {
+    /// Call out of the acquiring function itself: lock taken in `node` at
+    /// `locks[fact]`, call into the state's node at `line`.
+    Seed { node: usize, fact: usize },
+    /// Propagated from another held state via the call at `line`.
+    Step { from: State },
+}
+
+struct Held {
+    parent: BTreeMap<State, Prov>,
+}
+
+/// BFS over `(node, lock)` states. `covered(file, line)` is the allow
+/// filter: a covered acquisition seeds nothing, a covered call site
+/// propagates nothing. Pass `|_, _| false` for the unfiltered graph.
+fn propagate(graph: &CallGraph, covered: &dyn Fn(&str, u32) -> bool) -> Held {
+    let mut parent: BTreeMap<State, Prov> = BTreeMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    for (v, node) in graph.nodes.iter().enumerate() {
+        for (ai, a) in node.locks.iter().enumerate() {
+            if covered(&node.file, a.line) {
+                continue;
+            }
+            for e in &graph.edges[v] {
+                if a.ord < e.ord && e.ord <= a.scope_end && !covered(&node.file, e.line) {
+                    let st = (e.to, a.lock.clone());
+                    if !parent.contains_key(&st) {
+                        parent.insert(st.clone(), Prov::Seed { node: v, fact: ai });
+                        queue.push_back(st);
+                    }
+                }
+            }
+        }
+    }
+    while let Some((w, l)) = queue.pop_front() {
+        let file = graph.nodes[w].file.clone();
+        for e in &graph.edges[w] {
+            if covered(&file, e.line) {
+                continue;
+            }
+            let st = (e.to, l.clone());
+            if !parent.contains_key(&st) {
+                parent.insert(st.clone(), Prov::Step { from: (w, l.clone()) });
+                queue.push_back(st);
+            }
+        }
+    }
+    Held { parent }
+}
+
+/// Blame chain from the acquiring function down to the state's node:
+/// `f acquires `L` (file:line) → g (file:line) → ...`. Also returns the
+/// seed `(node, fact index)`.
+fn chain_of(
+    graph: &CallGraph,
+    held: &Held,
+    disp: &dyn Fn(&str) -> String,
+    st: &State,
+) -> (Vec<String>, (usize, usize)) {
+    let mut rev: Vec<String> = Vec::new();
+    let mut cur = st.clone();
+    loop {
+        let n = &graph.nodes[cur.0];
+        rev.push(format!("{} ({}:{})", n.path, n.file, n.line));
+        match &held.parent[&cur] {
+            Prov::Step { from } => cur = from.clone(),
+            Prov::Seed { node, fact } => {
+                let v = &graph.nodes[*node];
+                let a = &v.locks[*fact];
+                rev.push(format!(
+                    "{} acquires `{}` ({}:{})",
+                    v.path,
+                    disp(&a.lock),
+                    v.file,
+                    a.line
+                ));
+                rev.reverse();
+                return (rev, (*node, *fact));
+            }
+        }
+    }
+}
+
+/// Rendered description of a blocking sink.
+fn blocking_sink_label(f: &LockFact, disp: &dyn Fn(&str) -> String) -> String {
+    match f.op {
+        LockOp::Wait => format!("`Condvar::wait` on `{}`", disp(&f.lock)),
+        _ => format!("blocking `.lock()` of `{}`", disp(&f.lock)),
+    }
+}
+
+/// One exemplar per lock-order edge `L → M`.
+struct OrderEx {
+    hops: Vec<String>,
+    file: String,
+    line: u32,
+}
+
+pub fn check(ws: &Workspace, graph: &CallGraph, book: &mut AllowBook) -> Vec<Diagnostic> {
+    // field -> declaring structs, for `Struct::field` display names.
+    let mut fields: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for pf in ws.files.values() {
+        for (f, ss) in &pf.lock_fields {
+            for s in ss {
+                fields.entry(f).or_default().insert(s);
+            }
+        }
+    }
+    let disp = |l: &str| -> String {
+        match fields.get(l) {
+            Some(ss) if ss.len() == 1 => format!("{}::{l}", ss.iter().next().unwrap()),
+            _ => l.to_string(),
+        }
+    };
+
+    let mut out = Vec::new();
+    let mut order_edges: BTreeMap<(String, String), OrderEx> = BTreeMap::new();
+
+    // ---- per-rule filtered analyses ----
+    for rule in [RULE_BLOCK, RULE_PARK, RULE_ORDER] {
+        let covered = |file: &str, line: u32| book.covers(file, line, rule);
+        let held = propagate(graph, &covered);
+
+        // Transitive sinks: the whole body of a held-state node is under
+        // the lock.
+        for st in held.parent.keys() {
+            let (w, l) = st;
+            let node = &graph.nodes[*w];
+            let (chain, (sv, sa)) = chain_of(graph, &held, &disp, st);
+            let seed = &graph.nodes[sv];
+            let acq = &seed.locks[sa];
+            let holder = format!(
+                "`{}` is held (acquired in `{}`, {}:{})",
+                disp(l),
+                seed.path,
+                seed.file,
+                acq.line
+            );
+            match rule {
+                RULE_BLOCK => {
+                    for f in &node.locks {
+                        if matches!(f.op, LockOp::Lock | LockOp::Wait)
+                            && !covered(&node.file, f.line)
+                        {
+                            out.push(
+                                Diagnostic::new(
+                                    node.file.clone(),
+                                    f.line,
+                                    RULE_BLOCK,
+                                    format!(
+                                        "{} in `{}` while {holder}; a stalled owner wedges \
+                                         the worker — use `try_lock` with the bounded help \
+                                         ladder (DESIGN.md §9) or add an audited allow on a \
+                                         hop of the printed path",
+                                        blocking_sink_label(f, &disp),
+                                        node.path
+                                    ),
+                                )
+                                .with_chain(chain.clone()),
+                            );
+                        }
+                    }
+                    for b in &node.blocks {
+                        if b.kind == BlockKind::Blocking && !covered(&node.file, b.line) {
+                            out.push(
+                                Diagnostic::new(
+                                    node.file.clone(),
+                                    b.line,
+                                    RULE_BLOCK,
+                                    format!(
+                                        "{} in `{}` while {holder}; the lock stays held for \
+                                         the full wait — restructure or add an audited allow \
+                                         on a hop of the printed path",
+                                        b.what, node.path
+                                    ),
+                                )
+                                .with_chain(chain.clone()),
+                            );
+                        }
+                    }
+                }
+                RULE_PARK => {
+                    for b in &node.blocks {
+                        if b.kind == BlockKind::Park && !covered(&node.file, b.line) {
+                            out.push(
+                                Diagnostic::new(
+                                    node.file.clone(),
+                                    b.line,
+                                    RULE_PARK,
+                                    format!(
+                                        "{} in `{}` parks while {holder}; the scheduler can \
+                                         starve every thread waiting on that lock — drop the \
+                                         guard before yielding or add an audited allow",
+                                        b.what, node.path
+                                    ),
+                                )
+                                .with_chain(chain.clone()),
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    for f in &node.locks {
+                        if matches!(f.op, LockOp::Lock | LockOp::Wait)
+                            && f.lock != *l
+                            && !covered(&node.file, f.line)
+                        {
+                            let key = (l.clone(), f.lock.clone());
+                            order_edges.entry(key).or_insert_with(|| {
+                                let mut hops = chain.clone();
+                                hops.push(format!(
+                                    "{} acquires `{}` while holding `{}` ({}:{})",
+                                    node.path,
+                                    disp(&f.lock),
+                                    disp(l),
+                                    node.file,
+                                    f.line
+                                ));
+                                OrderEx { hops, file: node.file.clone(), line: f.line }
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Direct sinks: facts inside the acquiring function's own guard
+        // window (`acq.ord < fact.ord <= acq.scope_end`).
+        for node in &graph.nodes {
+            for a in &node.locks {
+                if covered(&node.file, a.line) {
+                    continue;
+                }
+                let in_window = |ord: u32| a.ord < ord && ord <= a.scope_end;
+                let chain = vec![format!(
+                    "{} acquires `{}` ({}:{})",
+                    node.path,
+                    disp(&a.lock),
+                    node.file,
+                    a.line
+                )];
+                let holder =
+                    format!("`{}` is held (acquired at {}:{})", disp(&a.lock), node.file, a.line);
+                match rule {
+                    RULE_BLOCK => {
+                        for f in &node.locks {
+                            if in_window(f.ord)
+                                && matches!(f.op, LockOp::Lock | LockOp::Wait)
+                                && !covered(&node.file, f.line)
+                            {
+                                out.push(
+                                    Diagnostic::new(
+                                        node.file.clone(),
+                                        f.line,
+                                        RULE_BLOCK,
+                                        format!(
+                                            "{} in `{}` while {holder}; a stalled owner \
+                                             wedges the worker — use `try_lock` with the \
+                                             bounded help ladder (DESIGN.md §9) or add an \
+                                             audited allow",
+                                            blocking_sink_label(f, &disp),
+                                            node.path
+                                        ),
+                                    )
+                                    .with_chain(chain.clone()),
+                                );
+                            }
+                        }
+                        for b in &node.blocks {
+                            if in_window(b.ord)
+                                && b.kind == BlockKind::Blocking
+                                && !covered(&node.file, b.line)
+                            {
+                                out.push(
+                                    Diagnostic::new(
+                                        node.file.clone(),
+                                        b.line,
+                                        RULE_BLOCK,
+                                        format!(
+                                            "{} in `{}` while {holder}; the lock stays held \
+                                             for the full wait — restructure or add an \
+                                             audited allow",
+                                            b.what, node.path
+                                        ),
+                                    )
+                                    .with_chain(chain.clone()),
+                                );
+                            }
+                        }
+                    }
+                    RULE_PARK => {
+                        for b in &node.blocks {
+                            if in_window(b.ord)
+                                && b.kind == BlockKind::Park
+                                && !covered(&node.file, b.line)
+                            {
+                                out.push(
+                                    Diagnostic::new(
+                                        node.file.clone(),
+                                        b.line,
+                                        RULE_PARK,
+                                        format!(
+                                            "{} in `{}` parks while {holder}; drop the guard \
+                                             before yielding or add an audited allow",
+                                            b.what, node.path
+                                        ),
+                                    )
+                                    .with_chain(chain.clone()),
+                                );
+                            }
+                        }
+                    }
+                    _ => {
+                        for f in &node.locks {
+                            if in_window(f.ord)
+                                && matches!(f.op, LockOp::Lock | LockOp::Wait)
+                                && f.lock != a.lock
+                                && !covered(&node.file, f.line)
+                            {
+                                let key = (a.lock.clone(), f.lock.clone());
+                                order_edges.entry(key).or_insert_with(|| {
+                                    let mut hops = chain.clone();
+                                    hops.push(format!(
+                                        "{} acquires `{}` while holding `{}` ({}:{})",
+                                        node.path,
+                                        disp(&f.lock),
+                                        disp(&a.lock),
+                                        node.file,
+                                        f.line
+                                    ));
+                                    OrderEx { hops, file: node.file.clone(), line: f.line }
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- lock-order cycles over the surviving order edges ----
+    out.extend(order_cycles(&order_edges, &disp));
+
+    // ---- stale-allow bookkeeping on the unfiltered states ----
+    mark_used_allows(graph, book);
+
+    out
+}
+
+/// Find cycles in the order-edge digraph. Each cycle is reported once,
+/// anchored at its first edge's exemplar, with every edge's blame chain
+/// concatenated into one printed path. Deterministic: locks and
+/// successors iterate in BTree order, and a reported cycle retires its
+/// locks so overlapping rotations collapse to one report.
+fn order_cycles(
+    edges: &BTreeMap<(String, String), OrderEx>,
+    disp: &dyn Fn(&str) -> String,
+) -> Vec<Diagnostic> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (l, m) in edges.keys() {
+        adj.entry(l).or_default().push(m);
+    }
+    let mut out = Vec::new();
+    let mut retired: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys() {
+        if retired.contains(start) {
+            continue;
+        }
+        // Shortest path start → ... → start (length ≥ 2 by construction:
+        // self-edges are never recorded).
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        parent.insert(start, start);
+        queue.push_back(start);
+        let mut closer: Option<&str> = None;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &v in adj.get(u).into_iter().flatten() {
+                if v == start && u != start {
+                    closer = Some(u);
+                    break 'bfs;
+                }
+                if v != start && !parent.contains_key(v) {
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        let Some(last) = closer else { continue };
+        let mut cycle = vec![start];
+        let mut cur = last;
+        let mut tail = Vec::new();
+        while cur != start {
+            tail.push(cur);
+            cur = parent[cur];
+        }
+        tail.reverse();
+        cycle.extend(tail);
+        retired.extend(cycle.iter().copied());
+
+        let mut hops: Vec<String> = Vec::new();
+        for i in 0..cycle.len() {
+            let l = cycle[i];
+            let m = cycle[(i + 1) % cycle.len()];
+            hops.extend(edges[&(l.to_string(), m.to_string())].hops.iter().cloned());
+        }
+        let shown: Vec<String> = cycle
+            .iter()
+            .chain(std::iter::once(&start))
+            .map(|l| format!("`{}`", disp(l)))
+            .collect();
+        let anchor = &edges[&(cycle[0].to_string(), cycle[1].to_string())];
+        out.push(
+            Diagnostic::new(
+                anchor.file.clone(),
+                anchor.line,
+                RULE_ORDER,
+                format!(
+                    "lock-order cycle: {} — call paths acquire these locks in conflicting \
+                     orders, so two workers interleaving them deadlock; impose a single \
+                     acquisition hierarchy (DESIGN.md §9) or add an audited allow on a hop \
+                     of the printed paths",
+                    shown.join(" → ")
+                ),
+            )
+            .with_chain(hops),
+        );
+    }
+    out
+}
+
+/// Mark allows that do load-bearing work, computed on the *unfiltered*
+/// state graph (mirrors `reach.rs`): an allow is used when it covers a
+/// sink that some held state reaches, an acquisition whose guard window
+/// leads to a sink, or a call-site edge on a held path that can still
+/// reach a sink. Anything else ages into an `unused-allow` finding.
+fn mark_used_allows(graph: &CallGraph, book: &mut AllowBook) {
+    let un = propagate(graph, &|_, _| false);
+    let held_nodes: BTreeSet<usize> = un.parent.keys().map(|(w, _)| *w).collect();
+
+    let is_block_sink = |w: usize| {
+        let n = &graph.nodes[w];
+        n.locks.iter().any(|f| matches!(f.op, LockOp::Lock | LockOp::Wait))
+            || n.blocks.iter().any(|b| b.kind == BlockKind::Blocking)
+    };
+    let is_park_sink =
+        |w: usize| graph.nodes[w].blocks.iter().any(|b| b.kind == BlockKind::Park);
+    // lock-order sinks over-approximate: any blocking acquisition could
+    // close an order edge for *some* held lock.
+    let is_order_sink =
+        |w: usize| graph.nodes[w].locks.iter().any(|f| matches!(f.op, LockOp::Lock | LockOp::Wait));
+
+    for (rule, sinky) in [
+        (RULE_BLOCK, &is_block_sink as &dyn Fn(usize) -> bool),
+        (RULE_PARK, &is_park_sink),
+        (RULE_ORDER, &is_order_sink),
+    ] {
+        let sink_nodes: BTreeSet<usize> = (0..graph.nodes.len()).filter(|&w| sinky(w)).collect();
+        let reach = graph.reaches(&sink_nodes, |_, _| true);
+
+        // Sinks inside held states.
+        for (w, l) in un.parent.keys() {
+            let node = &graph.nodes[*w];
+            for f in &node.locks {
+                let hit = match rule {
+                    RULE_ORDER => {
+                        matches!(f.op, LockOp::Lock | LockOp::Wait) && f.lock != *l
+                    }
+                    RULE_BLOCK => matches!(f.op, LockOp::Lock | LockOp::Wait),
+                    _ => false,
+                };
+                if hit && book.covers(&node.file, f.line, rule) {
+                    book.mark_used(&node.file, f.line, rule);
+                }
+            }
+            for b in &node.blocks {
+                let hit = match rule {
+                    RULE_BLOCK => b.kind == BlockKind::Blocking,
+                    RULE_PARK => b.kind == BlockKind::Park,
+                    _ => false,
+                };
+                if hit && book.covers(&node.file, b.line, rule) {
+                    book.mark_used(&node.file, b.line, rule);
+                }
+            }
+        }
+
+        for (v, node) in graph.nodes.iter().enumerate() {
+            // Direct-window sinks and productive acquisitions.
+            for a in &node.locks {
+                let in_window = |ord: u32| a.ord < ord && ord <= a.scope_end;
+                let mut productive = false;
+                for f in &node.locks {
+                    let hit = in_window(f.ord)
+                        && matches!(f.op, LockOp::Lock | LockOp::Wait)
+                        && (rule != RULE_ORDER || f.lock != a.lock)
+                        && rule != RULE_PARK;
+                    if hit {
+                        productive = true;
+                        if book.covers(&node.file, f.line, rule) {
+                            book.mark_used(&node.file, f.line, rule);
+                        }
+                    }
+                }
+                for b in &node.blocks {
+                    let hit = in_window(b.ord)
+                        && match rule {
+                            RULE_BLOCK => b.kind == BlockKind::Blocking,
+                            RULE_PARK => b.kind == BlockKind::Park,
+                            _ => false,
+                        };
+                    if hit {
+                        productive = true;
+                        if book.covers(&node.file, b.line, rule) {
+                            book.mark_used(&node.file, b.line, rule);
+                        }
+                    }
+                }
+                productive |= graph.edges[v]
+                    .iter()
+                    .any(|e| in_window(e.ord) && reach.contains(&e.to));
+                if productive && book.covers(&node.file, a.line, rule) {
+                    book.mark_used(&node.file, a.line, rule);
+                }
+            }
+            // Call-site edges on a held path that still reaches a sink.
+            for e in &graph.edges[v] {
+                if !book.covers(&node.file, e.line, rule) || !reach.contains(&e.to) {
+                    continue;
+                }
+                let held_here = held_nodes.contains(&v)
+                    || node.locks.iter().any(|a| a.ord < e.ord && e.ord <= a.scope_end);
+                if held_here {
+                    book.mark_used(&node.file, e.line, rule);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser;
+
+    fn analyze(files: &[(&str, &str, &str)]) -> Vec<Diagnostic> {
+        let mut ws = Workspace::default();
+        let mut book = AllowBook::default();
+        for (rel, lib, src) in files {
+            ws.crate_roots.insert(lib.to_string());
+            let module = parser::module_path_of(lib, rel);
+            let lexed = lex(src);
+            book.add_file(rel, &lexed.allows, |_| true);
+            ws.files.insert(rel.to_string(), parser::parse_file(rel, module, &lexed));
+        }
+        let graph = CallGraph::build(&ws);
+        let mut out = check(&ws, &graph, &mut book);
+        out.extend(book.finish());
+        out.sort();
+        out
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn two_lock_cycle_in_one_file() {
+        let d = analyze(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn ab(&self) { let g = self.a.lock().unwrap(); let h = self.b.lock().unwrap(); }\n\
+                 fn ba(&self) { let g = self.b.lock().unwrap(); let h = self.a.lock().unwrap(); }\n\
+             }\n",
+        )]);
+        let cycles: Vec<_> = d.iter().filter(|d| d.rule == RULE_ORDER).collect();
+        assert_eq!(cycles.len(), 1, "{d:#?}");
+        assert!(cycles[0].message.contains("`S::a` → `S::b` → `S::a`"), "{}", cycles[0].message);
+        // Exemplars for both directions appear in the chain.
+        let chain = cycles[0].chain.join(" | ");
+        assert!(chain.contains("acquires `S::b` while holding `S::a`"), "{chain}");
+        assert!(chain.contains("acquires `S::a` while holding `S::b`"), "{chain}");
+        // The nested blocking acquisitions are also blocking-under-lock.
+        assert!(rules(&d).contains(&RULE_BLOCK));
+    }
+
+    #[test]
+    fn blocking_under_lock_is_transitive_with_chain() {
+        let d = analyze(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "struct S { m: Mutex<u32> }\n\
+             impl S {\n\
+                 fn top(&self) { let g = self.m.lock().unwrap(); self.helper(); }\n\
+                 fn helper(&self) { self.wait_for_it(); }\n\
+                 fn wait_for_it(&self) { std::thread::sleep(d); }\n\
+             }\n",
+        )]);
+        let hits: Vec<_> = d.iter().filter(|d| d.rule == RULE_BLOCK).collect();
+        assert_eq!(hits.len(), 1, "{d:#?}");
+        assert!(hits[0].message.contains("`std::thread::sleep`"), "{}", hits[0].message);
+        assert!(hits[0].message.contains("`S::m` is held"), "{}", hits[0].message);
+        let chain = &hits[0].chain;
+        assert_eq!(chain.len(), 3, "{chain:?}");
+        assert!(chain[0].contains("top acquires `S::m`"), "{chain:?}");
+        assert!(chain[1].contains("helper"), "{chain:?}");
+        assert!(chain[2].contains("wait_for_it"), "{chain:?}");
+    }
+
+    #[test]
+    fn try_lock_help_pattern_is_clean() {
+        // The sanctioned escape hatch: under a held guard, the helper only
+        // try_locks — no blocking sink anywhere.
+        let d = analyze(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "struct S { m: Mutex<u32>, q: Mutex<u32> }\n\
+             impl S {\n\
+                 fn top(&self) { let g = self.m.lock().unwrap(); self.help(); }\n\
+                 fn help(&self) { if let Ok(h) = self.q.try_lock() { } }\n\
+             }\n",
+        )]);
+        assert!(
+            d.iter().all(|d| d.rule != RULE_BLOCK && d.rule != RULE_ORDER),
+            "{d:#?}"
+        );
+    }
+
+    #[test]
+    fn guard_across_park_detected_even_from_try_lock() {
+        let d = analyze(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "struct S { m: Mutex<u32> }\n\
+             impl S {\n\
+                 fn top(&self) { let Ok(g) = self.m.try_lock() else { return }; self.spin(); }\n\
+                 fn spin(&self) { std::thread::yield_now(); }\n\
+             }\n",
+        )]);
+        let hits: Vec<_> = d.iter().filter(|d| d.rule == RULE_PARK).collect();
+        assert_eq!(hits.len(), 1, "{d:#?}");
+        assert!(hits[0].message.contains("yield_now"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn temporary_guard_does_not_leak_past_its_statement() {
+        let d = analyze(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "struct S { m: Mutex<Vec<u32>> }\n\
+             impl S {\n\
+                 fn top(&self) {\n\
+                     self.m.lock().unwrap().clear();\n\
+                     self.after();\n\
+                 }\n\
+                 fn after(&self) { std::thread::sleep(d); }\n\
+             }\n",
+        )]);
+        assert!(d.iter().all(|d| d.rule != RULE_BLOCK), "{d:#?}");
+    }
+
+    #[test]
+    fn allow_on_acquisition_suppresses_and_is_used() {
+        let d = analyze(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "struct S { m: Mutex<u32> }\n\
+             impl S {\n\
+                 // clonos-lint: allow(blocking-under-lock, reason = \"audited: leaf lock\")\n\
+                 fn top(&self) { let g = self.m.lock().unwrap(); self.nap(); }\n\
+                 fn nap(&self) { std::thread::sleep(d); }\n\
+             }\n",
+        )]);
+        assert!(d.iter().all(|d| d.rule != RULE_BLOCK), "{d:#?}");
+        assert!(d.iter().all(|d| d.rule != "unused-allow"), "{d:#?}");
+    }
+
+    #[test]
+    fn stale_allow_on_lock_hop_is_reported() {
+        // The allow sits on a call edge that leads nowhere blocking.
+        let d = analyze(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "struct S { m: Mutex<u32> }\n\
+             impl S {\n\
+                 fn top(&self) {\n\
+                     let g = self.m.lock().unwrap();\n\
+                     // clonos-lint: allow(blocking-under-lock, reason = \"stale\")\n\
+                     self.harmless();\n\
+                 }\n\
+                 fn harmless(&self) { }\n\
+             }\n",
+        )]);
+        assert!(rules(&d).contains(&"unused-allow"), "{d:#?}");
+    }
+
+    #[test]
+    fn three_lock_cross_function_cycle() {
+        let d = analyze(&[(
+            "crates/core/src/a.rs",
+            "clonos",
+            "struct S { a: Mutex<u32>, b: Mutex<u32>, c: Mutex<u32> }\n\
+             impl S {\n\
+                 fn f1(&self) { let g = self.a.lock().unwrap(); self.take_b(); }\n\
+                 fn take_b(&self) { let g = self.b.lock().unwrap(); }\n\
+                 fn f2(&self) { let g = self.b.lock().unwrap(); self.take_c(); }\n\
+                 fn take_c(&self) { let g = self.c.lock().unwrap(); }\n\
+                 fn f3(&self) { let g = self.c.lock().unwrap(); self.take_a(); }\n\
+                 fn take_a(&self) { let g = self.a.lock().unwrap(); }\n\
+             }\n",
+        )]);
+        let cycles: Vec<_> = d.iter().filter(|d| d.rule == RULE_ORDER).collect();
+        assert_eq!(cycles.len(), 1, "{d:#?}");
+        assert!(
+            cycles[0].message.contains("`S::a` → `S::b` → `S::c` → `S::a`"),
+            "{}",
+            cycles[0].message
+        );
+    }
+}

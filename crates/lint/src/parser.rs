@@ -5,19 +5,34 @@
 //! in its crate), `use` imports (aliases resolved to workspace-absolute
 //! paths), `fn` items with their enclosing inline-`mod`/`impl` context, and
 //! per-function *body facts* — call sites (path calls and `.method()`
-//! calls), direct panic sites, and direct nondeterminism sources.
+//! calls), direct panic sites, direct nondeterminism sources, and the
+//! concurrency facts the `lockgraph` pass consumes: lock acquisitions
+//! (`.lock()` / `.try_lock()` / `Condvar` waits, with a conservative
+//! guard-liveness range) and blocking/park points (`std::thread::sleep`,
+//! `yield_now`, `park`, blocking channel receives). Call sites and
+//! concurrency facts share one token-ordinal scale (`ord`), so a later pass
+//! can tell which calls happen while a guard is live.
 //!
 //! `#[cfg(test)]` regions are excluded up front (they are outside the
 //! production call graph). Known limits — documented in DESIGN.md §7 and
 //! deliberately accepted for a dependency-free parser:
 //!
-//! - trait declarations are skipped (their default bodies are not nodes);
-//!   impl blocks, including trait impls, are fully parsed;
+//! - trait *default method bodies* are parsed as nodes (path
+//!   `module::Trait::method`), so `dyn Trait` calls resolve through the
+//!   by-name index; bodyless required methods contribute nothing;
 //! - local `fn` items inside a body attribute their facts to the enclosing
 //!   function (a conservative over-approximation);
 //! - imports are tracked per file, not per inline module;
 //! - qualified-path calls (`<T as Trait>::f(..)`) and function *values*
-//!   (`let f = foo;`) are not call edges.
+//!   (`let f = foo;`) are not call edges;
+//! - guard liveness over-approximates: a `let`/`match`-bound guard is live
+//!   to the end of its enclosing block, a temporary to the end of its
+//!   statement (drops are never assumed early);
+//! - `Mutex::get_mut` / `into_inner` are not acquisitions (they need
+//!   exclusive access and cannot contend), and `.join(..)` is not a
+//!   blocking fact (`str`/slice `join` would false-positive everywhere —
+//!   a thread join under a lock still surfaces via the lock facts of
+//!   whatever the joined thread runs).
 
 use crate::lexer::{AllowAnnotation, LexedFile, Tok, TokKind};
 use crate::rules::test_regions;
@@ -43,10 +58,27 @@ pub const TAINT_IDENTS: &[&str] = &[
     "DefaultHasher",
 ];
 
+/// Method names that acquire a lock. `read`/`write` are deliberately absent
+/// (`io::Read::read` would false-positive everywhere; `RwLock` is banned
+/// outside the runtime and the runtime uses none).
+pub const LOCK_METHODS: &[(&str, LockOp)] = &[
+    ("lock", LockOp::Lock),
+    ("try_lock", LockOp::TryLock),
+    ("wait", LockOp::Wait),
+    ("wait_timeout", LockOp::Wait),
+    ("wait_while", LockOp::Wait),
+];
+
+/// Method names that block on another thread without acquiring a guard.
+pub const BLOCKING_METHODS: &[&str] = &["recv", "recv_timeout"];
+
 /// One call site inside a function body.
 #[derive(Clone, Debug)]
 pub struct CallSite {
     pub line: u32,
+    /// Token ordinal within the file — shared scale with `LockFact::ord`,
+    /// so a pass can tell whether the call happens under a live guard.
+    pub ord: u32,
     pub target: CallTarget,
 }
 
@@ -75,6 +107,61 @@ pub struct TaintFact {
     pub what: String,
 }
 
+/// How a lock acquisition behaves when the lock is contended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockOp {
+    /// `.lock()` — blocks until the holder releases.
+    Lock,
+    /// `.try_lock()` — fails fast; the sanctioned escape hatch of the
+    /// runtime's bounded-depth help protocol (cannot deadlock).
+    TryLock,
+    /// `Condvar::wait`/`wait_timeout`/`wait_while` — blocks *and* holds the
+    /// re-acquired guard afterwards.
+    Wait,
+}
+
+/// One lock-acquisition site inside a function body.
+#[derive(Clone, Debug)]
+pub struct LockFact {
+    pub line: u32,
+    /// Token ordinal of the acquisition (same scale as `CallSite::ord`).
+    pub ord: u32,
+    /// Receiver leaf ident — the lock field (`queue` in
+    /// `self.queue.lock()`) or local binding name.
+    pub lock: String,
+    pub op: LockOp,
+    /// Guard bound by `let` / `if let` / `while let` / `match` — live past
+    /// its own statement.
+    pub binds_guard: bool,
+    /// Last token ordinal at which the guard may still be live: end of the
+    /// enclosing block for bound guards, end of statement for temporaries.
+    /// Conservative over-approximation (drops are never assumed early).
+    pub scope_end: u32,
+}
+
+/// Whether a non-acquisition fact blocks on another thread or merely gives
+/// up the CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Blocks until another thread acts (deadlock-capable under a lock).
+    Blocking,
+    /// Parks/yields the CPU — a latency hazard while a guard is live, not a
+    /// deadlock.
+    Park,
+}
+
+/// A direct blocking or park-point fact that is not a lock acquisition:
+/// `std::thread::sleep` / `yield_now` / `park`, blocking channel receives.
+#[derive(Clone, Debug)]
+pub struct BlockFact {
+    pub line: u32,
+    /// Token ordinal (same scale as `CallSite::ord` / `LockFact::ord`).
+    pub ord: u32,
+    /// Rendered description, e.g. "`std::thread::sleep`".
+    pub what: String,
+    pub kind: BlockKind,
+}
+
 /// One `fn` item.
 #[derive(Clone, Debug)]
 pub struct FnItem {
@@ -93,6 +180,10 @@ pub struct FnItem {
     pub calls: Vec<CallSite>,
     pub panics: Vec<PanicFact>,
     pub taints: Vec<TaintFact>,
+    /// Lock acquisitions (lockgraph pass input).
+    pub locks: Vec<LockFact>,
+    /// Blocking/park points that are not acquisitions (lockgraph input).
+    pub blocks: Vec<BlockFact>,
     /// Body mentions the `Determinant` type (replay-surface marker).
     pub mentions_determinant: bool,
 }
@@ -119,6 +210,10 @@ pub struct ParsedFile {
     pub enums: BTreeMap<String, Vec<(String, u32)>>,
     /// Module-level struct names.
     pub structs: BTreeSet<String>,
+    /// Struct fields of lock type (`Mutex`/`RwLock`/`Condvar`): field name
+    /// -> owning struct names. Lets the lockgraph render `Mailbox::queue`
+    /// instead of a bare field ident.
+    pub lock_fields: BTreeMap<String, BTreeSet<String>>,
     /// Live (non-`cfg(test)`) tokens, for passes that scan raw tokens.
     pub toks: Vec<Tok>,
     /// Live `clonos-lint:` annotations.
@@ -249,11 +344,19 @@ impl<'a> Parser<'a> {
                         self.pending_pub = false;
                     }
                     "trait" => {
-                        // Skip the whole trait declaration (documented limit).
-                        if let Some(open) = self.find_punct_before_semi(self.i + 1, '{') {
-                            self.i = self.skip_balanced(open, '{', '}');
-                        } else {
-                            self.skip_past_semi();
+                        // Parse the trait body like an impl block: default
+                        // method bodies become nodes at `module::Trait::m`,
+                        // so `dyn Trait` method calls resolve through the
+                        // by-name index. Bodyless required methods are
+                        // skipped by `parse_fn` as before.
+                        let name = self.ident_at(self.i + 1).map(str::to_string);
+                        match (name, self.find_impl_open_brace(self.i + 1)) {
+                            (Some(n), Some(open)) => {
+                                depth += 1;
+                                self.impls.push((n, depth));
+                                self.i = open + 1;
+                            }
+                            _ => self.skip_past_semi(),
                         }
                         self.pending_pub = false;
                     }
@@ -262,13 +365,20 @@ impl<'a> Parser<'a> {
                         self.pending_pub = false;
                     }
                     "struct" => {
-                        if let Some(n) = self.ident_at(self.i + 1) {
-                            self.out.structs.insert(n.to_string());
+                        let name = self.ident_at(self.i + 1).map(str::to_string);
+                        if let Some(n) = &name {
+                            self.out.structs.insert(n.clone());
                         }
-                        // Braced struct: skip body; tuple/unit struct: skip
-                        // to `;`.
+                        // Braced struct: record lock-typed fields, then skip
+                        // the body; tuple/unit struct: skip to `;`.
                         match self.find_punct_before_semi(self.i + 1, '{') {
-                            Some(open) => self.i = self.skip_balanced(open, '{', '}'),
+                            Some(open) => {
+                                let close = self.skip_balanced(open, '{', '}');
+                                if let Some(n) = &name {
+                                    self.scan_lock_fields(n, open, close);
+                                }
+                                self.i = close;
+                            }
                             None => self.skip_past_semi(),
                         }
                         self.pending_pub = false;
@@ -586,6 +696,42 @@ impl<'a> Parser<'a> {
         self.i = j + 1;
     }
 
+    /// Record fields of lock type within a struct body `{..}` at
+    /// `[open, close)`. A field is `ident :` at brace depth 1; it is a lock
+    /// field if a `Mutex`/`RwLock`/`Condvar` ident appears in its type
+    /// before the next depth-1 comma (the lock head always leads the type,
+    /// so generic-argument commas deeper in cannot split it away).
+    fn scan_lock_fields(&mut self, struct_name: &str, open: usize, close: usize) {
+        const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar"];
+        let mut depth = 0usize;
+        let mut field: Option<String> = None;
+        let mut j = open;
+        while j < close {
+            match &self.t[j].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => depth = depth.saturating_sub(1),
+                TokKind::Punct(',') if depth == 1 => field = None,
+                TokKind::Ident(s) if depth == 1 => {
+                    let named = self.t.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                        && !self.t.get(j + 2).is_some_and(|n| n.is_punct(':'));
+                    if named && s != "pub" {
+                        field = Some(s.clone());
+                    } else if LOCK_TYPES.contains(&s.as_str()) {
+                        if let Some(f) = &field {
+                            self.out
+                                .lock_fields
+                                .entry(f.clone())
+                                .or_default()
+                                .insert(struct_name.to_string());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
     fn parse_fn(&mut self, is_pub: bool) {
         let line = self.t[self.i].line;
         let Some(name) = self.ident_at(self.i + 1).map(str::to_string) else {
@@ -648,6 +794,8 @@ impl<'a> Parser<'a> {
             calls: Vec::new(),
             panics: Vec::new(),
             taints: Vec::new(),
+            locks: Vec::new(),
+            blocks: Vec::new(),
             mentions_determinant: false,
         };
         scan_body(self.t, open, end, &mut item, self);
@@ -656,11 +804,38 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Collect call sites, panic facts, and taint facts from a body range.
+/// Collect call sites, panic facts, taint facts, and concurrency facts
+/// (lock acquisitions, blocking/park points) from a body range.
 fn scan_body(t: &[Tok], lo: usize, hi: usize, item: &mut FnItem, p: &Parser<'_>) {
+    // Matching close index for every `{` in the range, for guard scopes.
+    let close_of: BTreeMap<usize, usize> = {
+        let mut map = BTreeMap::new();
+        let mut stack = Vec::new();
+        for (idx, tok) in t.iter().enumerate().take(hi).skip(lo) {
+            if tok.is_punct('{') {
+                stack.push(idx);
+            } else if tok.is_punct('}') {
+                if let Some(o) = stack.pop() {
+                    map.insert(o, idx);
+                }
+            }
+        }
+        map
+    };
+    // Innermost enclosing `{` while walking (the body brace at `lo` is the
+    // outermost entry).
+    let mut open_stack: Vec<usize> = Vec::new();
     let mut j = lo;
     while j < hi {
         match &t[j].kind {
+            TokKind::Punct('{') => {
+                open_stack.push(j);
+                j += 1;
+            }
+            TokKind::Punct('}') => {
+                open_stack.pop();
+                j += 1;
+            }
             TokKind::Punct('[') => {
                 // Slice/array indexing: `x[..]`, `f()[..]`, `x[0][1]`.
                 let is_index = j > lo
@@ -683,7 +858,51 @@ fn scan_body(t: &[Tok], lo: usize, hi: usize, item: &mut FnItem, p: &Parser<'_>)
                 if matches!(prev, Some(TokKind::Punct('.'))) {
                     let (after, _turbo) = skip_turbofish(t, j + 1);
                     if t.get(after).is_some_and(|n| n.is_punct('(')) {
-                        if PANIC_METHODS.contains(&name.as_str()) {
+                        if let Some(&(_, op)) =
+                            LOCK_METHODS.iter().find(|(m, _)| m == name)
+                        {
+                            // `x.y.lock()` — the receiver leaf ident names
+                            // the lock; a non-ident receiver (call result)
+                            // stays anonymous. No call edge: `lock` et al.
+                            // resolve to std, not the workspace.
+                            let lock = (j >= 2)
+                                .then(|| t[j - 2].ident())
+                                .flatten()
+                                .unwrap_or("<unnamed>")
+                                .to_string();
+                            let binds = stmt_binds_guard(t, lo, j);
+                            let scope_end = if binds {
+                                open_stack
+                                    .last()
+                                    .and_then(|o| close_of.get(o))
+                                    .copied()
+                                    .unwrap_or(hi)
+                            } else {
+                                stmt_end(t, j, hi)
+                            };
+                            item.locks.push(LockFact {
+                                line: t[j].line,
+                                ord: j as u32,
+                                lock,
+                                op,
+                                binds_guard: binds,
+                                scope_end: scope_end as u32,
+                            });
+                        } else if BLOCKING_METHODS.contains(&name.as_str()) {
+                            item.blocks.push(BlockFact {
+                                line: t[j].line,
+                                ord: j as u32,
+                                what: format!("blocking `.{name}()`"),
+                                kind: BlockKind::Blocking,
+                            });
+                            // Keep the call edge too: a workspace method of
+                            // the same name still resolves by name.
+                            item.calls.push(CallSite {
+                                line: t[j].line,
+                                ord: j as u32,
+                                target: CallTarget::Method(name.clone()),
+                            });
+                        } else if PANIC_METHODS.contains(&name.as_str()) {
                             item.panics.push(PanicFact {
                                 line: t[j].line,
                                 what: format!("`.{name}()`"),
@@ -691,6 +910,7 @@ fn scan_body(t: &[Tok], lo: usize, hi: usize, item: &mut FnItem, p: &Parser<'_>)
                         } else {
                             item.calls.push(CallSite {
                                 line: t[j].line,
+                                ord: j as u32,
                                 target: CallTarget::Method(name.clone()),
                             });
                         }
@@ -747,15 +967,94 @@ fn scan_body(t: &[Tok], lo: usize, hi: usize, item: &mut FnItem, p: &Parser<'_>)
                     continue;
                 }
                 if is_call {
-                    let segs = p.normalize_head(segs);
-                    item.calls
-                        .push(CallSite { line: start_line, target: CallTarget::Path(segs) });
+                    // `std::thread::sleep(..)` et al. are blocking/park
+                    // facts, not workspace call edges. A bare `sleep(..)`
+                    // counts when a `use` maps it back to `std::thread`.
+                    let effective = if segs.len() == 1 {
+                        p.out.imports.get(&segs[0]).cloned().unwrap_or_else(|| segs.clone())
+                    } else {
+                        segs.clone()
+                    };
+                    if let Some((what, kind)) = thread_block_op(&effective) {
+                        item.blocks.push(BlockFact {
+                            line: start_line,
+                            ord: j as u32,
+                            what,
+                            kind,
+                        });
+                    } else {
+                        let segs = p.normalize_head(segs);
+                        item.calls.push(CallSite {
+                            line: start_line,
+                            ord: j as u32,
+                            target: CallTarget::Path(segs),
+                        });
+                    }
                 }
                 j = k.max(j + 1);
             }
             _ => j += 1,
         }
     }
+}
+
+/// Is this path a `std::thread` blocking/park operation? Matches any path
+/// whose tail is `thread::<op>` (`std::thread::sleep`, `thread::park`, ...).
+fn thread_block_op(segs: &[String]) -> Option<(String, BlockKind)> {
+    if segs.len() < 2 || segs[segs.len() - 2] != "thread" {
+        return None;
+    }
+    let (what, kind) = match segs.last().map(String::as_str) {
+        Some("sleep") => ("`std::thread::sleep`", BlockKind::Blocking),
+        Some("yield_now") => ("`std::thread::yield_now`", BlockKind::Park),
+        Some("park") => ("`std::thread::park`", BlockKind::Park),
+        Some("park_timeout") => ("`std::thread::park_timeout`", BlockKind::Park),
+        _ => return None,
+    };
+    Some((what.to_string(), kind))
+}
+
+/// Does the statement containing token `j` bind its value? True when a
+/// `let` (also `if let` / `while let` / `let .. else`) or `match` keyword
+/// appears between the previous statement/block boundary and `j` — the
+/// guard then lives past the statement (to the end of the enclosing block,
+/// conservatively; `match` scrutinee temporaries live through the arms).
+fn stmt_binds_guard(t: &[Tok], lo: usize, j: usize) -> bool {
+    let mut k = j;
+    while k > lo {
+        k -= 1;
+        match &t[k].kind {
+            TokKind::Punct(';' | '{' | '}') => return false,
+            TokKind::Ident(s) if s == "let" || s == "match" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Index of the `;` (or closing `}` of the enclosing block) that ends the
+/// statement containing token `j` — the liveness bound for an unbound
+/// guard temporary. Brace blocks opened after `j` (closure bodies, `if`
+/// arms fed by the temporary) are stepped over, which over-approximates
+/// liveness into them; conservative in the safe direction.
+fn stmt_end(t: &[Tok], j: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = j;
+    while k < hi {
+        match &t[k].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                if depth == 0 {
+                    return k;
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(';') if depth == 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    hi
 }
 
 /// If `at` starts a turbofish (`::<...>`), return the index past it.
@@ -945,9 +1244,93 @@ mod tests {
     }
 
     #[test]
-    fn trait_decls_are_skipped() {
-        let f = parse("pub trait T {\n    fn required(&self);\n    fn with_default(&self) { x.unwrap(); }\n}\nfn after() {}\n");
-        assert!(f.fns.iter().all(|i| i.name != "required" && i.name != "with_default"));
+    fn trait_default_bodies_are_parsed_as_nodes() {
+        let f = parse(
+            "pub trait T {\n    fn required(&self);\n    fn with_default(&self) { self.required(); }\n}\nfn after() {}\n",
+        );
+        // Required (bodyless) methods contribute nothing.
+        assert!(f.fns.iter().all(|i| i.name != "required"));
+        // Default bodies become nodes under module::Trait::name.
+        let d = fn_named(&f, "with_default");
+        assert!(d.has_self);
+        assert_eq!(d.path, vec!["x", "T", "with_default"]);
+        assert!(d.calls.iter().any(|c| matches!(&c.target, CallTarget::Method(m) if m == "required")));
         assert_eq!(fn_named(&f, "after").path, vec!["x", "after"]);
+    }
+
+    #[test]
+    fn lock_facts_with_guard_liveness() {
+        let f = parse(
+            "struct S { q: Mutex<u32> }\n\
+             impl S {\n\
+                 fn bound(&self) {\n\
+                     let g = self.q.lock().unwrap();\n\
+                     helper();\n\
+                 }\n\
+                 fn temp(&self) -> bool {\n\
+                     self.q.lock().unwrap().is_zero();\n\
+                     helper()\n\
+                 }\n\
+                 fn tried(&self) {\n\
+                     let Ok(g) = self.q.try_lock() else { return };\n\
+                     helper();\n\
+                 }\n\
+             }\n",
+        );
+        // Lock fields recorded off the struct body.
+        assert_eq!(f.lock_fields["q"].iter().collect::<Vec<_>>(), vec!["S"]);
+
+        let bound = fn_named(&f, "bound");
+        let a = &bound.locks[0];
+        assert_eq!((a.lock.as_str(), a.op, a.binds_guard), ("q", LockOp::Lock, true));
+        // The helper() call after the acquisition falls inside the guard.
+        let call = bound.calls.iter().find(|c| matches!(&c.target, CallTarget::Path(p) if p == &vec!["helper".to_string()])).unwrap();
+        assert!(a.ord < call.ord && call.ord <= a.scope_end);
+
+        let temp = fn_named(&f, "temp");
+        let a = &temp.locks[0];
+        assert!(!a.binds_guard);
+        // Statement-scoped: `is_zero` is under the temporary, `helper` not.
+        let is_zero = temp.calls.iter().find(|c| matches!(&c.target, CallTarget::Method(m) if m == "is_zero")).unwrap();
+        let helper = temp.calls.iter().find(|c| matches!(&c.target, CallTarget::Path(_))).unwrap();
+        assert!(a.ord < is_zero.ord && is_zero.ord <= a.scope_end);
+        assert!(helper.ord > a.scope_end);
+
+        let tried = fn_named(&f, "tried");
+        let a = &tried.locks[0];
+        assert_eq!((a.op, a.binds_guard), (LockOp::TryLock, true));
+    }
+
+    #[test]
+    fn thread_ops_are_block_facts_not_calls() {
+        let f = parse(
+            "use std::thread::sleep;\n\
+             fn f(cv: &C) {\n\
+                 std::thread::sleep(d);\n\
+                 std::thread::yield_now();\n\
+                 sleep(d);\n\
+                 cv.cond.wait(g);\n\
+                 rx.recv();\n\
+             }\n",
+        );
+        let item = fn_named(&f, "f");
+        let whats: Vec<&str> = item.blocks.iter().map(|b| b.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            vec![
+                "`std::thread::sleep`",
+                "`std::thread::yield_now`",
+                "`std::thread::sleep`",
+                "blocking `.recv()`"
+            ],
+            "{whats:?}"
+        );
+        assert_eq!(item.blocks[0].kind, BlockKind::Blocking);
+        assert_eq!(item.blocks[1].kind, BlockKind::Park);
+        // The Condvar wait is a lock fact on the receiver field.
+        assert_eq!(item.locks.len(), 1);
+        assert_eq!((item.locks[0].lock.as_str(), item.locks[0].op), ("cond", LockOp::Wait));
+        // None of the thread ops leaked into the call list as paths.
+        assert!(item.calls.iter().all(|c| !matches!(&c.target, CallTarget::Path(p) if p.iter().any(|s| s == "thread"))));
     }
 }

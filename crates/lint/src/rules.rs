@@ -41,6 +41,11 @@ const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getran
 /// trip on the `thread::`/spawn machinery needed to exercise it.
 const SYNC_PRIMITIVE_IDENTS: &[&str] = &["Mutex", "RwLock", "Condvar"];
 
+/// Host-scheduler operations reachable as *bare* calls via `use
+/// std::thread::sleep` etc. — only modelled time is legal outside the
+/// runtime module (threading rule).
+const THREAD_OP_IDENTS: &[&str] = &["sleep", "yield_now", "park", "park_timeout"];
+
 /// Macros that abort instead of returning an error (recovery-path rule).
 /// `debug_assert*` is deliberately absent: it compiles out in release and
 /// serves as executable documentation of local invariants.
@@ -126,7 +131,18 @@ pub fn scan_file(rel: &str, lexed: &LexedFile, rules: &RuleSet) -> Vec<Diagnosti
             let is_thread_path = name == "thread"
                 && toks.get(i + 1).map(|n| n.is_punct(':')).unwrap_or(false)
                 && toks.get(i + 2).map(|n| n.is_punct(':')).unwrap_or(false);
-            if SYNC_PRIMITIVE_IDENTS.contains(&name) || is_atomic || is_thread_path {
+            // A bare `sleep(..)`/`yield_now(..)`/`park(..)` call — imported
+            // via `use std::thread::sleep` — sidesteps the `thread::` path
+            // check above. Require a following `(` and no `.`/`::` prefix
+            // so `d.sleep()` methods and the path form (already reported)
+            // don't double-fire.
+            let is_thread_op = THREAD_OP_IDENTS.contains(&name)
+                && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+                && !prev_is_dot(toks, i)
+                && !(i > 0 && toks[i - 1].is_punct(':'))
+                && !prev_is_fn(toks, i);
+            if SYNC_PRIMITIVE_IDENTS.contains(&name) || is_atomic || is_thread_path || is_thread_op
+            {
                 found.push(Diagnostic::new(
                     rel,
                     t.line,
@@ -328,6 +344,11 @@ mod tests {
         assert_eq!(thr("let n = AtomicU64::new(0);\n").len(), 1);
         assert_eq!(thr("std::thread::spawn(f);\n").len(), 1);
         assert_eq!(thr("thread::sleep(d);\n").len(), 1);
+        // Bare imported thread ops are caught; methods/defs named alike are not.
+        assert_eq!(thr("use std::thread::sleep;\nfn f() { sleep(d); }\n").len(), 2);
+        assert_eq!(thr("yield_now();\n").len(), 1);
+        assert!(thr("timer.sleep(d);\n").is_empty());
+        assert!(thr("fn sleep(d: u64) {}\n").is_empty());
         // The engine's checkpoint barrier variant is not std::sync::Barrier.
         assert!(thr("let b = StreamElement::Barrier(3);\n").is_empty());
         // Bare `thread` (no path separator) and `Atomic` alone are not calls.

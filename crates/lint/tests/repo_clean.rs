@@ -24,6 +24,35 @@ fn repo_is_lint_clean() {
     );
 }
 
+/// The concurrency rules are part of the clean gate above; this pins the
+/// contract that makes "clean" meaningful for them: the rules exist, are
+/// allow-able (the audited escape hatch), and the runtime's real lock
+/// protocol exercises them — the mailbox leaf-lock sites and the
+/// backpressure-ladder yield each carry a reasoned allow that the
+/// stale-allow pass verified is doing work (else `unused-allow` would
+/// have tripped `repo_is_lint_clean`).
+#[test]
+fn concurrency_rules_are_registered_and_exercised_by_the_runtime() {
+    for rule in ["lock-order", "blocking-under-lock", "guard-across-park"] {
+        assert!(clonos_lint::config::rule_exists(rule), "{rule} missing from RULES");
+        assert!(clonos_lint::config::rule_allowable(rule), "{rule} must be allow-able");
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mailbox =
+        fs::read_to_string(root.join("crates/engine/src/runtime/mailbox.rs")).unwrap();
+    assert_eq!(
+        mailbox.matches("allow(blocking-under-lock").count(),
+        4,
+        "every live mailbox queue.lock() site carries an audited allow"
+    );
+    let worker = fs::read_to_string(root.join("crates/engine/src/runtime/worker.rs")).unwrap();
+    assert_eq!(
+        worker.matches("allow(guard-across-park").count(),
+        1,
+        "the backpressure-ladder yield carries an audited allow"
+    );
+}
+
 /// The determinism golden: the full analysis — graph construction, BFS
 /// exemplar chains, every diagnostic — must be byte-identical run-to-run
 /// and under any file-walk order. The linter polices BTree-ordered

@@ -21,7 +21,7 @@ if [[ -z "$lint_ms" ]]; then
   exit 1
 fi
 if [[ "$lint_ms" -gt 2000 ]]; then
-  echo "ERROR: clonos-lint analysis took ${lint_ms} ms (> 2000 ms budget) — the call-graph pass regressed" >&2
+  echo "ERROR: clonos-lint analysis took ${lint_ms} ms (> 2000 ms budget) — the call-graph/lockgraph passes regressed" >&2
   exit 1
 fi
 echo "== lint: analysis wall time ${lint_ms} ms (budget 2000 ms) =="

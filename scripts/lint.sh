@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # Static-analysis gate: clonos-lint (determinism + recovery-path + protocol
-# invariants + call-graph transitive analyses) followed by a warning-free
-# clippy pass with the clippy.toml disallow lists. Blocking: any violation
-# exits non-zero.
+# invariants + call-graph transitive analyses + the concurrency-soundness
+# pass: lock-order / blocking-under-lock / guard-across-park) followed by a
+# warning-free clippy pass with the clippy.toml disallow lists. Blocking:
+# any violation exits non-zero.
 #
 # The clonos-lint stage prints a one-line timing summary (parsed from the
 # tool's own stderr stats line); LINT_TIME_FILE, when set, receives the
-# analysis wall time in ms so check.sh can enforce its perf budget.
+# analysis wall time in ms so check.sh can enforce its perf budget. A
+# machine-readable report (every diagnostic incl. blame chains, empty array
+# when clean) is always written to results/lint.json.
 # Usage: scripts/lint.sh [--json] [--baseline <file>]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== lint: clonos-lint (per-file + call-graph) =="
+echo "== lint: clonos-lint (per-file + call-graph + lockgraph) =="
 cargo build --release -q -p clonos-lint
 errfile=$(mktemp)
 status=0
@@ -25,6 +28,14 @@ if [[ -n "${ms:-}" ]]; then
     echo "$ms" >"$LINT_TIME_FILE"
   fi
 fi
+
+# JSON artifact for CI / downstream tooling (never gates; the exit status
+# above does). Re-runs the analysis in --json mode only if the user didn't
+# already ask for JSON on stdout.
+mkdir -p results
+target/release/clonos-lint --json >results/lint.json 2>/dev/null || true
+echo "== lint: JSON report written to results/lint.json =="
+
 if [[ "$status" -ne 0 ]]; then
   exit "$status"
 fi
