@@ -89,6 +89,9 @@ pub struct Cluster {
     /// or replaced): folded in before the `Task` object is dropped so
     /// `checkpoint_stats` reflects the whole run, not just live tasks.
     retired_ckpt: crate::metrics::CheckpointStats,
+    /// Tiered-backend counters of retired incarnations, same lifecycle as
+    /// `retired_ckpt`.
+    retired_backend: crate::metrics::StateBackendStats,
     /// Fatal task errors (should stay empty in correct runs).
     pub errors: Vec<String>,
 }
@@ -115,6 +118,7 @@ impl Cluster {
             jm: JmState::default(),
             depth,
             retired_ckpt: crate::metrics::CheckpointStats::default(),
+            retired_backend: crate::metrics::StateBackendStats::default(),
             errors: Vec::new(),
             config,
         };
@@ -406,8 +410,8 @@ impl Cluster {
     fn jm_handle(&mut self, msg: Msg) {
         match msg {
             Msg::CheckpointTick => self.jm_checkpoint_tick(),
-            Msg::CheckpointAck { task, id, snapshot, delta_parent } => {
-                self.jm_ack(task, id, snapshot, delta_parent)
+            Msg::CheckpointAck { task, id, snapshot, delta_parent, segments } => {
+                self.jm_ack(task, id, snapshot, delta_parent, segments)
             }
             Msg::FailureDetected { task, gen, killed_at } => {
                 self.jm_failure(task, gen, killed_at)
@@ -457,8 +461,20 @@ impl Cluster {
         }
     }
 
-    fn jm_ack(&mut self, task: TaskId, id: u64, snapshot: Bytes, delta_parent: Option<u64>) {
+    fn jm_ack(
+        &mut self,
+        task: TaskId,
+        id: u64,
+        snapshot: Bytes,
+        delta_parent: Option<u64>,
+        segments: Option<Box<crate::messages::SegmentAck>>,
+    ) {
         let now = self.sim.now();
+        // Tiered backend: register the checkpoint's segment view first, so
+        // a full-image read of this checkpoint can already fold it.
+        if let Some(seg) = segments {
+            self.snapshots.put_segments(id, task, seg.live, seg.sealed);
+        }
         match delta_parent {
             Some(parent) => {
                 self.snapshots.put_delta(now, id, task, parent, snapshot);
@@ -494,9 +510,16 @@ impl Cluster {
             if !self.jm.standby.has_standby(t) {
                 continue;
             }
-            let delta = match self.snapshots.blob(id, t) {
-                Some(SnapshotBlob::Delta { parent, bytes }) => Some((*parent, bytes.clone())),
-                _ => None,
+            // Tiered checkpoints: the delta blob covers only resident
+            // sections — value state lives in segments, so a delta-only
+            // ship would under-deliver. Fall back to the full fold.
+            let delta = if self.snapshots.has_segments(id, t) {
+                None
+            } else {
+                match self.snapshots.blob(id, t) {
+                    Some(SnapshotBlob::Delta { parent, bytes }) => Some((*parent, bytes.clone())),
+                    _ => None,
+                }
             };
             let shipped = delta.and_then(|(parent, bytes)| {
                 let transfer = TransferModel::default().transfer_time(bytes.len() as u64);
@@ -984,6 +1007,7 @@ impl Cluster {
         r.overtaken_records += t.ckpt.overtaken_records;
         r.overtaken_bytes += t.ckpt.overtaken_bytes;
         r.unaligned_reinjections += t.ckpt.unaligned_reinjections;
+        self.retired_backend.absorb(&t.backend_stats());
     }
 
     /// Aggregate incremental-checkpoint counters: per-task encoder stats
@@ -1008,6 +1032,16 @@ impl Cluster {
         total.reconstructions = self.snapshots.reconstructions();
         total.reconstruct_us = self.snapshots.reconstruct_us();
         total.delta_dispatches = self.jm.standby.delta_dispatches();
+        total
+    }
+
+    /// Aggregate tiered-state-backend counters across live and retired task
+    /// incarnations (all zero when `state_memory_budget` is 0).
+    pub fn state_backend_stats(&self) -> crate::metrics::StateBackendStats {
+        let mut total = self.retired_backend;
+        for t in self.tasks.values().flatten() {
+            total.absorb(&t.backend_stats());
+        }
         total
     }
 

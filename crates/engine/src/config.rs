@@ -129,6 +129,12 @@ pub struct EngineConfig {
     /// Barrier alignment discipline; `Aligned` is the default, `Unaligned`
     /// lets barriers overtake backlogged input queues (see `CheckpointMode`).
     pub checkpoint_mode: CheckpointMode,
+    /// Resident-cache budget (bytes) for keyed value state, per task. Zero
+    /// (the default) keeps the all-in-memory store; nonzero switches every
+    /// task onto the tiered log-structured backend (DESIGN.md §10): cold
+    /// rows spill to deltamap-format segments, checkpoints reference sealed
+    /// segments by id, and the barrier path stays O(dirty) at any key count.
+    pub state_memory_budget: u64,
 }
 
 impl Default for EngineConfig {
@@ -161,6 +167,7 @@ impl Default for EngineConfig {
             incremental_checkpoints: true,
             checkpoint_rebase_interval: 8,
             checkpoint_mode: CheckpointMode::Aligned,
+            state_memory_budget: 0,
         }
     }
 }
@@ -178,6 +185,12 @@ impl EngineConfig {
 
     pub fn with_checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
         self.checkpoint_mode = mode;
+        self
+    }
+
+    /// Enable the tiered state backend with a per-task resident budget.
+    pub fn with_state_memory_budget(mut self, bytes: u64) -> Self {
+        self.state_memory_budget = bytes;
         self
     }
 
@@ -217,6 +230,13 @@ impl EngineConfig {
         if !(0.0..=1.0).contains(&self.ctrl_loss_prob) || !(0.0..=1.0).contains(&self.ctrl_delay_prob)
         {
             return bad("ctrl_loss_prob / ctrl_delay_prob must lie in [0, 1]".into());
+        }
+        if self.state_memory_budget > 0 && self.state_memory_budget < 1024 {
+            return bad(
+                "state_memory_budget must be 0 (untiered) or >= 1024 bytes \
+                 (a smaller cache cannot hold even one row plus bookkeeping)"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -301,5 +321,12 @@ mod tests {
 
         let c = EngineConfig { ctrl_loss_prob: 1.5, ..EngineConfig::default() };
         reject(c, "ctrl_loss_prob");
+
+        let c = EngineConfig { state_memory_budget: 100, ..EngineConfig::default() };
+        reject(c, "state_memory_budget");
+
+        // Off (0) and a real budget are both fine.
+        assert!(EngineConfig::default().validate().is_ok());
+        assert!(EngineConfig::default().with_state_memory_budget(1 << 20).validate().is_ok());
     }
 }

@@ -6,6 +6,19 @@ use clonos::recovery::LogRetrievalResponse;
 use clonos::{ChannelId, EpochId, TaskId};
 use crate::state::StateTimer;
 
+/// Tiered-backend payload piggybacked on a checkpoint ack: the checkpoint's
+/// value state expressed as log-structured segments (DESIGN.md §10).
+#[derive(Clone, Debug, Default)]
+pub struct SegmentAck {
+    /// Every live segment id, in canonical fold order (oldest layer first).
+    /// Authoritative per checkpoint — the store keeps exactly this list.
+    pub live: Vec<u64>,
+    /// Segments sealed since the previous ack, shipped exactly once. Ids
+    /// referenced by `live` are always covered by a current or earlier ship
+    /// from this incarnation (an unacked task dies with its unshipped ids).
+    pub sealed: Vec<(u64, bytes::Bytes)>,
+}
+
 /// Everything that can be delivered to a task or the job manager.
 #[derive(Debug)]
 pub enum Msg {
@@ -44,7 +57,18 @@ pub enum Msg {
     TriggerCheckpoint { id: u64 },
     /// Task → JM: local snapshot for checkpoint `id` taken. `delta_parent`
     /// is the checkpoint the delta image builds on (`None` = full base).
-    CheckpointAck { task: TaskId, id: u64, snapshot: bytes::Bytes, delta_parent: Option<u64> },
+    /// `segments` rides along when the task runs the tiered state backend:
+    /// the snapshot image then carries only resident sections, and the
+    /// value state travels as segment references plus newly sealed payloads.
+    CheckpointAck {
+        task: TaskId,
+        id: u64,
+        snapshot: bytes::Bytes,
+        delta_parent: Option<u64>,
+        /// Boxed to keep `Msg` (and every mailbox slot) small: the ack is
+        /// rare but its inline payload vectors are not.
+        segments: Option<Box<SegmentAck>>,
+    },
     /// JM → all tasks: checkpoint `id` is globally complete (truncate logs).
     CheckpointComplete { id: u64 },
     /// JM self-message: time to trigger the next checkpoint.

@@ -142,6 +142,56 @@ pub struct RuntimeStats {
     pub max_worker_events: u64,
 }
 
+/// Counters from the tiered log-structured state backend (DESIGN.md §10).
+/// All zero when `state_memory_budget` is 0 (untiered runs). Per-task stores
+/// report these at teardown; the cluster sums them so `RunReport` exposes
+/// one backend-wide view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StateBackendStats {
+    /// Tasks that ran with tiering enabled.
+    pub tiered_tasks: u64,
+    /// Memtable seals (each produced at most one L0 segment).
+    pub flushes: u64,
+    /// Compaction passes (level spill-over or bulk-tail fold).
+    pub compactions: u64,
+    /// Segments live across all tier trees at teardown.
+    pub segments_live: u64,
+    /// Payload bytes held by live segments at teardown.
+    pub segment_bytes: u64,
+    /// Point reads that consulted the tier (cache misses reaching segments).
+    pub point_reads: u64,
+    /// Point reads short-circuited by a segment key filter.
+    pub filter_negatives: u64,
+    /// Filter passes where the block probe then missed (false positives).
+    pub filter_false_positives: u64,
+    /// Rows faulted from segments back into the resident cache.
+    pub faults: u64,
+    /// Clean rows evicted from the resident cache under memory pressure.
+    pub evictions: u64,
+    /// Bytes of rows resident in cache at teardown (sum over tasks).
+    pub resident_bytes: u64,
+    /// Modelled virtual time spent on tier I/O (µs, summed over tasks).
+    pub tier_io_us: u64,
+}
+
+impl StateBackendStats {
+    /// Fold another task's backend counters into this aggregate.
+    pub fn absorb(&mut self, other: &StateBackendStats) {
+        self.tiered_tasks += other.tiered_tasks;
+        self.flushes += other.flushes;
+        self.compactions += other.compactions;
+        self.segments_live += other.segments_live;
+        self.segment_bytes += other.segment_bytes;
+        self.point_reads += other.point_reads;
+        self.filter_negatives += other.filter_negatives;
+        self.filter_false_positives += other.filter_false_positives;
+        self.faults += other.faults;
+        self.evictions += other.evictions;
+        self.resident_bytes += other.resident_bytes;
+        self.tier_io_us += other.tier_io_us;
+    }
+}
+
 /// Collected during a run by sinks and the job manager.
 #[derive(Debug)]
 pub struct JobMetrics {

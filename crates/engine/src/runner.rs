@@ -118,6 +118,9 @@ pub struct RunReport {
     /// worker count, steals, backpressure stalls, mailbox depth highwater,
     /// and per-worker event min/max.
     pub runtime_stats: crate::metrics::RuntimeStats,
+    /// Tiered-state-backend counters (flushes, compactions, faults,
+    /// evictions, segment inventory; all zero when the backend is off).
+    pub state_backend_stats: crate::metrics::StateBackendStats,
     /// Host wall-clock seconds spent driving the simulation (the Figure-5
     /// overhead metric: causal logging is real CPU work here).
     pub wall_seconds: f64,
@@ -376,6 +379,7 @@ impl JobRunner {
             recovery_stats: self.cluster.metrics.recovery,
             checkpoint_stats: self.cluster.checkpoint_stats(),
             runtime_stats: self.cluster.runtime_stats,
+            state_backend_stats: self.cluster.state_backend_stats(),
             wall_seconds,
         }
     }

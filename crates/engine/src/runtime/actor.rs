@@ -199,8 +199,14 @@ impl CoordWorld {
                     );
                 }
             }
-            Msg::CheckpointAck { task, id, snapshot, delta_parent } => {
+            Msg::CheckpointAck { task, id, snapshot, delta_parent, segments } => {
                 let now = self.clock;
+                // Tiered backend: register the segment view before the
+                // image so reads of this checkpoint can fold it (same
+                // protocol as the sim-scheduler job manager).
+                if let Some(seg) = segments {
+                    self.snapshots.put_segments(id, task, seg.live, seg.sealed);
+                }
                 match delta_parent {
                     Some(parent) => {
                         self.snapshots.put_delta(now, id, task, parent, snapshot);

@@ -19,7 +19,7 @@
 use crate::config::{CheckpointMode, EngineConfig, FtMode};
 use crate::error::EngineError;
 use crate::graph::{Partitioning, SinkSpec, SourceSpec, TaskSpec, TimestampMode, VertexKind};
-use crate::messages::Msg;
+use crate::messages::{Msg, SegmentAck};
 use crate::metrics::{CheckpointStats, JobMetrics, RoutingStats};
 use crate::operator::{timer_id, OpCtx, Operator, TimerKind};
 use crate::record::{barrier_only, decode_buffer, Datum, Record, Row, StreamElement};
@@ -271,6 +271,9 @@ struct UaCapture {
     delta_parent: Option<u64>,
     /// Overtaken buffers per input channel, in arrival (FIFO) order.
     captured: Vec<Vec<SentBuffer>>,
+    /// Tiered backend: segment manifest + newly sealed payloads, cut at the
+    /// same instant as the state bytes (the deferred ack carries them).
+    segments: Option<SegmentAck>,
 }
 
 /// One deployed (or standby-activated) task instance.
@@ -339,6 +342,10 @@ pub struct Task {
     /// image — delta images tombstone `new..prev` so `merge_chain` never
     /// resurrects a stale capture.
     prev_overtaken: Vec<u32>,
+    /// Times the tiered backend was (re-)enabled on this task object —
+    /// folded with `gen` into the segment-id namespace so no two
+    /// incarnations of a task ever mint the same segment id.
+    tier_epoch: u32,
 }
 
 impl Task {
@@ -438,7 +445,7 @@ impl Task {
             .then(|| InFlightLog::new(num_outs, spill_policy, pool.max(1)));
         let mut log = CausalLogManager::new(spec.id, num_outs, if flags.causal { dsd } else { 0 });
         log.set_epoch(1);
-        Task {
+        let mut task = Task {
             spec,
             gen,
             role,
@@ -476,7 +483,20 @@ impl Task {
             ua_seen: BTreeMap::new(),
             ua_captures: BTreeMap::new(),
             prev_overtaken: vec![0; num_ins],
+            tier_epoch: 0,
+        };
+        if config.state_memory_budget > 0 {
+            task.state.enable_tiering(config.state_memory_budget, task.tier_id_base());
         }
+        task
+    }
+
+    /// Segment-id namespace for the current incarnation: generation and
+    /// tier epoch occupy the high bits, so ids minted by different
+    /// incarnations (or re-enables after a restore) never collide in the
+    /// checkpoint store's per-task segment arena.
+    fn tier_id_base(&self) -> u64 {
+        ((self.gen as u64 + 1) << 40) | ((self.tier_epoch as u64) << 32)
     }
 
     /// Align per-channel generation expectations with the cluster's view of
@@ -494,6 +514,11 @@ impl Task {
 
     pub fn is_source(&self) -> bool {
         matches!(self.role, Role::Source { .. })
+    }
+
+    /// Tiered-state-backend counters for this incarnation (zero untiered).
+    pub fn backend_stats(&self) -> crate::metrics::StateBackendStats {
+        self.state.backend_stats()
     }
 
     /// Chaos slow-consumer injection: multiply this task's per-record
@@ -1499,12 +1524,17 @@ impl Task {
             self.snaps_since_base += 1;
         }
         self.chain_parent = Some(id);
+        // Tiered backend: turn the epoch's dirty values into an L0 segment
+        // at the cut — the image below then carries only resident sections,
+        // and value state travels as segment ids + newly sealed payloads.
+        let segments = self.cut_tier_segments();
+        self.charge_tier_io(ctx);
         if ctx.config.checkpoint_mode == CheckpointMode::Unaligned && !self.is_source() {
             // Unaligned: the state cut is taken now (at first-barrier time),
             // but the image is not sealed — records the barrier overtook on
             // not-yet-barriered channels still have to be captured into it.
             // The ack is deferred until every input channel has barriered.
-            self.open_unaligned_capture(id, full, delta_parent);
+            self.open_unaligned_capture(id, full, delta_parent, segments);
             self.maybe_close_unaligned_captures(ctx)?;
         } else {
             let snapshot = self.encode_snapshot(full);
@@ -1515,7 +1545,13 @@ impl Task {
             }
             ctx.send_ctrl(
                 0,
-                Msg::CheckpointAck { task: self.spec.id, id, snapshot, delta_parent },
+                Msg::CheckpointAck {
+                    task: self.spec.id,
+                    id,
+                    snapshot,
+                    delta_parent,
+                    segments: segments.map(Box::new),
+                },
             );
         }
         // 2PC pre-commit: the cut seals every buffered transaction up to
@@ -1548,9 +1584,40 @@ impl Task {
     }
 
     /// Entry count for the state portion of an image: the META entry plus
-    /// full or dirty state entries.
+    /// full or dirty state entries. Tiered tasks count only resident
+    /// sections — value entries live in segments, not the image.
     fn count_snapshot_entries(&self, full: bool) -> u64 {
-        1 + if full { self.state.full_entry_count() } else { self.state.dirty_entry_count() }
+        1 + match (self.state.tiering_enabled(), full) {
+            (true, true) => self.state.resident_full_entry_count(),
+            (true, false) => self.state.resident_dirty_entry_count(),
+            (false, true) => self.state.full_entry_count(),
+            (false, false) => self.state.dirty_entry_count(),
+        }
+    }
+
+    /// Tiered backend barrier step: sync the dirty value change-log into a
+    /// sealed L0 segment and gather the checkpoint's segment view (full live
+    /// manifest + payloads sealed since the previous ack). `None` untiered.
+    fn cut_tier_segments(&mut self) -> Option<SegmentAck> {
+        if !self.state.tiering_enabled() {
+            return None;
+        }
+        // Dirty value entries synced here are the O(dirty) barrier work.
+        self.ckpt.dirty_entries +=
+            self.state.dirty_entry_count() - self.state.resident_dirty_entry_count();
+        self.state.tier_sync_dirty();
+        let sealed = self.state.take_sealed_segments();
+        let live = self.state.live_segments();
+        Some(SegmentAck { live, sealed })
+    }
+
+    /// Charge accrued tier I/O (faults, flushes, compactions) to the service
+    /// queue so spilling shows up as processing latency, not free work.
+    fn charge_tier_io(&mut self, ctx: &mut TaskCtx<'_>) {
+        let io = self.state.take_tier_io();
+        if io > VirtualDuration::ZERO {
+            self.queue.admit(ctx.sched.now(), io);
+        }
     }
 
     /// Write the state portion of an image (META entry + state sections in
@@ -1576,11 +1643,17 @@ impl Task {
             self.snap_scratch.put_varint(c.watermark);
         }
         self.snap_scratch.end_u32_len(pos);
-        if full {
-            self.state.write_full_entries(&mut self.snap_scratch);
-            self.state.clear_dirty();
-        } else {
-            self.state.write_dirty_entries(&mut self.snap_scratch);
+        match (self.state.tiering_enabled(), full) {
+            (true, true) => {
+                self.state.write_resident_full_entries(&mut self.snap_scratch);
+                self.state.clear_dirty();
+            }
+            (true, false) => self.state.write_resident_dirty_entries(&mut self.snap_scratch),
+            (false, true) => {
+                self.state.write_full_entries(&mut self.snap_scratch);
+                self.state.clear_dirty();
+            }
+            (false, false) => self.state.write_dirty_entries(&mut self.snap_scratch),
         }
     }
 
@@ -1591,7 +1664,13 @@ impl Task {
     /// buffers from epochs `<= id` are unconsumed at this cut and therefore
     /// belong to the capture. Channels that have not barriered yet keep
     /// feeding the capture as data arrives (`on_data`).
-    fn open_unaligned_capture(&mut self, id: u64, full: bool, delta_parent: Option<u64>) {
+    fn open_unaligned_capture(
+        &mut self,
+        id: u64,
+        full: bool,
+        delta_parent: Option<u64>,
+        segments: Option<SegmentAck>,
+    ) {
         self.snap_scratch.clear();
         let state_entries = self.count_snapshot_entries(full);
         self.write_snapshot_entries(full);
@@ -1608,8 +1687,10 @@ impl Task {
                 }
             }
         }
-        self.ua_captures
-            .insert(id, UaCapture { state_bytes, state_entries, full, delta_parent, captured });
+        self.ua_captures.insert(
+            id,
+            UaCapture { state_bytes, state_entries, full, delta_parent, captured, segments },
+        );
     }
 
     /// Seal and ack every open capture whose barriers have all arrived, in
@@ -1636,7 +1717,7 @@ impl Task {
     /// write tombstones for the previous checkpoint's now-stale capture
     /// slots so `merge_chain` cannot resurrect them.
     fn close_unaligned_capture(&mut self, id: u64, cap: UaCapture, ctx: &mut TaskCtx<'_>) {
-        let UaCapture { state_bytes, state_entries, full, delta_parent, captured } = cap;
+        let UaCapture { state_bytes, state_entries, full, delta_parent, captured, segments } = cap;
         let mut entries = state_entries;
         for (ch, bufs) in captured.iter().enumerate() {
             let prev = if full { bufs.len() } else { self.prev_overtaken[ch] as usize };
@@ -1683,7 +1764,13 @@ impl Task {
         }
         ctx.send_ctrl(
             0,
-            Msg::CheckpointAck { task: self.spec.id, id, snapshot, delta_parent },
+            Msg::CheckpointAck {
+                task: self.spec.id,
+                id,
+                snapshot,
+                delta_parent,
+                segments: segments.map(Box::new),
+            },
         );
     }
 
@@ -1882,6 +1969,20 @@ impl Task {
                 *offset = snap.source_offset;
                 *max_event_time = snap.max_event_time;
             }
+        }
+        // The restored store is untiered; re-enable the tiered backend under
+        // a fresh segment-id namespace (this incarnation republishes its
+        // value state as bulk-load segments at its first full-base ack).
+        if ctx.config.state_memory_budget > 0 {
+            if state.is_empty() && self.state.tiering_enabled() {
+                // No image (resume at cp 0) on a reused object: materialize
+                // the canonical fold so re-enabling starts from the same
+                // logical state an untiered task would keep.
+                self.state = StateStore::restore(&self.state.snapshot())?;
+            }
+            self.tier_epoch += 1;
+            self.state.enable_tiering(ctx.config.state_memory_budget, self.tier_id_base());
+            self.charge_tier_io(ctx);
         }
         self.epoch = resume_cp + 1;
         self.step = 0;

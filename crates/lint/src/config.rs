@@ -185,6 +185,7 @@ pub const STATS_STRUCTS: &[(&str, &str)] = &[
     ("CheckpointStats", "crates/engine/src/metrics.rs"),
     ("CausalLogStats", "crates/core/src/causal_log.rs"),
     ("RuntimeStats", "crates/engine/src/metrics.rs"),
+    ("StateBackendStats", "crates/engine/src/metrics.rs"),
 ];
 
 /// File holding `struct RunReport`, which must embed every stats struct.

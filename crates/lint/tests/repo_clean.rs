@@ -120,11 +120,12 @@ impl MiniRepo {
             "pub struct RecoveryStats {\n    pub escalations: u64,\n}\n\
              pub struct RoutingStats {\n    pub record_clones: u64,\n}\n\
              pub struct CheckpointStats {\n    pub rebases: u64,\n}\n\
-             pub struct RuntimeStats {\n    pub steals: u64,\n}\n",
+             pub struct RuntimeStats {\n    pub steals: u64,\n}\n\
+             pub struct StateBackendStats {\n    pub faults: u64,\n}\n",
         );
         repo.write(
             "crates/engine/src/runner.rs",
-            "pub struct RunReport {\n    pub recovery_stats: RecoveryStats,\n    pub routing_stats: RoutingStats,\n    pub checkpoint_stats: CheckpointStats,\n    pub log_stats: CausalLogStats,\n    pub runtime_stats: RuntimeStats,\n}\n",
+            "pub struct RunReport {\n    pub recovery_stats: RecoveryStats,\n    pub routing_stats: RoutingStats,\n    pub checkpoint_stats: CheckpointStats,\n    pub log_stats: CausalLogStats,\n    pub runtime_stats: RuntimeStats,\n    pub state_backend_stats: StateBackendStats,\n}\n",
         );
         repo.write(
             "crates/core/src/causal_log.rs",
@@ -132,7 +133,7 @@ impl MiniRepo {
         );
         repo.write(
             "crates/engine/tests/counters.rs",
-            "fn consume(r: RunReport) {\n    let _ = (r.recovery_stats.escalations, r.routing_stats.record_clones, r.checkpoint_stats.rebases, r.log_stats.deltas_ingested, r.runtime_stats.steals);\n}\n",
+            "fn consume(r: RunReport) {\n    let _ = (r.recovery_stats.escalations, r.routing_stats.record_clones, r.checkpoint_stats.rebases, r.log_stats.deltas_ingested, r.runtime_stats.steals, r.state_backend_stats.faults);\n}\n",
         );
         for f in ["recovery.rs", "standby.rs", "inflight.rs", "services.rs"] {
             repo.write(&format!("crates/core/src/{f}"), "// empty recovery-path module\n");

@@ -70,6 +70,13 @@ pub fn write_tombstone(w: &mut ByteWriter, section: u8, key: &[u8]) {
     w.put_u8(OP_TOMBSTONE);
 }
 
+/// Decode one entry from a reader positioned at an entry boundary (no
+/// entry-count prefix). Public for the lsm segment reader, whose sparse
+/// index points at raw entry offsets inside a segment payload.
+pub fn read_one<'a>(r: &mut ByteReader<'a>) -> Result<EntryRef<'a>, CodecError> {
+    read_entry(r)
+}
+
 fn read_entry<'a>(r: &mut ByteReader<'a>) -> Result<EntryRef<'a>, CodecError> {
     let section = r.get_u8()?;
     let klen = r.get_u8()? as usize;
@@ -130,6 +137,43 @@ pub fn merge_chain<'a>(base: &'a [u8], deltas: &[&'a [u8]]) -> Result<Bytes, Cod
     w.put_varint(map.len() as u64);
     for (&(section, key), &value) in &map {
         write_put(&mut w, section, key, value);
+    }
+    Ok(w.freeze())
+}
+
+/// Fold `layers` (oldest first) into one image, like [`merge_chain`] but
+/// with explicit control over tombstones. With `drop_tombstones = false` the
+/// output *retains* a tombstone for every `(section, key)` whose newest entry
+/// is a delete — required when compacting LSM levels that still have older
+/// data beneath them, where dropping the tombstone would resurrect a deleted
+/// key. With `drop_tombstones = true` the result is byte-identical to
+/// `merge_chain(layers[0], &layers[1..])`.
+pub fn fold_layers(layers: &[&[u8]], drop_tombstones: bool) -> Result<Bytes, CodecError> {
+    let mut decoded: Vec<Vec<EntryRef<'_>>> = Vec::with_capacity(layers.len());
+    for l in layers {
+        decoded.push(read_entries(l)?);
+    }
+    let mut map: BTreeMap<(u8, &[u8]), Option<&[u8]>> = BTreeMap::new();
+    for layer in &decoded {
+        for e in layer {
+            map.insert((e.section, e.key), e.value);
+        }
+    }
+    if drop_tombstones {
+        map.retain(|_, v| v.is_some());
+    }
+    let total: usize = map
+        .iter()
+        .map(|(&(_, k), v)| 7 + k.len() + v.map_or(0, <[u8]>::len))
+        .sum::<usize>()
+        + 10;
+    let mut w = ByteWriter::with_capacity(total);
+    w.put_varint(map.len() as u64);
+    for (&(section, key), value) in &map {
+        match value {
+            Some(v) => write_put(&mut w, section, key, v),
+            None => write_tombstone(&mut w, section, key),
+        }
     }
     Ok(w.freeze())
 }
@@ -333,6 +377,89 @@ mod tests {
         let base = image(&[(SEC_OVERTAKEN, b"\x00\x00\x00\x00\x00\x01", Some(b"buf"))]);
         let merged = merge_chain(&base, &[]).unwrap();
         assert_eq!(merged, base);
+    }
+
+    #[test]
+    fn fold_layers_retains_tombstones_unless_dropped() {
+        let base = image(&[(1, b"a", Some(b"1")), (1, b"b", Some(b"2"))]);
+        let d1 = image(&[(1, b"b", None), (1, b"c", Some(b"3"))]);
+        let kept = fold_layers(&[&base, &d1], false).unwrap();
+        let expect_kept = image(&[(1, b"a", Some(b"1")), (1, b"b", None), (1, b"c", Some(b"3"))]);
+        assert_eq!(kept, expect_kept);
+        let dropped = fold_layers(&[&base, &d1], true).unwrap();
+        assert_eq!(dropped, merge_chain(&base, &[&d1]).unwrap());
+    }
+
+    mod fold_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn layer() -> impl Strategy<Value = Vec<(u8, Vec<u8>, Option<Vec<u8>>)>> {
+            proptest::collection::vec(
+                (
+                    0u8..=2,
+                    proptest::collection::vec(0u8..4, 1..4),
+                    proptest::option::of(proptest::collection::vec(any::<u8>(), 0..8)),
+                ),
+                0..8,
+            )
+        }
+
+        proptest! {
+            /// `fold_layers(.., true)` is byte-identical to `merge_chain` —
+            /// the compaction-at-bottom fast path matches recovery-path
+            /// reconstruction exactly.
+            #[test]
+            fn drop_tombstones_matches_merge_chain(
+                layers in proptest::collection::vec(layer(), 1..5),
+            ) {
+                let encoded: Vec<Bytes> = layers.iter().map(|l| {
+                    let mut w = ByteWriter::new();
+                    w.put_varint(l.len() as u64);
+                    for (s, k, v) in l {
+                        match v {
+                            Some(v) => write_put(&mut w, *s, k, v),
+                            None => write_tombstone(&mut w, *s, k),
+                        }
+                    }
+                    w.freeze()
+                }).collect();
+                let refs: Vec<&[u8]> = encoded.iter().map(|b| b.as_ref()).collect();
+                let folded = fold_layers(&refs, true).unwrap();
+                let merged = merge_chain(refs[0], &refs[1..]).unwrap();
+                prop_assert_eq!(folded, merged);
+            }
+
+            /// Folding in two steps (with tombstones retained in the middle)
+            /// then dropping equals folding once — compaction staging never
+            /// changes the final image.
+            #[test]
+            fn staged_fold_equals_single_fold(
+                layers in proptest::collection::vec(layer(), 2..6),
+                split in 1usize..5,
+            ) {
+                let encoded: Vec<Bytes> = layers.iter().map(|l| {
+                    let mut w = ByteWriter::new();
+                    w.put_varint(l.len() as u64);
+                    for (s, k, v) in l {
+                        match v {
+                            Some(v) => write_put(&mut w, *s, k, v),
+                            None => write_tombstone(&mut w, *s, k),
+                        }
+                    }
+                    w.freeze()
+                }).collect();
+                let refs: Vec<&[u8]> = encoded.iter().map(|b| b.as_ref()).collect();
+                let split = split.min(refs.len() - 1);
+                let mid = fold_layers(&refs[..split], false).unwrap();
+                let mut staged: Vec<&[u8]> = vec![&mid];
+                staged.extend_from_slice(&refs[split..]);
+                prop_assert_eq!(
+                    fold_layers(&staged, true).unwrap(),
+                    fold_layers(&refs, true).unwrap()
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   transfer cost;
 //! - [`spill`] — [`spill::SpillDevice`], an I/O-cost-modelled append device
 //!   backing the spilling in-flight log (§6.1);
+//! - [`lsm`] — [`lsm::TieredStore`], the tiered log-structured state
+//!   backend: bounded memtable, leveled deltamap-format segments on the
+//!   spill device, size-tiered compaction, and a crash-consistent segment
+//!   manifest (DESIGN.md §10);
 //! - [`external`] — [`external::ExternalKv`], a time-varying key-value
 //!   "external world" that makes UDF calls genuinely nondeterministic (§4.1).
 
@@ -25,11 +29,13 @@ pub mod codec;
 pub mod deltamap;
 pub mod external;
 pub mod log;
+pub mod lsm;
 pub mod snapshot;
 pub mod spill;
 
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use external::ExternalKv;
 pub use log::{DurableLog, LogPartition, Offset};
+pub use lsm::{TierStats, TieredConfig, TieredStore};
 pub use snapshot::{SnapshotBlob, SnapshotId, SnapshotStore};
 pub use spill::{SpillDevice, SpillHandle};

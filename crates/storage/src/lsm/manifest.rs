@@ -1,0 +1,249 @@
+//! Crash-consistent segment manifest: an append-only log of tier-tree edits.
+//!
+//! Every structural change to the tier (flush, compaction, bulk load) is one
+//! atomic manifest record: the segments it added (with full metadata — key
+//! range, filter bits, sparse index) and the segment ids it removed. A
+//! record is framed `u32-LE payload length ++ u32-LE FNV checksum ++
+//! payload`; replay applies records in order and stops at the first
+//! incomplete or corrupt frame, so a crash mid-append simply truncates to
+//! the last complete edit — the tier tree is always the one some prefix of
+//! edits produced, never a torn hybrid.
+
+use crate::codec::{ByteReader, ByteWriter, CodecError};
+use crate::lsm::filter::KeyFilter;
+use crate::lsm::segment::SegmentMeta;
+use crate::spill::SpillHandle;
+
+/// One atomic tier-tree edit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ManifestEdit {
+    pub added: Vec<SegmentMeta>,
+    pub removed: Vec<u64>,
+    /// Number of `added` segments that are bulk-load seeds (key-disjoint
+    /// bottom-level chunks). Replay accumulates this so the in-place
+    /// bottom-level compaction policy survives reopen.
+    pub seeded: u64,
+}
+
+fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+fn encode_meta(w: &mut ByteWriter, m: &SegmentMeta) {
+    w.put_varint(m.id);
+    w.put_u8(m.level);
+    w.put_varint(m.handle.0);
+    w.put_varint(m.bytes);
+    w.put_varint(m.entries);
+    w.put_bytes(&m.min_key);
+    w.put_bytes(&m.max_key);
+    w.put_varint(m.filter.nbits());
+    w.put_varint(m.filter.words().len() as u64);
+    for &word in m.filter.words() {
+        w.put_raw(&word.to_le_bytes());
+    }
+    w.put_varint(m.index.len() as u64);
+    for (key, off) in &m.index {
+        w.put_bytes(key);
+        w.put_varint(*off as u64);
+    }
+}
+
+fn decode_meta(r: &mut ByteReader<'_>) -> Result<SegmentMeta, CodecError> {
+    let id = r.get_varint()?;
+    let level = r.get_u8()?;
+    let handle = SpillHandle(r.get_varint()?);
+    let bytes = r.get_varint()?;
+    let entries = r.get_varint()?;
+    let min_key = r.get_bytes()?.to_vec();
+    let max_key = r.get_bytes()?.to_vec();
+    let nbits = r.get_varint()?;
+    let nwords = r.get_varint()? as usize;
+    let mut words = Vec::with_capacity(nwords.min(1 << 20));
+    for _ in 0..nwords {
+        let raw = r.get_raw(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(raw);
+        words.push(u64::from_le_bytes(a));
+    }
+    let filter = KeyFilter::from_parts(nbits, words);
+    let nindex = r.get_varint()? as usize;
+    let mut index = Vec::with_capacity(nindex.min(1 << 20));
+    for _ in 0..nindex {
+        let key = r.get_bytes()?.to_vec();
+        let off = r.get_varint()? as u32;
+        index.push((key, off));
+    }
+    Ok(SegmentMeta { id, level, handle, bytes, entries, min_key, max_key, filter, index })
+}
+
+fn encode_edit(edit: &ManifestEdit) -> ByteWriter {
+    let mut w = ByteWriter::new();
+    w.put_varint(edit.added.len() as u64);
+    for m in &edit.added {
+        encode_meta(&mut w, m);
+    }
+    w.put_varint(edit.removed.len() as u64);
+    for &id in &edit.removed {
+        w.put_varint(id);
+    }
+    w.put_varint(edit.seeded);
+    w
+}
+
+fn decode_edit(payload: &[u8]) -> Result<ManifestEdit, CodecError> {
+    let mut r = ByteReader::new(payload);
+    let nadd = r.get_varint()? as usize;
+    let mut added = Vec::with_capacity(nadd.min(1 << 16));
+    for _ in 0..nadd {
+        added.push(decode_meta(&mut r)?);
+    }
+    let nrem = r.get_varint()? as usize;
+    let mut removed = Vec::with_capacity(nrem.min(1 << 16));
+    for _ in 0..nrem {
+        removed.push(r.get_varint()?);
+    }
+    let seeded = r.get_varint()?;
+    if !r.is_empty() {
+        return Err(CodecError::InvalidTag { context: "manifest edit trailing bytes", tag: 0 });
+    }
+    Ok(ManifestEdit { added, removed, seeded })
+}
+
+/// The append-only manifest log.
+#[derive(Clone, Debug, Default)]
+pub struct Manifest {
+    log: Vec<u8>,
+    records: u64,
+}
+
+impl Manifest {
+    pub fn new() -> Manifest {
+        Manifest::default()
+    }
+
+    /// Continue an existing log (reopen path). The caller passes only the
+    /// valid prefix that [`Manifest::replay`] accepted.
+    pub fn from_bytes(log: Vec<u8>, records: u64) -> Manifest {
+        Manifest { log, records }
+    }
+
+    pub fn append(&mut self, edit: &ManifestEdit) {
+        let payload = encode_edit(edit);
+        self.log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.log.extend_from_slice(&fnv32(payload.as_slice()).to_le_bytes());
+        self.log.extend_from_slice(payload.as_slice());
+        self.records += 1;
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.log
+    }
+
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Decode every complete, checksummed record from `bytes`. Returns the
+    /// edits plus the length of the valid prefix — everything past it
+    /// (torn frame, bad checksum, undecodable payload) is discarded, which
+    /// is exactly the crash-recovery contract.
+    pub fn replay(bytes: &[u8]) -> (Vec<ManifestEdit>, usize) {
+        let mut edits = Vec::new();
+        let mut pos = 0usize;
+        while let Some(header) = bytes.get(pos..pos + 8) {
+            let mut len4 = [0u8; 4];
+            len4.copy_from_slice(&header[..4]);
+            let len = u32::from_le_bytes(len4) as usize;
+            let mut sum4 = [0u8; 4];
+            sum4.copy_from_slice(&header[4..8]);
+            let sum = u32::from_le_bytes(sum4);
+            let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else { break };
+            if fnv32(payload) != sum {
+                break;
+            }
+            let Ok(edit) = decode_edit(payload) else { break };
+            edits.push(edit);
+            pos += 8 + len;
+        }
+        (edits, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64, level: u8) -> SegmentMeta {
+        let mut filter = KeyFilter::with_capacity(4, 10);
+        filter.insert(b"\x01key");
+        SegmentMeta {
+            id,
+            level,
+            handle: SpillHandle(id + 100),
+            bytes: 42,
+            entries: 4,
+            min_key: b"\x01a".to_vec(),
+            max_key: b"\x01z".to_vec(),
+            filter,
+            index: vec![(b"\x01a".to_vec(), 1), (b"\x01m".to_vec(), 20)],
+        }
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let mut m = Manifest::new();
+        let e1 = ManifestEdit { added: vec![meta(1, 0)], removed: vec![], seeded: 0 };
+        let e2 = ManifestEdit { added: vec![meta(2, 1)], removed: vec![1], seeded: 0 };
+        let e3 = ManifestEdit { added: vec![meta(3, 6), meta(4, 6)], removed: vec![], seeded: 2 };
+        m.append(&e1);
+        m.append(&e2);
+        m.append(&e3);
+        let (edits, valid) = Manifest::replay(m.bytes());
+        assert_eq!(valid, m.bytes().len());
+        assert_eq!(edits, vec![e1, e2, e3]);
+    }
+
+    #[test]
+    fn replay_truncates_at_torn_tail() {
+        let mut m = Manifest::new();
+        let e1 = ManifestEdit { added: vec![meta(1, 0)], removed: vec![], seeded: 0 };
+        m.append(&e1);
+        let complete = m.bytes().len();
+        let e2 = ManifestEdit { added: vec![meta(2, 0)], removed: vec![], seeded: 0 };
+        m.append(&e2);
+        // Crash mid-append: every proper prefix of the second record must
+        // replay to exactly [e1].
+        for cut in complete..m.bytes().len() {
+            let (edits, valid) = Manifest::replay(&m.bytes()[..cut]);
+            assert_eq!(valid, complete, "cut={cut}");
+            assert_eq!(edits, vec![e1.clone()], "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_checksum() {
+        let mut m = Manifest::new();
+        m.append(&ManifestEdit { added: vec![meta(1, 0)], removed: vec![], seeded: 0 });
+        m.append(&ManifestEdit { added: vec![meta(2, 0)], removed: vec![], seeded: 0 });
+        let first_len = {
+            let (_, v) = Manifest::replay(&m.bytes()[..0]);
+            assert_eq!(v, 0);
+            let mut one = Manifest::new();
+            one.append(&ManifestEdit { added: vec![meta(1, 0)], removed: vec![], seeded: 0 });
+            one.bytes().len()
+        };
+        let mut corrupted = m.bytes().to_vec();
+        // Flip a byte inside the second record's payload.
+        let idx = first_len + 10;
+        corrupted[idx] ^= 0xff;
+        let (edits, valid) = Manifest::replay(&corrupted);
+        assert_eq!(valid, first_len);
+        assert_eq!(edits.len(), 1);
+    }
+}

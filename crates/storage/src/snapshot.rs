@@ -76,12 +76,25 @@ impl SnapshotBlob {
 }
 
 /// The store itself.
+///
+/// Tiered-backend checkpoints additionally reference sealed tier segments
+/// **by id**: the ack ships each segment payload exactly once (into the
+/// `segments` arena, keyed `(task, segment id)` and refcounted), and every
+/// checkpoint records its authoritative live-segment list in
+/// `segment_refs`. Reconstruction folds the referenced segment payloads
+/// (oldest first) under the resident image; GC drops an arena payload only
+/// when the last checkpoint referencing it is truncated.
 #[derive(Debug, Default)]
 pub struct SnapshotStore {
     snapshots: BTreeMap<(SnapshotId, u64), SnapshotBlob>,
+    /// `(task, segment id) -> (payload, refcount)`.
+    segments: BTreeMap<(u64, u64), (Bytes, u64)>,
+    /// `(checkpoint, task) -> live segment ids in fold order`.
+    segment_refs: BTreeMap<(SnapshotId, u64), Vec<u64>>,
     model: TransferModel,
     writes: u64,
     delta_writes: u64,
+    segment_writes: u64,
     reads: u64,
     reconstructions: u64,
     reconstruct_us: u64,
@@ -129,6 +142,60 @@ impl SnapshotStore {
         done
     }
 
+    /// Record a tiered checkpoint's segment references: `sealed` payloads
+    /// enter the arena (each shipped exactly once), `live` is the
+    /// checkpoint's authoritative id list in fold order. Returns the
+    /// modelled transfer time for the shipped bytes — the caller adds it to
+    /// the resident image's write time. Segments sealed then immediately
+    /// compacted away (absent from every live list) are dropped.
+    pub fn put_segments(
+        &mut self,
+        checkpoint: SnapshotId,
+        task: u64,
+        live: Vec<u64>,
+        sealed: Vec<(u64, Bytes)>,
+    ) -> VirtualDuration {
+        let mut shipped = 8 * live.len() as u64;
+        for (id, payload) in sealed {
+            shipped += payload.len() as u64;
+            self.segments.insert((task, id), (payload, 0));
+            self.segment_writes += 1;
+        }
+        // A duplicate ack for the same (checkpoint, task) re-registers its
+        // references; release the old list first so refcounts stay exact.
+        if let Some(old) = self.segment_refs.insert((checkpoint, task), live) {
+            self.release_refs(task, &old);
+        }
+        if let Some(ids) = self.segment_refs.get(&(checkpoint, task)).cloned() {
+            for id in ids {
+                if let Some(e) = self.segments.get_mut(&(task, id)) {
+                    e.1 += 1;
+                }
+            }
+        }
+        // Anything still at refcount zero was never referenced (sealed and
+        // compacted within one sync) — no checkpoint can ever need it.
+        self.segments.retain(|_, (_, rc)| *rc > 0);
+        self.model.transfer_time(shipped)
+    }
+
+    fn release_refs(&mut self, task: u64, ids: &[u64]) {
+        for &id in ids {
+            if let Some(e) = self.segments.get_mut(&(task, id)) {
+                e.1 = e.1.saturating_sub(1);
+                if e.1 == 0 {
+                    self.segments.remove(&(task, id));
+                }
+            }
+        }
+    }
+
+    /// Does this checkpoint reference tier segments? (Standby delta
+    /// dispatch must fall back to full reconstruction when it does.)
+    pub fn has_segments(&self, checkpoint: SnapshotId, task: u64) -> bool {
+        self.segment_refs.contains_key(&(checkpoint, task))
+    }
+
     /// The raw stored blob, if any (standby dispatch ships deltas directly).
     pub fn blob(&self, checkpoint: SnapshotId, task: u64) -> Option<&SnapshotBlob> {
         self.snapshots.get(&(checkpoint, task))
@@ -163,7 +230,8 @@ impl SnapshotStore {
     ) -> Option<(Bytes, VirtualTime)> {
         let chain = self.chain(checkpoint, task)?;
         let total: u64 = chain.iter().map(|b| b.bytes().len() as u64).sum();
-        let done = now + self.model.transfer_time(total);
+        let mut done = now + self.model.transfer_time(total);
+        let mut reconstructed = chain.len() > 1;
         let image = match chain.as_slice() {
             [SnapshotBlob::Base(b)] => b.clone(),
             _ => {
@@ -171,12 +239,35 @@ impl SnapshotStore {
                 let base = chain.last()?.bytes();
                 let deltas: Vec<&[u8]> =
                     chain.iter().rev().skip(1).map(|b| b.bytes().as_ref()).collect();
-                let merged = deltamap::merge_chain(base, &deltas).ok()?;
-                self.reconstructions += 1;
-                self.reconstruct_us += done.saturating_sub(now).as_micros();
-                merged
+                deltamap::merge_chain(base, &deltas).ok()?
             }
         };
+        // Tiered checkpoints: fold the referenced segment payloads (already
+        // in fold order, oldest first) under the resident image. Sections
+        // are disjoint — segments hold the values section, the resident
+        // image everything else — so the merge yields the canonical full
+        // image, byte-identical to an untiered snapshot.
+        let image = match self.segment_refs.get(&(checkpoint, task)).cloned() {
+            None => image,
+            Some(live) => {
+                let mut layers: Vec<Bytes> = Vec::with_capacity(live.len() + 1);
+                let mut seg_bytes = 0u64;
+                for id in &live {
+                    let (b, _) = self.segments.get(&(task, *id))?;
+                    seg_bytes += b.len() as u64;
+                    layers.push(b.clone());
+                }
+                layers.push(image);
+                done += self.model.transfer_time(seg_bytes);
+                reconstructed = true;
+                let refs: Vec<&[u8]> = layers.iter().map(|b| b.as_ref()).collect();
+                deltamap::fold_layers(&refs, true).ok()?
+            }
+        };
+        if reconstructed {
+            self.reconstructions += 1;
+            self.reconstruct_us += done.saturating_sub(now).as_micros();
+        }
         self.reads += 1;
         Some((image, done))
     }
@@ -208,10 +299,35 @@ impl SnapshotStore {
             }
         }
         self.snapshots.retain(|k, _| keep.contains(k));
+        // Release segment references held by truncated checkpoints; an
+        // arena payload is deleted only when its last reference drops —
+        // a segment shared across checkpoints must survive until every
+        // checkpoint citing it is gone.
+        let dead: Vec<((SnapshotId, u64), Vec<u64>)> = self
+            .segment_refs
+            .iter()
+            .filter(|(k, _)| !keep.contains(k))
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        for ((_, task), ids) in dead {
+            self.release_refs(task, &ids);
+        }
+        self.segment_refs.retain(|k, _| keep.contains(k));
     }
 
     pub fn total_bytes(&self) -> u64 {
-        self.snapshots.values().map(|b| b.bytes().len() as u64).sum()
+        let blob: u64 = self.snapshots.values().map(|b| b.bytes().len() as u64).sum();
+        blob + self.segment_arena_bytes()
+    }
+
+    /// Bytes held in the segment arena.
+    pub fn segment_arena_bytes(&self) -> u64 {
+        self.segments.values().map(|(b, _)| b.len() as u64).sum()
+    }
+
+    /// Distinct segment payloads currently in the arena.
+    pub fn segment_arena_count(&self) -> u64 {
+        self.segments.len() as u64
     }
 
     pub fn writes(&self) -> u64 {
@@ -221,6 +337,11 @@ impl SnapshotStore {
     /// Writes that shipped a delta rather than a full image.
     pub fn delta_writes(&self) -> u64 {
         self.delta_writes
+    }
+
+    /// Segment payloads shipped into the arena.
+    pub fn segment_writes(&self) -> u64 {
+        self.segment_writes
     }
 
     pub fn reads(&self) -> u64 {
@@ -344,6 +465,97 @@ mod tests {
         s.truncate_before(4);
         assert!(!s.contains(1, 7) && !s.contains(2, 7) && !s.contains(3, 7));
         assert!(s.contains(4, 7));
+    }
+
+    #[test]
+    fn segment_reconstruction_folds_values_under_resident_image() {
+        let mut s = SnapshotStore::new();
+        // Segments hold the values section (1); the resident image holds
+        // meta (0) and a list (2). Disjoint sections merge canonically.
+        let seg_a = image(&[(1, b"k1", Some(b"v1")), (1, b"k2", Some(b"old"))]);
+        let seg_b = image(&[(1, b"k2", Some(b"new")), (1, b"k3", None)]);
+        let resident = image(&[(0, b"", Some(b"meta")), (2, b"l", Some(b"list"))]);
+        s.put(VirtualTime::ZERO, 1, 7, resident);
+        let extra = s.put_segments(1, 7, vec![10, 11], vec![(10, seg_a), (11, seg_b)]);
+        assert!(extra > VirtualDuration::ZERO);
+        let (img, _) = s.get(VirtualTime::ZERO, 1, 7).unwrap();
+        let expect = image(&[
+            (0, b"", Some(b"meta")),
+            (1, b"k1", Some(b"v1")),
+            (1, b"k2", Some(b"new")),
+            (2, b"l", Some(b"list")),
+        ]);
+        assert_eq!(img, expect);
+        assert_eq!(s.reconstructions(), 1);
+        assert_eq!(s.segment_writes(), 2);
+    }
+
+    #[test]
+    fn missing_segment_payload_is_a_miss_not_a_panic() {
+        let mut s = SnapshotStore::new();
+        s.put(VirtualTime::ZERO, 1, 7, image(&[(0, b"", Some(b"m"))]));
+        s.put_segments(1, 7, vec![99], vec![]); // referenced but never shipped
+        assert!(s.get(VirtualTime::ZERO, 1, 7).is_none());
+    }
+
+    /// Satellite-2 regression: a segment shared by several checkpoint ids
+    /// across a Base/Delta chain spanning a truncation boundary survives
+    /// until the *last* reference drops.
+    #[test]
+    fn truncation_gc_drops_segments_only_at_last_reference() {
+        let mut s = SnapshotStore::new();
+        let seg_a = image(&[(1, b"a", Some(b"1"))]);
+        let seg_b = image(&[(1, b"b", Some(b"2"))]);
+        let seg_c = image(&[(1, b"c", Some(b"3"))]);
+        // cp1: base, seals A. cp2: delta on 1, seals B, live [A, B].
+        // cp3: delta on 2, seals nothing, live [A, B].
+        s.put(VirtualTime::ZERO, 1, 7, image(&[(0, b"", Some(b"m1"))]));
+        s.put_segments(1, 7, vec![1], vec![(1, seg_a)]);
+        s.put_delta(VirtualTime::ZERO, 2, 7, 1, image(&[(0, b"", Some(b"m2"))]));
+        s.put_segments(2, 7, vec![1, 2], vec![(2, seg_b)]);
+        s.put_delta(VirtualTime::ZERO, 3, 7, 2, image(&[(0, b"", Some(b"m3"))]));
+        s.put_segments(3, 7, vec![1, 2], vec![]);
+        // Truncating to cp2 keeps the chain (cp1 anchors it) and thus every
+        // segment reference.
+        s.truncate_before(2);
+        assert_eq!(s.segment_arena_count(), 2);
+        assert!(s.get(VirtualTime::ZERO, 3, 7).is_some());
+        // cp4 rebases: segment A was compacted away, C sealed; live [B, C].
+        s.put(VirtualTime::ZERO, 4, 7, image(&[(0, b"", Some(b"m4"))]));
+        s.put_segments(4, 7, vec![2, 3], vec![(3, seg_c)]);
+        // GC to cp4: cps 1-3 drop. A's last reference drops with them; B is
+        // still cited by cp4 and must survive.
+        s.truncate_before(4);
+        assert_eq!(s.segment_arena_count(), 2); // B and C
+        let (img, _) = s.get(VirtualTime::ZERO, 4, 7).unwrap();
+        let expect = image(&[
+            (0, b"", Some(b"m4")),
+            (1, b"b", Some(b"2")),
+            (1, b"c", Some(b"3")),
+        ]);
+        assert_eq!(img, expect);
+        // Dropping cp4 empties the arena entirely.
+        s.truncate_before(5);
+        assert_eq!(s.segment_arena_count(), 0);
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn unreferenced_sealed_segment_is_dropped_immediately() {
+        let mut s = SnapshotStore::new();
+        s.put(VirtualTime::ZERO, 1, 7, image(&[(0, b"", Some(b"m"))]));
+        // Segment 5 was sealed then compacted into 6 within the same sync:
+        // it ships but no live list ever cites it.
+        let extra = s.put_segments(
+            1,
+            7,
+            vec![6],
+            vec![(5, image(&[(1, b"x", Some(b"1"))])), (6, image(&[(1, b"x", Some(b"2"))]))],
+        );
+        assert!(extra > VirtualDuration::ZERO);
+        assert_eq!(s.segment_arena_count(), 1);
+        let (img, _) = s.get(VirtualTime::ZERO, 1, 7).unwrap();
+        assert_eq!(img, image(&[(0, b"", Some(b"m")), (1, b"x", Some(b"2"))]));
     }
 
     #[test]

@@ -45,7 +45,9 @@ impl IoModel {
 }
 
 /// The device. Writes are modelled, contents retained for later reads.
-#[derive(Debug, Default)]
+/// `Clone` exists for crash-simulation tests that snapshot device contents
+/// at an edit boundary and reopen from the copy.
+#[derive(Clone, Debug, Default)]
 pub struct SpillDevice {
     model: IoModel,
     data: BTreeMap<SpillHandle, Bytes>,
@@ -102,6 +104,34 @@ impl SpillDevice {
         self.bytes_read += bytes.len() as u64;
         let cost = self.model.cost(bytes.len() as u64, 1);
         Some((bytes, cost))
+    }
+
+    /// Read a byte range out of a spilled buffer — the lsm point-read path,
+    /// which touches only the sparse-index block containing the key rather
+    /// than the whole segment. Charged as one op plus the range's bytes.
+    pub fn read_range(
+        &mut self,
+        h: SpillHandle,
+        offset: usize,
+        len: usize,
+    ) -> Option<(Bytes, VirtualDuration)> {
+        let bytes = self.data.get(&h)?;
+        let end = offset.checked_add(len)?;
+        if end > bytes.len() {
+            return None;
+        }
+        let slice = bytes.slice(offset..end);
+        self.read_ops += 1;
+        self.bytes_read += slice.len() as u64;
+        let cost = self.model.cost(slice.len() as u64, 1);
+        Some((slice, cost))
+    }
+
+    /// Borrow a buffer without modelling any I/O. Oracle paths (state
+    /// digests, canonical snapshot folds) use this so observing the tier
+    /// never perturbs the simulated timeline.
+    pub fn peek(&self, h: SpillHandle) -> Option<&Bytes> {
+        self.data.get(&h)
     }
 
     /// Free a spilled buffer (log truncation after a checkpoint).

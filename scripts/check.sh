@@ -38,4 +38,7 @@ BENCH_THROUGHPUT_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_thro
 echo "== bench: barrier smoke (aligned vs unaligned under backpressure) =="
 BENCH_BARRIER_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_barrier
 
+echo "== bench: state smoke (tiered backend, O(dirty) shipped bytes) =="
+BENCH_STATE_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_state
+
 echo "== OK =="

@@ -77,6 +77,47 @@ fn chaos_sweep_incremental_long_chains_exactly_once() {
     }
 }
 
+/// Tiered-state-backend sweep: the same chaos scenarios with every task's
+/// value state behind the log-structured backend (DESIGN.md §10) under a
+/// deliberately tiny resident budget, so eviction, segment faults, per-
+/// barrier L0 seals and segment-based checkpoint reconstruction are all on
+/// the recovery path. Output must still be a byte-identical per-key prefix
+/// of the (untiered) failure-free reference — the backend is an engine-
+/// internal representation change, never a semantic one.
+#[test]
+fn chaos_sweep_tiered_backend_exactly_once() {
+    let reference = oracle_reference();
+    let space = oracle_space();
+    let mut faults_total = 0u64;
+    for seed in 0..sweep_seeds() {
+        let plan = ChaosPlan::generate(seed, &space);
+        let report = run_oracle_with(clonos_full(), seed, Some(&plan), |cfg| {
+            // The floor budget: each oracle stage holds ~24 keys × ~46 bytes
+            // (~1.1 KiB) of value state, so 1 KiB keeps every task under
+            // genuine eviction pressure.
+            cfg.state_memory_budget = 1024;
+        });
+        let label = format!("tiered seed {seed} ({plan:?})");
+        assert!(report.records_out > 0, "{label}: no committed output");
+        let b = &report.state_backend_stats;
+        assert!(b.tiered_tasks > 0, "{label}: backend never enabled");
+        assert!(b.flushes > 0, "{label}: no memtable ever sealed");
+        assert!(b.evictions > 0, "{label}: budget never forced an eviction");
+        assert!(
+            b.tier_io_us > 0,
+            "{label}: tier I/O was never charged to the service queue"
+        );
+        faults_total += b.faults;
+        assert_exactly_once(&report, &label);
+        assert_matches_reference(&report, &reference, &label);
+    }
+    assert!(
+        faults_total > 0,
+        "tiered sweep never faulted a row back from a segment — the budget \
+         is not exercising the read path"
+    );
+}
+
 /// Unaligned-checkpoint sweep: same seeds, same chaos scenarios (which now
 /// include sustained slow-task injections paired with barrier-aligned
 /// kills), but with `CheckpointMode::Unaligned` — barriers jump queues and
