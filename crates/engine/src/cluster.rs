@@ -447,7 +447,11 @@ impl Cluster {
         }
         self.jm.next_cp += 1;
         let id = self.jm.next_cp;
-        self.metrics.event(self.sim.now(), format!("checkpoint {id} triggered"));
+        let now = self.sim.now();
+        self.metrics.event(now, format!("checkpoint {id} triggered"));
+        // Barrier-chain entry: everything checkpoint `id` does is caused by
+        // this trigger.
+        self.metrics.causal_event(now, "TriggerCheckpoint", id, JM, None);
         self.jm.pending.insert(id, BTreeSet::new());
         let sources: Vec<TaskId> = self
             .graph
@@ -496,6 +500,13 @@ impl Cluster {
         }
         self.jm.last_completed = id;
         self.metrics.event(now, format!("checkpoint {id} complete"));
+        self.metrics.causal_event(
+            now,
+            "CheckpointComplete",
+            id,
+            JM,
+            Some(crate::metrics::CausalRef { kind: "CheckpointAck", epoch: id, task }),
+        );
         let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
         for &t in &ids {
             self.sim.schedule_in(VirtualDuration::from_micros(100), t, Msg::CheckpointComplete { id });
@@ -546,6 +557,8 @@ impl Cluster {
         self.metrics.recovery.detection_latency_us_total +=
             now.saturating_sub(killed_at).as_micros();
         self.metrics.recovery.detection_samples += 1;
+        // Recovery-chain entry: epoch is the incarnation that died.
+        self.metrics.causal_event(now, "FailureDetected", gen as u64, task, None);
         if !self.jm.failed.is_empty()
             || !self.jm.recovering.is_empty()
             || self.jm.rollback_scheduled
@@ -669,6 +682,19 @@ impl Cluster {
         self.jm.recovering.insert(task);
         let now = self.sim.now();
         self.metrics.event(now, format!("standby/replacement for task {task} installed"));
+        // Incarnations bump by exactly one on a local install, so the
+        // causing detection carries `gen - 1`.
+        self.metrics.causal_event(
+            now,
+            "InstallRecovery",
+            gen as u64,
+            task,
+            Some(crate::metrics::CausalRef {
+                kind: "FailureDetected",
+                epoch: (gen - 1) as u64,
+                task,
+            }),
+        );
 
         // Step 2: reconfigure — downstream survivors expect the new
         // incarnation (and drop stale in-flight buffers of the old one).
@@ -717,6 +743,20 @@ impl Cluster {
                 g.expected = expected.clone();
             }
             for t in expected {
+                // Recorded at the send attempt: a chaos-dropped request then
+                // shows up as a request hop with no matching response, which
+                // is exactly the stall the conformance checker blames.
+                self.metrics.causal_event(
+                    now,
+                    "LogRequest",
+                    gen as u64,
+                    t,
+                    Some(crate::metrics::CausalRef {
+                        kind: "InstallRecovery",
+                        epoch: gen as u64,
+                        task,
+                    }),
+                );
                 self.send_recovery_ctrl(
                     VirtualDuration::from_micros(150),
                     t,
@@ -762,7 +802,19 @@ impl Cluster {
             now,
             format!("gather retry {} for task {task} ({} stragglers)", attempt + 1, remaining.len()),
         );
+        let gen = self.gens.get(&task).copied().unwrap_or(0);
         for t in remaining {
+            self.metrics.causal_event(
+                now,
+                "LogRequest",
+                gen as u64,
+                t,
+                Some(crate::metrics::CausalRef {
+                    kind: "InstallRecovery",
+                    epoch: gen as u64,
+                    task,
+                }),
+            );
             self.send_recovery_ctrl(
                 VirtualDuration::from_micros(150),
                 t,
@@ -789,9 +841,29 @@ impl Cluster {
         }
         self.metrics.recovery.escalations += 1;
         self.metrics.recovery.watchdog_escalations += 1;
+        // Satellite: name the stalled hop instead of only reporting the
+        // elapsed timeout — the last causal event of this recovery tells
+        // which phase never produced its successor.
+        let hop = self.metrics.last_recovery_hop(task, gen as u64);
+        match hop.map(|h| h.kind) {
+            Some("FailureDetected" | "InstallRecovery" | "LogRequest" | "LogResponse") => {
+                self.metrics.recovery.stalled_gather_escalations += 1;
+            }
+            Some("BeginReplay" | "ReplayRequest") => {
+                self.metrics.recovery.stalled_replay_escalations += 1;
+            }
+            _ => {}
+        }
+        let diagnosis = match hop {
+            Some(h) => format!("cause chain stalls after {}", h.describe()),
+            None => "no causal event observed".to_string(),
+        };
         self.metrics.event(
             self.sim.now(),
-            format!("recovery of task {task} exceeded the recovery timeout: escalating to global rollback"),
+            format!(
+                "recovery of task {task} (incarnation {gen}) exceeded the recovery timeout: \
+                 {diagnosis}; escalating to global rollback"
+            ),
         );
         self.schedule_rollback();
     }
@@ -807,6 +879,17 @@ impl Cluster {
         if g.id != gather_id {
             return; // response to a superseded gather (earlier recovery attempt)
         }
+        // Responses are recorded at the accepting side: a response lost to
+        // control-plane chaos leaves the chain stalled at its `LogRequest`.
+        let gen = self.gens.get(&origin).copied().unwrap_or(0);
+        self.metrics.causal_event(
+            self.sim.now(),
+            "LogResponse",
+            gen as u64,
+            from,
+            Some(crate::metrics::CausalRef { kind: "LogRequest", epoch: gen as u64, task: from }),
+        );
+        let Some(g) = self.jm.gathers.get_mut(&origin) else { return };
         g.expected.remove(&from);
         g.snapshot.merge(&resp.snapshot);
         for (ch, n) in resp.received_buffers {
@@ -822,6 +905,18 @@ impl Cluster {
     /// recovering task, which requests upstream replay itself.
     fn jm_dispatch_begin_replay(&mut self, task: TaskId) {
         let Some(g) = self.jm.gathers.remove(&task) else { return };
+        let gen = self.gens.get(&task).copied().unwrap_or(0);
+        self.metrics.causal_event(
+            self.sim.now(),
+            "BeginReplay",
+            gen as u64,
+            task,
+            Some(crate::metrics::CausalRef {
+                kind: "InstallRecovery",
+                epoch: gen as u64,
+                task,
+            }),
+        );
         let spec = self.graph.task(task).clone();
         let skip: Vec<(ChannelId, u64)> = spec
             .outputs
@@ -871,6 +966,8 @@ impl Cluster {
         // One common new generation for every task.
         let new_gen = self.gens.values().copied().max().unwrap_or(0) + 1;
         let ids: Vec<TaskId> = self.graph.tasks.iter().map(|t| t.id).collect();
+        // Rollback-chain entry: the per-task `BeginReplay`s below hang off it.
+        self.metrics.causal_event(now, "RestartAll", new_gen as u64, JM, None);
 
         // Abort markers: older-generation output past the restored
         // checkpoint becomes invisible to read-committed consumers — §5.5
@@ -904,6 +1001,17 @@ impl Cluster {
                     None => (Bytes::new(), now + VirtualDuration::from_millis(50)),
                 }
             };
+            self.metrics.causal_event(
+                now,
+                "BeginReplay",
+                new_gen as u64,
+                id,
+                Some(crate::metrics::CausalRef {
+                    kind: "RestartAll",
+                    epoch: new_gen as u64,
+                    task: JM,
+                }),
+            );
             self.sim.schedule_at(
                 ready,
                 id,

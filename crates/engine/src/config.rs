@@ -106,6 +106,11 @@ pub struct EngineConfig {
     /// delayed by up to `ctrl_max_delay`.
     pub ctrl_delay_prob: f64,
     pub ctrl_max_delay: VirtualDuration,
+    /// Chaos: swallow exactly one `CheckpointAck` — the one `(task,
+    /// checkpoint id)` named here. A seeded liveness bug for conformance
+    /// tests: the barrier chain for that checkpoint can never complete, and
+    /// the trace checker must blame this task's missing ack.
+    pub inject_ack_loss: Option<(clonos::TaskId, u64)>,
     /// Baseline full-restart cost: tearing down and redeploying the whole
     /// execution graph before state restore begins.
     pub restart_delay: VirtualDuration,
@@ -160,6 +165,7 @@ impl Default for EngineConfig {
             ctrl_loss_prob: 0.0,
             ctrl_delay_prob: 0.0,
             ctrl_max_delay: VirtualDuration::ZERO,
+            inject_ack_loss: None,
             restart_delay: VirtualDuration::from_secs(8),
             num_nodes: 8,
             replay_batch: 16,

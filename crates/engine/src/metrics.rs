@@ -12,6 +12,45 @@ pub struct RunEvent {
     pub what: String,
 }
 
+/// Reference to a prior causal event, by protocol identity (not by index —
+/// indices are not stable across metric absorption). Resolves to the
+/// earliest event with the same `(kind, epoch, task)` key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CausalRef {
+    /// `Msg` variant name of the cause (`"TriggerCheckpoint"`, ...).
+    pub kind: &'static str,
+    /// Checkpoint id for barrier events, incarnation for recovery events.
+    pub epoch: u64,
+    pub task: TaskId,
+}
+
+/// One hop of the runtime causal trace (DESIGN.md §11): a protocol message
+/// was sent (requests, recorded at the sender) or accepted (responses,
+/// recorded at the processing side), linked to the event that caused it.
+/// Conformance checking validates these links against the statically
+/// derived spec in `results/causal_spec.json`.
+#[derive(Clone, Copy, Debug)]
+pub struct CausalEvent {
+    pub at: VirtualTime,
+    /// `Msg` variant name (`"CheckpointAck"`, `"LogRequest"`, ...).
+    pub kind: &'static str,
+    /// Checkpoint id for barrier-chain events, incarnation (generation) for
+    /// recovery-chain events.
+    pub epoch: u64,
+    /// The task the event concerns: the acker for an ack, the recovering
+    /// task for install/replay hops, the surveyed survivor for log gathers.
+    pub task: TaskId,
+    /// Protocol cause, if the event is not a chain entry.
+    pub caused_by: Option<CausalRef>,
+}
+
+impl CausalEvent {
+    /// `LogRequest(epoch=3, task=2)` display form, used in blame chains.
+    pub fn describe(&self) -> String {
+        format!("{}(epoch={}, task={})", self.kind, self.epoch, self.task)
+    }
+}
+
 /// Hot-path counters for the record-routing fast path (per task; aggregated
 /// job-wide by the cluster). The encode-once router serializes each routed
 /// record exactly once and memcpys the bytes to every destination channel,
@@ -103,6 +142,12 @@ pub struct RecoveryStats {
     pub ctrl_dropped: u64,
     /// Recovery control messages delayed by injected control-plane chaos.
     pub ctrl_delayed: u64,
+    /// Watchdog escalations whose causal chain stalled in the gather phase
+    /// (last observed hop was `InstallRecovery`/`LogRequest`/`LogResponse`).
+    pub stalled_gather_escalations: u64,
+    /// Watchdog escalations whose causal chain stalled in the replay phase
+    /// (last observed hop was `BeginReplay`/`ReplayRequest`).
+    pub stalled_replay_escalations: u64,
     /// Local (Clonos) recoveries that ran to completion.
     pub recoveries_completed: u64,
     /// Sum of kill→detection latencies, for averaging.
@@ -202,6 +247,9 @@ pub struct JobMetrics {
     /// Output records per second (all sinks combined).
     pub throughput: ThroughputSeries,
     pub events: Vec<RunEvent>,
+    /// Causal protocol trace: one entry per protocol hop, linked by
+    /// `caused_by`. Checked against the static spec after chaos runs.
+    pub causal: Vec<CausalEvent>,
     /// Records committed at sinks.
     pub records_out: u64,
     /// Records ingested at sources.
@@ -217,6 +265,7 @@ impl JobMetrics {
             latency: LatencyRecorder::new(),
             throughput: ThroughputSeries::new(throughput_window),
             events: Vec::new(),
+            causal: Vec::new(),
             records_out: 0,
             records_in: 0,
             recovery: RecoveryStats::default(),
@@ -234,6 +283,57 @@ impl JobMetrics {
         self.events.push(RunEvent { at, what: what.into() });
     }
 
+    /// Record one causal protocol hop.
+    pub fn causal_event(
+        &mut self,
+        at: VirtualTime,
+        kind: &'static str,
+        epoch: u64,
+        task: TaskId,
+        caused_by: Option<CausalRef>,
+    ) {
+        self.causal.push(CausalEvent { at, kind, epoch, task, caused_by });
+    }
+
+    /// Last causal hop observed for the in-flight recovery of `task` at
+    /// incarnation `gen` — the deepest event whose cause chain roots at a
+    /// recovery entry (`FailureDetected`/`RestartAll`) concerning `task`.
+    /// Used by the recovery watchdog to name the stalled hop instead of
+    /// just reporting the elapsed timeout.
+    pub fn last_recovery_hop(&self, task: TaskId, gen: u64) -> Option<CausalEvent> {
+        self.causal
+            .iter()
+            .rev()
+            .find(|e| {
+                if e.kind == "FailureDetected" {
+                    // The entry names the incarnation that died, one below
+                    // the recovering one.
+                    return e.task == task && e.epoch < gen;
+                }
+                e.epoch == gen && self.recovery_chain_root(e).is_some_and(|r| r.task == task)
+            })
+            .copied()
+    }
+
+    /// Walk `caused_by` links back to the chain entry; `Some(root)` when the
+    /// root is a recovery entry event. Link resolution is by protocol
+    /// identity `(kind, epoch, task)`, earliest match wins.
+    fn recovery_chain_root(&self, e: &CausalEvent) -> Option<CausalEvent> {
+        let mut cur = *e;
+        // Chains are short (≤ 6 hops); the bound guards against a
+        // self-referential link ever being recorded.
+        for _ in 0..16 {
+            let Some(cause) = cur.caused_by else {
+                return matches!(cur.kind, "FailureDetected" | "RestartAll").then_some(cur);
+            };
+            cur = *self
+                .causal
+                .iter()
+                .find(|c| c.kind == cause.kind && c.epoch == cause.epoch && c.task == cause.task)?;
+        }
+        None
+    }
+
     /// Fold a per-actor metrics shard (from the parallel runtime) into the
     /// job-wide accumulator. Recovery counters are deliberately untouched:
     /// the parallel runtime only runs failure-free, so shards never record
@@ -246,6 +346,8 @@ impl JobMetrics {
         self.throughput.absorb(&other.throughput);
         self.events.extend(other.events);
         self.events.sort_by_key(|e| e.at);
+        self.causal.extend(other.causal);
+        self.causal.sort_by_key(|e| e.at);
         self.records_out += other.records_out;
         self.records_in += other.records_in;
     }

@@ -99,6 +99,9 @@ pub struct RunReport {
     pub latency_p50: Option<VirtualDuration>,
     pub latency_p99: Option<VirtualDuration>,
     pub events: Vec<crate::metrics::RunEvent>,
+    /// Causal protocol trace (one entry per protocol hop, `caused_by`-linked);
+    /// validated against the static spec by the conformance checker.
+    pub causal_events: Vec<crate::metrics::CausalEvent>,
     pub log_stats: clonos::causal_log::CausalLogStats,
     /// Routing hot-path counters aggregated across tasks.
     pub routing_stats: crate::metrics::RoutingStats,
@@ -368,6 +371,7 @@ impl JobRunner {
             latency_p50,
             latency_p99,
             events: self.cluster.metrics.events.clone(),
+            causal_events: self.cluster.metrics.causal.clone(),
             log_stats: self.cluster.log_stats(),
             routing_stats: self.cluster.routing_stats(),
             ts_service_calls: ts_calls,

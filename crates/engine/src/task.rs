@@ -20,7 +20,7 @@ use crate::config::{CheckpointMode, EngineConfig, FtMode};
 use crate::error::EngineError;
 use crate::graph::{Partitioning, SinkSpec, SourceSpec, TaskSpec, TimestampMode, VertexKind};
 use crate::messages::{Msg, SegmentAck};
-use crate::metrics::{CheckpointStats, JobMetrics, RoutingStats};
+use crate::metrics::{CausalRef, CheckpointStats, JobMetrics, RoutingStats};
 use crate::operator::{timer_id, OpCtx, Operator, TimerKind};
 use crate::record::{barrier_only, decode_buffer, Datum, Record, Row, StreamElement};
 use crate::state::{StateStore, StateTimer, SEC_META};
@@ -214,6 +214,13 @@ struct InChannel {
     /// Barrier alignment: true while waiting for other channels' barriers.
     blocked: bool,
     expected_gen: u32,
+    /// True from `ReplayRequest` send until the first buffer accepted by
+    /// this incarnation: the request doubles as the live-stream
+    /// re-subscription, so until traffic proves the upstream processed it,
+    /// the retry tick keeps re-sending — even after replay itself drained.
+    /// A dropped request would otherwise leave the upstream streaming to
+    /// the dead incarnation forever and stall every later barrier here.
+    awaiting_resume: bool,
     /// Buffers received per (un-checkpointed) epoch — the dedup counts
     /// reported to the job manager during a neighbour's recovery.
     received: BTreeMap<EpochId, u64>,
@@ -419,6 +426,7 @@ impl Task {
                 input,
                 pending: VecDeque::new(),
                 blocked: false,
+                awaiting_resume: false,
                 expected_gen: gen,
                 received: BTreeMap::new(),
                 watermark: 0,
@@ -707,6 +715,9 @@ impl Task {
         if from_gen != in_ch.expected_gen {
             return Ok(()); // stale buffer from a dead upstream incarnation
         }
+        // Traffic addressed to this incarnation proves the upstream has
+        // processed our `ReplayRequest` — the channel is live again.
+        in_ch.awaiting_resume = false;
         // Ingest the piggybacked determinant delta BEFORE the records can
         // affect state (always-no-orphans, Eq. 2).
         self.log.ingest_delta(&buffer.delta)?;
@@ -1256,6 +1267,7 @@ impl Task {
         if !self.replaying() {
             self.flush_all(ctx)?;
         }
+        // clonos-lint: allow(non-progressing-cycle, reason = "fixed-interval flush timer: each firing is idempotent and the sim horizon bounds the loop; there is no protocol state to advance")
         ctx.sched.schedule_in(ctx.config.flush_interval, self.spec.id, Msg::FlushTick);
         Ok(())
     }
@@ -1412,6 +1424,7 @@ impl Task {
         ctx.sched.schedule_in(
             VirtualDuration::from_micros(interval),
             self.spec.id,
+            // clonos-lint: allow(non-progressing-cycle, reason = "fixed-interval watermark timer: each firing is idempotent and the sim horizon bounds the loop; there is no protocol state to advance")
             Msg::WatermarkTick,
         );
         Ok(())
@@ -1543,16 +1556,7 @@ impl Task {
             } else {
                 self.ckpt.delta_bytes += snapshot.len() as u64;
             }
-            ctx.send_ctrl(
-                0,
-                Msg::CheckpointAck {
-                    task: self.spec.id,
-                    id,
-                    snapshot,
-                    delta_parent,
-                    segments: segments.map(Box::new),
-                },
-            );
+            self.send_checkpoint_ack(id, snapshot, delta_parent, segments, ctx);
         }
         // 2PC pre-commit: the cut seals every buffered transaction up to
         // this checkpoint — write them out now so they survive the sink
@@ -1762,6 +1766,33 @@ impl Task {
         } else {
             self.ckpt.delta_bytes += snapshot.len() as u64;
         }
+        self.send_checkpoint_ack(id, snapshot, delta_parent, segments, ctx);
+    }
+
+    /// Record the ack's causal hop and send it to the coordinator — unless a
+    /// seeded ack-loss injection targets exactly this `(task, checkpoint)`,
+    /// in which case the ack vanishes *before* the trace boundary: the
+    /// conformance checker must then diagnose the barrier as stalled at this
+    /// task's missing `CheckpointAck`.
+    fn send_checkpoint_ack(
+        &mut self,
+        id: u64,
+        snapshot: Bytes,
+        delta_parent: Option<u64>,
+        segments: Option<SegmentAck>,
+        ctx: &mut TaskCtx<'_>,
+    ) {
+        if ctx.config.inject_ack_loss == Some((self.spec.id, id)) {
+            ctx.metrics.recovery.ctrl_dropped += 1;
+            return;
+        }
+        ctx.metrics.causal_event(
+            ctx.sched.now(),
+            "CheckpointAck",
+            id,
+            self.spec.id,
+            Some(CausalRef { kind: "TriggerCheckpoint", epoch: id, task: 0 }),
+        );
         ctx.send_ctrl(
             0,
             Msg::CheckpointAck {
@@ -2034,10 +2065,22 @@ impl Task {
         // by requester incarnation, so duplicates are no-ops).
         let me = self.spec.id;
         let gen = self.gen;
+        for c in &mut self.ins {
+            c.awaiting_resume = true;
+        }
         let ups: Vec<(TaskId, ChannelId)> =
             self.ins.iter().enumerate().map(|(i, c)| (c.from, i as ChannelId)).collect();
         let has_upstreams = !ups.is_empty();
         for (up, dest_in) in ups {
+            // Recorded at the send attempt: a chaos-dropped request shows up
+            // as a replay hop that never led to `RecoveryDone`.
+            ctx.metrics.causal_event(
+                ctx.sched.now(),
+                "ReplayRequest",
+                gen as u64,
+                up,
+                Some(CausalRef { kind: "BeginReplay", epoch: gen as u64, task: me }),
+            );
             ctx.send_recovery_ctrl(
                 up,
                 Msg::ReplayRequest { from_task: me, dest_in, dest_gen: gen, from_epoch: resume_cp + 1 },
@@ -2060,12 +2103,19 @@ impl Task {
         Ok(())
     }
 
-    /// Replay still not drained when the retry timer fired: the original
-    /// `ReplayRequest`s may have been lost. Re-send them all (upstreams dedup
-    /// by incarnation) with doubled timeouts, up to the retry budget; past
-    /// that, the JM's recovery watchdog owns escalation.
+    /// Replay not drained — or some input channel still silent in this
+    /// incarnation — when the retry timer fired: the original
+    /// `ReplayRequest`s may have been lost. Re-send the unacknowledged ones
+    /// (upstreams dedup by incarnation) with doubled timeouts, up to the
+    /// retry budget; past that, the JM's recovery watchdog owns escalation.
+    /// The channel-resume condition matters even after replay finishes: the
+    /// request is also the live-stream re-subscription, and a fast task
+    /// (e.g. a sink with an empty log) can complete replay long before its
+    /// dropped request would ever be re-sent, leaving the upstream streaming
+    /// to the dead incarnation and every later barrier stalled.
     fn on_replay_retry_tick(&mut self, attempt: u32, ctx: &mut TaskCtx<'_>) {
-        if !self.installed || attempt >= ctx.config.max_replay_request_retries {
+        let outstanding = self.installed || self.ins.iter().any(|c| c.awaiting_resume);
+        if !outstanding || attempt >= ctx.config.max_replay_request_retries {
             return;
         }
         let me = self.spec.id;
@@ -2076,9 +2126,21 @@ impl Task {
             ctx.sched.now(),
             format!("task {me} replay retry {} (re-requesting upstream replay)", attempt + 1),
         );
-        let ups: Vec<(TaskId, ChannelId)> =
-            self.ins.iter().enumerate().map(|(i, c)| (c.from, i as ChannelId)).collect();
+        let ups: Vec<(TaskId, ChannelId)> = self
+            .ins
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| self.installed || c.awaiting_resume)
+            .map(|(i, c)| (c.from, i as ChannelId))
+            .collect();
         for (up, dest_in) in ups {
+            ctx.metrics.causal_event(
+                ctx.sched.now(),
+                "ReplayRequest",
+                gen as u64,
+                up,
+                Some(CausalRef { kind: "BeginReplay", epoch: gen as u64, task: me }),
+            );
             ctx.send_recovery_ctrl(
                 up,
                 Msg::ReplayRequest { from_task: me, dest_in, dest_gen: gen, from_epoch },
@@ -2124,6 +2186,13 @@ impl Task {
         ctx.metrics.event(
             ctx.sched.now(),
             format!("task {} ({}) replay complete", self.spec.id, self.spec.name),
+        );
+        ctx.metrics.causal_event(
+            ctx.sched.now(),
+            "RecoveryDone",
+            self.gen as u64,
+            self.spec.id,
+            Some(CausalRef { kind: "BeginReplay", epoch: self.gen as u64, task: self.spec.id }),
         );
         ctx.send_ctrl(0, Msg::RecoveryDone { task: self.spec.id });
         // Any processing-time timers registered during replay but not yet
@@ -2221,6 +2290,7 @@ impl Task {
                         ctx.sched.schedule_in(
                             VirtualDuration::from_millis(2),
                             me,
+                            // clonos-lint: allow(non-progressing-cycle, reason = "caught-up pump polling for buffers still being rebuilt by our own replay; replay completion (monotone emit_seq elsewhere) terminates the loop")
                             Msg::ReplayPump { channel },
                         );
                     } else {

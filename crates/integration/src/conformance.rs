@@ -1,0 +1,409 @@
+//! Runtime trace conformance against the statically derived causal spec
+//! (DESIGN.md §11).
+//!
+//! `clonos-lint --emit-spec` publishes `results/causal_spec.json`: the
+//! protocol's entry variants and its "sent-in-response-to" edges, extracted
+//! from handler-arm send sites. Every chaos run records a causal trace
+//! ([`CausalEvent`]s in [`RunReport::causal_events`]) on the engine side.
+//! This module replays the trace against the spec and reports, with a blame
+//! chain, every hop the static protocol does not sanction:
+//!
+//! * **illegal edge** — an event's `caused_by` names a cause the spec has
+//!   no edge (or even path) for;
+//! * **illegal entry** — an uncaused event whose kind is neither a spec
+//!   entry nor reachable from an uninstrumented cause (timer ticks such as
+//!   `CheckpointTick` are sent, not traced — their consequences are);
+//! * **dangling cause** — a `caused_by` reference that resolves to no
+//!   earlier event in the trace;
+//! * **stalled barrier** — a `TriggerCheckpoint` with no matching
+//!   `CheckpointComplete`, no excusing failure, and enough remaining
+//!   horizon — blamed on the tasks whose `CheckpointAck` never appeared;
+//! * **stalled recovery** — a `BeginReplay` with no matching
+//!   `RecoveryDone`, not superseded by a newer incarnation, with enough
+//!   remaining horizon — blamed on the last hop the chain did reach.
+
+use clonos_engine::metrics::CausalEvent;
+use clonos_engine::RunReport;
+use clonos_sim::{VirtualDuration, VirtualTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Protocol kinds the engine records causal events for. An uncaused trace
+/// event is legal if the spec can explain it through a cause *outside* this
+/// set: e.g. `TriggerCheckpoint` is caused by the untraced `CheckpointTick`
+/// timer, so it may appear uncaused at runtime.
+pub const INSTRUMENTED: &[&str] = &[
+    "TriggerCheckpoint",
+    "CheckpointAck",
+    "CheckpointComplete",
+    "FailureDetected",
+    "InstallRecovery",
+    "LogRequest",
+    "LogResponse",
+    "BeginReplay",
+    "ReplayRequest",
+    "RecoveryDone",
+    "RestartAll",
+];
+
+/// The static causal spec, as consumed by the conformance checker: entry
+/// variants, response edges, and the named chains (for reporting).
+#[derive(Clone, Debug, Default)]
+pub struct StaticSpec {
+    pub entries: BTreeSet<String>,
+    pub edges: BTreeSet<(String, String)>,
+    pub chains: Vec<(String, Vec<String>)>,
+}
+
+/// Extract `"key":"value"` from a single rendered-JSON line.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+impl StaticSpec {
+    /// Parse the spec from the `--emit-spec` JSON. The renderer emits one
+    /// object per line, so a line-oriented scan is exact for its output.
+    pub fn from_json(s: &str) -> Option<StaticSpec> {
+        let mut spec = StaticSpec::default();
+        let mut section = "";
+        for line in s.lines() {
+            let t = line.trim();
+            if t.starts_with("\"entries\"") {
+                section = "entries";
+            } else if t.starts_with("\"edges\"") {
+                section = "edges";
+            } else if t.starts_with("\"chains\"") {
+                section = "chains";
+            } else if section == "entries" {
+                if let Some(v) = json_field(t, "variant") {
+                    spec.entries.insert(v.to_string());
+                }
+            } else if section == "edges" {
+                if let (Some(f), Some(to)) = (json_field(t, "from"), json_field(t, "to")) {
+                    spec.edges.insert((f.to_string(), to.to_string()));
+                }
+            } else if section == "chains" {
+                if let Some(name) = json_field(t, "name") {
+                    let hops_src = t.split("\"hops\":[").nth(1)?;
+                    let hops: Vec<String> = hops_src[..hops_src.find(']')?]
+                        .split(',')
+                        .map(|h| h.trim_matches(|c| c == '"').to_string())
+                        .filter(|h| !h.is_empty())
+                        .collect();
+                    spec.chains.push((name.to_string(), hops));
+                }
+            }
+        }
+        if spec.edges.is_empty() {
+            None
+        } else {
+            Some(spec)
+        }
+    }
+
+    /// Load the published `results/causal_spec.json` under `root`, falling
+    /// back to deriving the spec in-process with `clonos-lint` — same
+    /// extraction, never stale — when the file is absent (tests run before
+    /// CI has published anything).
+    pub fn load(root: &Path) -> StaticSpec {
+        if let Ok(s) = std::fs::read_to_string(root.join("results/causal_spec.json")) {
+            if let Some(spec) = StaticSpec::from_json(&s) {
+                return spec;
+            }
+        }
+        Self::derive(root)
+    }
+
+    /// Derive the spec by running the static analysis over the workspace.
+    pub fn derive(root: &Path) -> StaticSpec {
+        let fa = clonos_lint::analyze_full(root).expect("static analysis over workspace");
+        let mut spec = StaticSpec {
+            chains: fa.spec.chains.clone(),
+            ..StaticSpec::default()
+        };
+        for e in &fa.spec.entries {
+            spec.entries.insert(e.variant.clone());
+        }
+        for e in &fa.spec.edges {
+            spec.edges.insert((e.from.clone(), e.to.clone()));
+        }
+        spec
+    }
+
+    pub fn has_edge(&self, from: &str, to: &str) -> bool {
+        self.edges.contains(&(from.to_string(), to.to_string()))
+    }
+
+    /// Is `to` reachable from `from` over response edges?
+    pub fn has_path(&self, from: &str, to: &str) -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut frontier = vec![from];
+        while let Some(v) = frontier.pop() {
+            if v == to {
+                return true;
+            }
+            for (f, t) in &self.edges {
+                if f == v && seen.insert(t) {
+                    frontier.push(t);
+                }
+            }
+        }
+        false
+    }
+
+    /// Can an *uncaused* runtime event of `kind` be explained statically?
+    /// Yes if it is a protocol entry, or if some static cause of it is not
+    /// an instrumented kind (the cause fires without leaving a trace).
+    pub fn explains_entry(&self, kind: &str) -> bool {
+        self.entries.contains(kind)
+            || self
+                .edges
+                .iter()
+                .any(|(f, t)| t == kind && !INSTRUMENTED.contains(&f.as_str()))
+    }
+}
+
+/// One conformance violation, with the causal blame chain that led to it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub at: VirtualTime,
+    pub what: String,
+    pub blame: Vec<String>,
+}
+
+impl Violation {
+    pub fn render(&self) -> String {
+        let mut s = format!("[{:?}] {}", self.at, self.what);
+        for hop in &self.blame {
+            s.push_str("\n    ");
+            s.push_str(hop);
+        }
+        s
+    }
+}
+
+/// Tolerances for the completeness checks: a chain started close enough to
+/// the end of the run is legitimately still in flight.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Horizon the run covered.
+    pub horizon: VirtualDuration,
+    /// A barrier triggered within this window of the horizon may be
+    /// incomplete without blame.
+    pub barrier_grace: VirtualDuration,
+    /// A replay begun within this window of the horizon may be unfinished
+    /// without blame.
+    pub recovery_grace: VirtualDuration,
+}
+
+impl Tolerances {
+    /// Matches the chaos-oracle scale (30 s horizon, 5 s checkpoints,
+    /// 8 s restart delay).
+    pub fn oracle() -> Tolerances {
+        Tolerances {
+            horizon: VirtualDuration::from_secs(30),
+            barrier_grace: VirtualDuration::from_secs(8),
+            recovery_grace: VirtualDuration::from_secs(10),
+        }
+    }
+}
+
+/// Resolve a `caused_by` reference the way the metrics layer defines it:
+/// the earliest trace event with the same `(kind, epoch, task)` identity.
+fn resolve<'a>(
+    trace: &'a [CausalEvent],
+    r: &clonos_engine::metrics::CausalRef,
+) -> Option<&'a CausalEvent> {
+    trace.iter().find(|e| e.kind == r.kind && e.epoch == r.epoch && e.task == r.task)
+}
+
+/// Walk the cause chain of `e` back to its root, rendering each hop.
+fn blame_chain(trace: &[CausalEvent], e: &CausalEvent) -> Vec<String> {
+    let mut out = vec![format!("at {:?}: {}", e.at, e.describe())];
+    let mut cur = *e;
+    // Bounded walk: identity resolution cannot cycle forward in time, but
+    // guard against a malformed trace anyway.
+    for _ in 0..32 {
+        let Some(r) = cur.caused_by else { break };
+        match resolve(trace, &r) {
+            Some(prev) => {
+                out.push(format!("caused by {} at {:?}", prev.describe(), prev.at));
+                cur = *prev;
+            }
+            None => {
+                out.push(format!(
+                    "caused by {}(epoch={}, task={}) — absent from the trace",
+                    r.kind, r.epoch, r.task
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Check one run's causal trace against the static spec. Returns every
+/// violation found (empty = conformant).
+pub fn check_trace(report: &RunReport, spec: &StaticSpec, tol: &Tolerances) -> Vec<Violation> {
+    let trace = &report.causal_events;
+    let mut out = Vec::new();
+    let end = VirtualTime(tol.horizon.as_micros());
+
+    // ---- per-event edge/entry legality ----
+    for e in trace {
+        match &e.caused_by {
+            Some(r) => {
+                if !spec.has_edge(r.kind, e.kind) && !spec.has_path(r.kind, e.kind) {
+                    out.push(Violation {
+                        at: e.at,
+                        what: format!(
+                            "illegal causal edge: runtime claims `{}` was caused by `{}`, \
+                             but the static spec has no such response edge or path",
+                            e.kind, r.kind
+                        ),
+                        blame: blame_chain(trace, e),
+                    });
+                }
+                if resolve(trace, r).is_none() {
+                    out.push(Violation {
+                        at: e.at,
+                        what: format!(
+                            "dangling cause: `{}` references `{}(epoch={}, task={})`, \
+                             which never appears in the trace",
+                            e.kind, r.kind, r.epoch, r.task
+                        ),
+                        blame: blame_chain(trace, e),
+                    });
+                }
+            }
+            None => {
+                if !spec.explains_entry(e.kind) {
+                    out.push(Violation {
+                        at: e.at,
+                        what: format!(
+                            "illegal entry: uncaused `{}` is neither a spec entry nor \
+                             caused by any untraced kind",
+                            e.kind
+                        ),
+                        blame: blame_chain(trace, e),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- barrier completeness ----
+    // Expected acker set = every task ever seen acking a checkpoint; a
+    // barrier is stalled when it is missing acks, nothing excuses it (no
+    // failure at/after the trigger, not near the horizon), and it never
+    // completed.
+    let all_ackers: BTreeSet<u64> =
+        trace.iter().filter(|e| e.kind == "CheckpointAck").map(|e| e.task).collect();
+    let completed: BTreeSet<u64> =
+        trace.iter().filter(|e| e.kind == "CheckpointComplete").map(|e| e.epoch).collect();
+    // A barrier is excused when failure/recovery activity overlaps it: any
+    // recovery-chain event at or after the trigger means some participant
+    // was (or went) down while the barrier was in flight.
+    let last_recovery_activity: Option<VirtualTime> = trace
+        .iter()
+        .filter(|e| !matches!(e.kind, "TriggerCheckpoint" | "CheckpointAck" | "CheckpointComplete"))
+        .map(|e| e.at)
+        .max();
+    for trig in trace.iter().filter(|e| e.kind == "TriggerCheckpoint") {
+        if completed.contains(&trig.epoch) {
+            continue;
+        }
+        if last_recovery_activity.is_some_and(|d| d >= trig.at) {
+            continue; // a failure interrupted (or recovery overlapped) this barrier
+        }
+        if trig.at + tol.barrier_grace > end {
+            continue; // still legitimately in flight at the horizon
+        }
+        let acked: BTreeSet<u64> = trace
+            .iter()
+            .filter(|e| e.kind == "CheckpointAck" && e.epoch == trig.epoch)
+            .map(|e| e.task)
+            .collect();
+        let missing: Vec<u64> = all_ackers.difference(&acked).copied().collect();
+        let mut blame = blame_chain(trace, trig);
+        blame.push(format!(
+            "acked by {}/{} tasks; missing CheckpointAck from task(s) {:?}",
+            acked.len(),
+            all_ackers.len(),
+            missing
+        ));
+        blame.push("barrier chain stalls at hop `CheckpointAck`".to_string());
+        out.push(Violation {
+            at: trig.at,
+            what: format!(
+                "stalled barrier: checkpoint {} triggered at {:?} never completed",
+                trig.epoch, trig.at
+            ),
+            blame,
+        });
+    }
+
+    // ---- recovery completeness ----
+    // Every replay begun must stabilize (`RecoveryDone` for the same task
+    // and incarnation) unless a newer incarnation superseded it or the run
+    // ended first. Blame names the last hop the chain did produce.
+    let done: BTreeSet<(u64, u64)> = trace
+        .iter()
+        .filter(|e| e.kind == "RecoveryDone")
+        .map(|e| (e.epoch, e.task))
+        .collect();
+    let max_gen: BTreeMap<u64, u64> = trace
+        .iter()
+        .filter(|e| matches!(e.kind, "BeginReplay" | "InstallRecovery"))
+        .fold(BTreeMap::new(), |mut m, e| {
+            let g = m.entry(e.task).or_insert(0);
+            *g = (*g).max(e.epoch);
+            m
+        });
+    let max_restart: Option<u64> =
+        trace.iter().filter(|e| e.kind == "RestartAll").map(|e| e.epoch).max();
+    for begin in trace.iter().filter(|e| e.kind == "BeginReplay") {
+        if done.contains(&(begin.epoch, begin.task)) {
+            continue;
+        }
+        if max_gen.get(&begin.task).is_some_and(|&g| g > begin.epoch)
+            || max_restart.is_some_and(|g| g > begin.epoch)
+        {
+            continue; // superseded by a newer incarnation or global rollback
+        }
+        if begin.at + tol.recovery_grace > end {
+            continue; // replay still running at the horizon
+        }
+        let last = trace
+            .iter()
+            .rfind(|e| e.epoch == begin.epoch && e.task == begin.task)
+            .unwrap_or(begin);
+        let mut blame = blame_chain(trace, last);
+        blame.push(format!("recovery chain stalls after {}", last.describe()));
+        out.push(Violation {
+            at: begin.at,
+            what: format!(
+                "stalled recovery: task {} incarnation {} began replay at {:?} but never \
+                 reported RecoveryDone",
+                begin.task, begin.epoch, begin.at
+            ),
+            blame,
+        });
+    }
+
+    out
+}
+
+/// Assert conformance, panicking with every rendered violation on failure.
+pub fn assert_conformant(report: &RunReport, spec: &StaticSpec, tol: &Tolerances, label: &str) {
+    let violations = check_trace(report, spec, tol);
+    assert!(
+        violations.is_empty(),
+        "{label}: {} causal-conformance violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(Violation::render).collect::<Vec<_>>().join("\n")
+    );
+}

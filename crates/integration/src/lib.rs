@@ -3,6 +3,8 @@
 //! pipeline whose per-key sink output under any exactly-once run must be a
 //! byte-identical prefix of a failure-free reference execution.
 
+pub mod conformance;
+
 use clonos::config::{ClonosConfig, SharingDepth};
 use clonos_engine::operator::OpCtx;
 use clonos_engine::operators::ProcessOp;

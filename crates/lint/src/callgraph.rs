@@ -103,6 +103,12 @@ pub struct Node {
     pub locks: Vec<parser::LockFact>,
     pub blocks: Vec<parser::BlockFact>,
     pub mentions_determinant: bool,
+    pub sends: Vec<parser::SendFact>,
+    pub arms: Vec<parser::ArmRegion>,
+    /// Ordinals where the body mutates a progress counter (`epoch`,
+    /// `attempt`, ...) — the causal pass uses these to decide whether a
+    /// protocol cycle makes progress, window-filtered per match arm.
+    pub progress_ords: Vec<u32>,
 }
 
 /// Directed call edge; `line` is the call site in the caller's file and
@@ -186,6 +192,9 @@ impl CallGraph {
                     locks: item.locks.clone(),
                     blocks: item.blocks.clone(),
                     mentions_determinant: item.mentions_determinant,
+                    sends: item.sends.clone(),
+                    arms: item.arms.clone(),
+                    progress_ords: item.progress_ords.clone(),
                 });
             }
         }

@@ -1,0 +1,549 @@
+//! Causal protocol extraction: the **sent-in-response-to** graph over the
+//! control-plane message variants, three liveness-flavoured rules on it,
+//! and the derived chain spec the runtime trace-conformance checker
+//! consumes (`results/causal_spec.json`, written by `--emit-spec`).
+//!
+//! Construction, entirely from the workspace call graph:
+//!
+//! * A **handler arm** is an `Enum::Variant` match-arm region
+//!   (`parser::ArmRegion`) whose pattern names a variant of the protocol
+//!   file (`config::MESSAGES_FILE`), in any non-test graph file.
+//! * A **send** is an `Enum::Variant` construction site
+//!   (`parser::SendFact`) of a protocol variant.
+//! * The causal edge `V → W` exists when handling `V` leads to sending
+//!   `W`: either a send of `W` whose token ordinal falls inside a `V`
+//!   arm's body extent, or — transitively — a call site inside that
+//!   extent from which BFS over the call graph reaches a function with an
+//!   *unconditional* send of `W` (one outside all of that function's own
+//!   protocol arms; sends inside a callee's arms belong to those arms).
+//! * A **protocol entry** is a spontaneous send: an unconditional send in
+//!   a function that is neither reachable from any handler-arm call site
+//!   nor itself a handler (e.g. the deploy-time `CheckpointTick` kick-off
+//!   and the failure-detector's `FailureDetected`).
+//! * An edge **makes progress** when a `config`-listed progress counter
+//!   (`PROGRESS_IDENTS`) is incremented inside the arm window or in any
+//!   function on the arm→send call chain.
+//!
+//! Rules (all allowable, exemplar-blamed):
+//!
+//! * `orphan-event` — a variant that is constructed, yet no send of it is
+//!   reachable from any protocol entry: the message can never actually
+//!   enter the protocol.
+//! * `non-progressing-cycle` — a cycle in the variant graph none of whose
+//!   internal edges advances a progress counter: the protocol can loop
+//!   forever without converging. Allow on any send site of the cycle.
+//! * `unstabilized-recovery` — a recovery entry variant
+//!   (`config::RECOVERY_ENTRY_VARIANTS`) from which no causal path
+//!   reaches a stabilizing send (`config::STABILIZE_VARIANTS`); the
+//!   diagnostic names the frontier where the chain stalls.
+//!
+//! Everything iterates in `BTree` order; the spec and every diagnostic
+//! are byte-identical across runs and file orders.
+
+use crate::allows::AllowBook;
+use crate::callgraph::{CallGraph, Workspace};
+use crate::config;
+use crate::diagnostics::{json_str, Diagnostic};
+use crate::parser::PROGRESS_IDENTS;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One derived causal edge `from → to`, with its exemplar evidence.
+#[derive(Clone, Debug)]
+pub struct CausalEdge {
+    pub from: String,
+    pub to: String,
+    /// Exemplar send site of `to`.
+    pub send_file: String,
+    pub send_line: u32,
+    /// The `from` handler arm the send is attributed to.
+    pub arm_file: String,
+    pub arm_line: u32,
+    /// Rendered fn hops from the arm's function to the sending function.
+    pub chain: Vec<String>,
+    /// Some evidence path for this edge advances a progress counter.
+    pub progress: bool,
+}
+
+/// A spontaneous (entry) send site.
+#[derive(Clone, Debug)]
+pub struct EntrySite {
+    pub variant: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// The derived protocol spec: entries, edges, and the named chains of
+/// `config::CAUSAL_CHAINS` resolved to shortest paths.
+#[derive(Clone, Debug, Default)]
+pub struct CausalSpec {
+    pub entries: Vec<EntrySite>,
+    pub edges: Vec<CausalEdge>,
+    pub chains: Vec<(String, Vec<String>)>,
+}
+
+impl CausalSpec {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.edges.is_empty()
+    }
+}
+
+pub fn check(
+    ws: &Workspace,
+    graph: &CallGraph,
+    book: &mut AllowBook,
+) -> (Vec<Diagnostic>, CausalSpec) {
+    let Some(msg_file) = ws.files.get(config::MESSAGES_FILE) else {
+        return (Vec::new(), CausalSpec::default());
+    };
+    // variant -> (enum, declaration line). Bare variant names are the graph
+    // keys — the runtime trace records kinds unqualified.
+    let mut decl: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for (enm, variants) in &msg_file.enums {
+        for (v, line) in variants {
+            decl.entry(v.clone()).or_insert((enm.clone(), *line));
+        }
+    }
+    if decl.is_empty() {
+        return (Vec::new(), CausalSpec::default());
+    }
+    let is_protocol =
+        |enm: &str, v: &str| decl.get(v).is_some_and(|(e, _)| e == enm);
+
+    // ---- per-node protocol view ----
+    let n = graph.nodes.len();
+    let test_node: Vec<bool> =
+        graph.nodes.iter().map(|nd| config::is_test_source(&nd.file)).collect();
+    // Indexes into node.arms whose pattern names a protocol variant.
+    let mut proto_arms: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Protocol sends outside every protocol arm of the node.
+    let mut uncond: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for ix in 0..n {
+        if test_node[ix] {
+            continue;
+        }
+        let node = &graph.nodes[ix];
+        for (ai, arm) in node.arms.iter().enumerate() {
+            if arm.patterns.iter().any(|(e, v)| is_protocol(e, v)) {
+                proto_arms[ix].push(ai);
+            }
+        }
+        for (si, s) in node.sends.iter().enumerate() {
+            if !is_protocol(&s.enm, &s.variant) {
+                continue;
+            }
+            let in_arm = proto_arms[ix].iter().any(|&ai| {
+                let a = &node.arms[ai];
+                (a.lo..a.hi).contains(&s.ord)
+            });
+            if !in_arm {
+                uncond[ix].push(si);
+            }
+        }
+    }
+
+    // ---- edge derivation ----
+    let render = |ix: usize| {
+        let nd = &graph.nodes[ix];
+        format!("{} ({}:{})", nd.path, nd.file, nd.line)
+    };
+    let mut edges: BTreeMap<(String, String), CausalEdge> = BTreeMap::new();
+    let mut record = |from: &str, to: &str, ev: CausalEdge| {
+        edges
+            .entry((from.to_string(), to.to_string()))
+            .and_modify(|e| e.progress |= ev.progress)
+            .or_insert(ev);
+    };
+    // All handler-arm call-site targets, for the entry computation below.
+    let mut arm_targets: BTreeSet<usize> = BTreeSet::new();
+    for (ix, arms_of) in proto_arms.iter().enumerate() {
+        let node = &graph.nodes[ix];
+        for &ai in arms_of {
+            let arm = &node.arms[ai];
+            let window = arm.lo..arm.hi;
+            let window_progress =
+                node.progress_ords.iter().any(|o| window.contains(o));
+            let froms: Vec<&(String, String)> = arm
+                .patterns
+                .iter()
+                .filter(|(e, v)| is_protocol(e, v))
+                .collect();
+            // Direct sends inside the arm body.
+            for s in &node.sends {
+                if window.contains(&s.ord) && is_protocol(&s.enm, &s.variant) {
+                    for (_, from) in &froms {
+                        record(
+                            from,
+                            &s.variant,
+                            CausalEdge {
+                                from: from.clone(),
+                                to: s.variant.clone(),
+                                send_file: node.file.clone(),
+                                send_line: s.line,
+                                arm_file: node.file.clone(),
+                                arm_line: arm.line,
+                                chain: vec![render(ix)],
+                                progress: window_progress,
+                            },
+                        );
+                    }
+                }
+            }
+            // Transitive: calls out of the arm body, then BFS.
+            let sources: BTreeSet<usize> = graph.edges[ix]
+                .iter()
+                .filter(|e| window.contains(&e.ord) && !test_node[e.to])
+                .map(|e| e.to)
+                .collect();
+            arm_targets.extend(sources.iter().copied());
+            if sources.is_empty() {
+                continue;
+            }
+            let parents = graph.bfs(&sources, |_, e| !test_node[e.to]);
+            for &r in parents.keys() {
+                if uncond[r].is_empty() {
+                    continue;
+                }
+                let hops = graph.chain_to(&parents, r);
+                let progress = window_progress
+                    || hops.iter().any(|&(h, _)| !graph.nodes[h].progress_ords.is_empty());
+                let mut chain = vec![render(ix)];
+                chain.extend(hops.iter().map(|&(h, _)| render(h)));
+                for &si in &uncond[r] {
+                    let s = &graph.nodes[r].sends[si];
+                    for (_, from) in &froms {
+                        record(
+                            from,
+                            &s.variant,
+                            CausalEdge {
+                                from: from.clone(),
+                                to: s.variant.clone(),
+                                send_file: graph.nodes[r].file.clone(),
+                                send_line: s.line,
+                                arm_file: node.file.clone(),
+                                arm_line: arm.line,
+                                chain: chain.clone(),
+                                progress,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- protocol entries: spontaneous sends ----
+    // A node is message-triggered if an arm call site reaches it, or if it
+    // contains a handler arm itself (its straight-line sends execute on
+    // message receipt, not spontaneously).
+    let reached = graph.bfs(&arm_targets, |_, e| !test_node[e.to]);
+    let mut entries: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for ix in 0..n {
+        if test_node[ix] || reached.contains_key(&ix) || !proto_arms[ix].is_empty() {
+            continue;
+        }
+        for &si in &uncond[ix] {
+            let s = &graph.nodes[ix].sends[si];
+            entries
+                .entry(s.variant.clone())
+                .or_insert((graph.nodes[ix].file.clone(), s.line));
+        }
+    }
+
+    // ---- variant-level graph ----
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().insert(to.as_str());
+    }
+    let mut constructed: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for (node, &is_test) in graph.nodes.iter().zip(&test_node) {
+        if is_test {
+            continue;
+        }
+        for s in &node.sends {
+            if is_protocol(&s.enm, &s.variant) {
+                constructed
+                    .entry(s.variant.clone())
+                    .or_insert((node.file.clone(), s.line));
+            }
+        }
+    }
+    let reach_from = |starts: &[&str]| -> BTreeSet<String> {
+        let mut seen: BTreeSet<String> =
+            starts.iter().map(|s| s.to_string()).collect();
+        let mut stack: Vec<String> = seen.iter().cloned().collect();
+        while let Some(v) = stack.pop() {
+            if let Some(next) = adj.get(v.as_str()) {
+                for &w in next {
+                    if seen.insert(w.to_string()) {
+                        stack.push(w.to_string());
+                    }
+                }
+            }
+        }
+        seen
+    };
+    let entry_names: Vec<&str> = entries.keys().map(String::as_str).collect();
+    let live = reach_from(&entry_names);
+
+    let mut out = Vec::new();
+
+    // ---- rule: orphan-event ----
+    for (v, site) in &constructed {
+        if live.contains(v) {
+            continue;
+        }
+        let (enm, line) = &decl[v];
+        let rule = "orphan-event";
+        if book.covers(config::MESSAGES_FILE, *line, rule)
+            || book.covers(&site.0, site.1, rule)
+        {
+            book.mark_used(config::MESSAGES_FILE, *line, rule);
+            book.mark_used(&site.0, site.1, rule);
+            continue;
+        }
+        out.push(
+            Diagnostic::new(
+                config::MESSAGES_FILE,
+                *line,
+                rule,
+                format!(
+                    "variant `{enm}::{v}` is constructed, but no send of it is reachable \
+                     from any protocol entry ({}); the message can never enter the \
+                     protocol — wire it into a handler chain or remove it",
+                    if entry_names.is_empty() {
+                        "no spontaneous sends found".to_string()
+                    } else {
+                        entry_names.join(", ")
+                    }
+                ),
+            )
+            .with_chain(vec![format!("constructed at {}:{}", site.0, site.1)]),
+        );
+    }
+
+    // ---- rule: non-progressing-cycle ----
+    // Tiny variant set: O(V²) pairwise reachability is plenty, and BTree
+    // iteration keeps SCC grouping deterministic.
+    let verts: Vec<&str> = adj.keys().copied().collect();
+    let mut scc_of: BTreeMap<&str, &str> = BTreeMap::new();
+    for &v in &verts {
+        let rv = reach_from(&[v]);
+        for &w in &verts {
+            if scc_of.contains_key(w) || w == v {
+                continue;
+            }
+            if rv.contains(w) && reach_from(&[w]).contains(v) {
+                scc_of.insert(w, v); // v is the BTree-min representative
+            }
+        }
+        scc_of.entry(v).or_insert(v);
+    }
+    let mut sccs: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (&v, &rep) in &scc_of {
+        sccs.entry(rep).or_default().push(v);
+    }
+    for (rep, members) in &sccs {
+        let set: BTreeSet<&str> = members.iter().copied().collect();
+        let internal: Vec<&CausalEdge> = edges
+            .values()
+            .filter(|e| set.contains(e.from.as_str()) && set.contains(e.to.as_str()))
+            .collect();
+        let cyclic = members.len() > 1 || internal.iter().any(|e| e.from == e.to);
+        if !cyclic || internal.iter().any(|e| e.progress) {
+            continue;
+        }
+        let rule = "non-progressing-cycle";
+        let decl_line = decl[*rep].1;
+        let allowed = book.covers(config::MESSAGES_FILE, decl_line, rule)
+            || internal.iter().any(|e| book.covers(&e.send_file, e.send_line, rule));
+        if allowed {
+            book.mark_used(config::MESSAGES_FILE, decl_line, rule);
+            for e in &internal {
+                book.mark_used(&e.send_file, e.send_line, rule);
+            }
+            continue;
+        }
+        let cycle = if members.len() == 1 {
+            format!("`{rep} → {rep}`")
+        } else {
+            format!("`{} → {}`", members.join(" → "), rep)
+        };
+        let chain = internal
+            .iter()
+            .map(|e| {
+                format!(
+                    "`{}` handled at {}:{} sends `{}` at {}:{}",
+                    e.from, e.arm_file, e.arm_line, e.to, e.send_file, e.send_line
+                )
+            })
+            .collect();
+        out.push(
+            Diagnostic::new(
+                config::MESSAGES_FILE,
+                decl_line,
+                rule,
+                format!(
+                    "causal cycle {cycle} has no hop that advances a progress counter \
+                     ({}); the protocol can loop without converging — advance one on \
+                     some hop or add an audited allow on a send site of the cycle",
+                    PROGRESS_IDENTS.join("/")
+                ),
+            )
+            .with_chain(chain),
+        );
+    }
+
+    // ---- rule: unstabilized-recovery ----
+    for &entry in config::RECOVERY_ENTRY_VARIANTS {
+        if !decl.contains_key(entry) || !constructed.contains_key(entry) {
+            continue; // absent or already flagged by message-protocol
+        }
+        let rv = reach_from(&[entry]);
+        if config::STABILIZE_VARIANTS.iter().any(|s| rv.contains(*s)) {
+            continue;
+        }
+        let rule = "unstabilized-recovery";
+        let decl_line = decl[entry].1;
+        if book.covers(config::MESSAGES_FILE, decl_line, rule) {
+            book.mark_used(config::MESSAGES_FILE, decl_line, rule);
+            continue;
+        }
+        // The frontier: reached variants with no outgoing edges — where
+        // the chain stalls.
+        let frontier: Vec<&str> = rv
+            .iter()
+            .map(String::as_str)
+            .filter(|v| adj.get(*v).is_none_or(|next| next.is_empty()))
+            .collect();
+        let chain = rv
+            .iter()
+            .filter(|v| v.as_str() != entry)
+            .map(|v| {
+                let e = edges
+                    .iter()
+                    .find(|((_, to), _)| to == v)
+                    .map(|(_, e)| format!(" (sent at {}:{})", e.send_file, e.send_line))
+                    .unwrap_or_default();
+                format!("reaches `{v}`{e}")
+            })
+            .collect();
+        out.push(
+            Diagnostic::new(
+                config::MESSAGES_FILE,
+                decl_line,
+                rule,
+                format!(
+                    "recovery entry `{}::{entry}` reaches no stabilizing send ({}); \
+                     recovery that starts here can never complete — the chain stalls at {}",
+                    decl[entry].0,
+                    config::STABILIZE_VARIANTS.join(", "),
+                    if frontier.is_empty() {
+                        "the entry itself (no outgoing causal edge)".to_string()
+                    } else {
+                        frontier
+                            .iter()
+                            .map(|v| format!("`{v}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    }
+                ),
+            )
+            .with_chain(chain),
+        );
+    }
+
+    // ---- spec: named chains as shortest paths ----
+    let mut chains = Vec::new();
+    for &(name, from, to) in config::CAUSAL_CHAINS {
+        if !decl.contains_key(from) || !decl.contains_key(to) {
+            continue;
+        }
+        if let Some(hops) = shortest_path(&adj, from, to) {
+            chains.push((name.to_string(), hops));
+        }
+    }
+
+    let spec = CausalSpec {
+        entries: entries
+            .into_iter()
+            .map(|(variant, (file, line))| EntrySite { variant, file, line })
+            .collect(),
+        edges: edges.into_values().collect(),
+        chains,
+    };
+    (out, spec)
+}
+
+/// BFS shortest path `from → to` over the variant graph, inclusive.
+fn shortest_path(
+    adj: &BTreeMap<&str, BTreeSet<&str>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut parent: BTreeMap<String, String> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<String> = Default::default();
+    parent.insert(from.to_string(), String::new());
+    queue.push_back(from.to_string());
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            let mut hops = vec![v.clone()];
+            let mut cur = v;
+            while let Some(p) = parent.get(&cur) {
+                if p.is_empty() {
+                    break;
+                }
+                hops.push(p.clone());
+                cur = p.clone();
+            }
+            hops.reverse();
+            return Some(hops);
+        }
+        if let Some(next) = adj.get(v.as_str()) {
+            for &w in next {
+                if !parent.contains_key(w) {
+                    parent.insert(w.to_string(), v.clone());
+                    queue.push_back(w.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Render the spec as JSON (hand-rolled; the workspace has no serde). One
+/// object per line so line-oriented consumers stay trivial.
+pub fn render_spec(spec: &CausalSpec) -> String {
+    let mut out = String::from("{\n\"entries\": [\n");
+    for (i, e) in spec.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{{\"variant\":{},\"site\":{}}}",
+            if i > 0 { ",\n" } else { "" },
+            json_str(&e.variant),
+            json_str(&format!("{}:{}", e.file, e.line))
+        ));
+    }
+    out.push_str("\n],\n\"edges\": [\n");
+    for (i, e) in spec.edges.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{{\"from\":{},\"to\":{},\"site\":{},\"arm\":{},\"progress\":{}}}",
+            if i > 0 { ",\n" } else { "" },
+            json_str(&e.from),
+            json_str(&e.to),
+            json_str(&format!("{}:{}", e.send_file, e.send_line)),
+            json_str(&format!("{}:{}", e.arm_file, e.arm_line)),
+            e.progress
+        ));
+    }
+    out.push_str("\n],\n\"chains\": [\n");
+    for (i, (name, hops)) in spec.chains.iter().enumerate() {
+        let hops_json =
+            hops.iter().map(|h| json_str(h)).collect::<Vec<_>>().join(",");
+        out.push_str(&format!(
+            "{}{{\"name\":{},\"hops\":[{hops_json}]}}",
+            if i > 0 { ",\n" } else { "" },
+            json_str(name)
+        ));
+    }
+    out.push_str("\n]\n}\n");
+    out
+}

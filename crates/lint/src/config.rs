@@ -96,6 +96,29 @@ pub const RULES: &[RuleInfo] = &[
         allowable: false,
     },
     RuleInfo {
+        id: "orphan-event",
+        summary: "a control-plane variant is constructed, but no send site for it is \
+                  reachable from any protocol entry (spontaneous send) through the derived \
+                  sent-in-response-to graph — the message can never actually enter the \
+                  protocol; wire it into a handler chain or remove it",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "non-progressing-cycle",
+        summary: "a causal cycle in the sent-in-response-to graph where no hop advances an \
+                  epoch/incarnation/attempt counter; such a loop can spin forever without \
+                  converging — add a progress counter on some hop or an audited allow on a \
+                  send site of the printed cycle",
+        allowable: true,
+    },
+    RuleInfo {
+        id: "unstabilized-recovery",
+        summary: "a recovery entry variant from which no causal path reaches a stabilizing \
+                  send (RecoveryDone); recovery that starts but cannot complete wedges the \
+                  job — the diagnostic names the frontier where the chain stalls",
+        allowable: true,
+    },
+    RuleInfo {
         id: "unknown-callee",
         summary: "a workspace-rooted call path resolved to no known fn; the edge is absent \
                   from the call graph (trait/dyn/generic dispatch is not modelled) — reported \
@@ -198,3 +221,38 @@ pub const MESSAGES_FILE: &str = "crates/engine/src/messages.rs";
 /// Files whose `match` arms count as *handling* a control-plane message.
 pub const MESSAGE_HANDLER_FILES: &[&str] =
     &["crates/engine/src/task.rs", "crates/engine/src/cluster.rs"];
+
+/// Is `rel` a test-source file? Out-of-line test modules (`src/tests.rs`,
+/// `src/**/tests/*.rs`) and `tests/` integration files carry no
+/// `#[cfg(test)]` *inside* the file — the attribute sits on the `mod`
+/// declaration in the parent — so the token-level test-region filter never
+/// sees them. Protocol evidence (construction sites, send facts, match
+/// arms) from these files must not count: a variant constructed only by a
+/// test is still dead protocol surface.
+pub fn is_test_source(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.ends_with("/tests.rs")
+        || rel.ends_with("/test.rs")
+}
+
+/// Variants that *enter* recovery: constructed spontaneously on failure
+/// detection / escalation, they root the recovery chains checked by
+/// `unstabilized-recovery`.
+pub const RECOVERY_ENTRY_VARIANTS: &[&str] = &["FailureDetected", "RestartAll"];
+
+/// Variants whose send marks a recovery chain as stabilized.
+pub const STABILIZE_VARIANTS: &[&str] = &["RecoveryDone"];
+
+/// Named protocol chains emitted to `results/causal_spec.json`:
+/// `(name, from-variant, to-variant)`. Each resolves to the shortest
+/// causal path between the endpoints in the derived graph; a chain whose
+/// endpoints exist but admit no path is a broken protocol and reported by
+/// the causal rules.
+pub const CAUSAL_CHAINS: &[(&str, &str, &str)] = &[
+    ("barrier", "TriggerCheckpoint", "CheckpointComplete"),
+    ("recovery", "FailureDetected", "RecoveryDone"),
+    ("replay", "BeginReplay", "ReplayRequest"),
+    ("rollback", "RestartAll", "RecoveryDone"),
+    ("standby-activation", "FailureDetected", "ChannelReset"),
+];

@@ -22,6 +22,7 @@
 
 pub mod allows;
 pub mod callgraph;
+pub mod causal;
 pub mod config;
 pub mod diagnostics;
 pub mod invariants;
@@ -51,13 +52,29 @@ pub fn analyze(root: &Path) -> io::Result<Vec<Diagnostic>> {
 
 /// `analyze`, plus the call-graph size stats for the timing summary line.
 pub fn analyze_with_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, GraphStats)> {
+    analyze_full(root).map(|fa| (fa.diags, fa.stats))
+}
+
+/// Everything one analysis run produces: diagnostics, graph stats, the
+/// derived causal spec (for `--emit-spec`), and per-pass wall times for
+/// the timing summary.
+pub struct FullAnalysis {
+    pub diags: Vec<Diagnostic>,
+    pub stats: GraphStats,
+    pub spec: causal::CausalSpec,
+    pub lockgraph_ms: u128,
+    pub causal_ms: u128,
+}
+
+/// `analyze_with_stats`, plus the causal spec and per-pass timings.
+pub fn analyze_full(root: &Path) -> io::Result<FullAnalysis> {
     let mut files = Vec::new();
     for top in ["crates", "tests", "examples"] {
         for file in rust_files_under(&root.join(top))? {
             files.push(relative(root, &file));
         }
     }
-    analyze_ordered(root, &files)
+    analyze_ordered_full(root, &files)
 }
 
 /// The order-independent core: `files` is the workspace-relative `.rs`
@@ -68,6 +85,11 @@ pub fn analyze_ordered(
     root: &Path,
     files: &[String],
 ) -> io::Result<(Vec<Diagnostic>, GraphStats)> {
+    analyze_ordered_full(root, files).map(|fa| (fa.diags, fa.stats))
+}
+
+/// `analyze_ordered`, returning the full result set.
+pub fn analyze_ordered_full(root: &Path, files: &[String]) -> io::Result<FullAnalysis> {
     // ---- per-file rule plan from the config tables ----
     let mut plan: BTreeMap<String, RuleSet> = BTreeMap::new();
     let mut graph_files: BTreeMap<String, Vec<String>> = BTreeMap::new();
@@ -124,12 +146,22 @@ pub fn analyze_ordered(
     }
 
     // ---- pass 2: workspace call graph + transitive analyses ----
+    // Wall-clock is fine here: per-pass timings feed the lint's own speed
+    // budget report and never run inside the simulation.
     let ws = Workspace::parse(root, &graph_files)?;
     let graph = CallGraph::build(&ws);
     diags.extend(reach::check(&graph, &mut book));
     diags.extend(taint::check(&graph, &mut book));
+    #[allow(clippy::disallowed_methods)]
+    let t0 = std::time::Instant::now();
     diags.extend(lockgraph::check(&ws, &graph, &mut book));
+    let lockgraph_ms = t0.elapsed().as_millis();
     diags.extend(protocol::check(&ws));
+    #[allow(clippy::disallowed_methods)]
+    let t1 = std::time::Instant::now();
+    let (causal_diags, spec) = causal::check(&ws, &graph, &mut book);
+    let causal_ms = t1.elapsed().as_millis();
+    diags.extend(causal_diags);
     diags.extend(graph.unknown.iter().cloned());
     let stats = graph.stats;
 
@@ -149,7 +181,7 @@ pub fn analyze_ordered(
 
     diags.sort();
     diags.dedup();
-    Ok((diags, stats))
+    Ok(FullAnalysis { diags, stats, spec, lockgraph_ms, causal_ms })
 }
 
 /// Locate the workspace root: walk up from `start` until a `Cargo.toml`

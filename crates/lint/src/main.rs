@@ -2,7 +2,7 @@
 //! 1 = violations found (or regressions vs. the baseline), 2 = usage or
 //! I/O error.
 
-use clonos_lint::{analyze_with_stats, diagnostics, find_workspace_root, Diagnostic};
+use clonos_lint::{analyze_full, causal, diagnostics, find_workspace_root, Diagnostic};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -11,10 +11,14 @@ const USAGE: &str = "\
 clonos-lint — workspace determinism & protocol-invariant static analysis
 
 USAGE:
-    clonos-lint [--json] [--root <dir>] [--baseline <file>]
+    clonos-lint [--json] [--root <dir>] [--baseline <file>] [--emit-spec <file>]
 
 OPTIONS:
     --json                 emit machine-readable JSON instead of text
+    --emit-spec <file>     write the derived causal chain spec (protocol
+                           entries, sent-in-response-to edges, named chains)
+                           as JSON — the runtime trace-conformance checker's
+                           input (conventionally results/causal_spec.json)
     --root <dir>           workspace root (default: walk up from the current
                            directory to the nearest [workspace] Cargo.toml)
     --baseline <file>      ratchet mode: only fail on violations NOT present
@@ -41,6 +45,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
+    let mut emit_spec: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let path_arg = |args: &mut dyn Iterator<Item = String>| match args.next() {
@@ -62,6 +67,10 @@ fn main() -> ExitCode {
             },
             "--write-baseline" => match path_arg(&mut args) {
                 Ok(p) => write_baseline = Some(p),
+                Err(()) => return ExitCode::from(2),
+            },
+            "--emit-spec" => match path_arg(&mut args) {
+                Ok(p) => emit_spec = Some(p),
                 Err(()) => return ExitCode::from(2),
             },
             "--rules" => {
@@ -95,7 +104,7 @@ fn main() -> ExitCode {
     // never runs inside the simulation.
     #[allow(clippy::disallowed_methods)]
     let started = std::time::Instant::now();
-    let (diags, stats) = match analyze_with_stats(&root) {
+    let fa = match analyze_full(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -103,6 +112,7 @@ fn main() -> ExitCode {
         }
     };
     let elapsed_ms = started.elapsed().as_millis();
+    let (diags, stats) = (fa.diags, fa.stats);
     eprintln!(
         "clonos-lint: {} files, {} fns, {} edges ({} path-resolved, {} by-name), \
          {} unknown callees in {} ms",
@@ -114,6 +124,32 @@ fn main() -> ExitCode {
         stats.unknown_callees,
         elapsed_ms
     );
+    // Per-pass budget line (phrased to not collide with the `in N ms`
+    // total that scripts/lint.sh parses off stderr).
+    eprintln!(
+        "clonos-lint: lockgraph pass {} ms, causal pass {} ms ({} causal edges, \
+         {} entries, {} chains)",
+        fa.lockgraph_ms,
+        fa.causal_ms,
+        fa.spec.edges.len(),
+        fa.spec.entries.len(),
+        fa.spec.chains.len()
+    );
+
+    if let Some(path) = emit_spec {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&path, causal::render_spec(&fa.spec)) {
+            eprintln!("error: cannot write causal spec {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "clonos-lint: wrote causal spec ({} edges) to {}",
+            fa.spec.edges.len(),
+            path.display()
+        );
+    }
 
     let errors: Vec<&Diagnostic> = diags.iter().filter(|d| d.is_error()).collect();
 

@@ -72,6 +72,13 @@ pub const LOCK_METHODS: &[(&str, LockOp)] = &[
 /// Method names that block on another thread without acquiring a guard.
 pub const BLOCKING_METHODS: &[&str] = &["recv", "recv_timeout"];
 
+/// Identifiers whose increment (`x += 1`, `x + 1`) marks a function as
+/// *advancing* epoch/incarnation/attempt state — the progress criterion of
+/// the `non-progressing-cycle` rule: a causal cycle is benign only when at
+/// least one hop moves such a counter forward.
+pub const PROGRESS_IDENTS: &[&str] =
+    &["next_cp", "attempt", "gen", "epoch", "emit_seq", "offset", "step", "seq", "gather_seq"];
+
 /// One call site inside a function body.
 #[derive(Clone, Debug)]
 pub struct CallSite {
@@ -162,6 +169,36 @@ pub struct BlockFact {
     pub kind: BlockKind,
 }
 
+/// One `Enum::Variant` construction site inside a function body — a *send
+/// fact* candidate. The causal pass filters these to the enums declared in
+/// the protocol file; everything else (associated consts, other enums) is
+/// recorded here indiscriminately and ignored there.
+#[derive(Clone, Debug)]
+pub struct SendFact {
+    pub line: u32,
+    /// Token ordinal (same scale as `CallSite::ord` / `ArmRegion` extents).
+    pub ord: u32,
+    /// Second-to-last path segment (`Msg` in `Msg::Data`).
+    pub enm: String,
+    /// Last path segment.
+    pub variant: String,
+}
+
+/// One `Enum::Variant` match arm inside a function body: which variants the
+/// arm matches (an or-pattern contributes several) and the token-ordinal
+/// extent of its body. Sends and calls whose `ord` falls inside `[lo, hi)`
+/// execute *in response to* the matched variant.
+#[derive(Clone, Debug)]
+pub struct ArmRegion {
+    pub line: u32,
+    /// `(enum, variant)` patterns of the arm.
+    pub patterns: Vec<(String, String)>,
+    /// Arm-body start ordinal (just past `=>`).
+    pub lo: u32,
+    /// Arm-body end ordinal (exclusive).
+    pub hi: u32,
+}
+
 /// One `fn` item.
 #[derive(Clone, Debug)]
 pub struct FnItem {
@@ -186,6 +223,21 @@ pub struct FnItem {
     pub blocks: Vec<BlockFact>,
     /// Body mentions the `Determinant` type (replay-surface marker).
     pub mentions_determinant: bool,
+    /// `Enum::Variant` construction sites (causal-pass input).
+    pub sends: Vec<SendFact>,
+    /// `Enum::Variant` match-arm regions (causal-pass input).
+    pub arms: Vec<ArmRegion>,
+    /// Token ordinals where the body increments a progress counter (see
+    /// `PROGRESS_IDENTS`) — per-site so the causal pass can tell whether a
+    /// specific match arm (not merely the enclosing fn) advances state.
+    pub progress_ords: Vec<u32>,
+}
+
+impl FnItem {
+    /// Any progress-counter mutation in the body.
+    pub fn advances_epoch(&self) -> bool {
+        !self.progress_ords.is_empty()
+    }
 }
 
 impl FnItem {
@@ -797,8 +849,12 @@ impl<'a> Parser<'a> {
             locks: Vec::new(),
             blocks: Vec::new(),
             mentions_determinant: false,
+            sends: Vec::new(),
+            arms: Vec::new(),
+            progress_ords: Vec::new(),
         };
         scan_body(self.t, open, end, &mut item, self);
+        scan_protocol(self.t, open, end, &mut item);
         self.out.fns.push(item);
         self.i = end;
     }
@@ -996,6 +1052,216 @@ fn scan_body(t: &[Tok], lo: usize, hi: usize, item: &mut FnItem, p: &Parser<'_>)
             _ => j += 1,
         }
     }
+}
+
+/// Collect protocol facts from a body range: `Enum::Variant` construction
+/// sites (send facts), `Enum::Variant` match-arm regions (or-patterns
+/// grouped, body extents on the shared ord scale), and the progress flag
+/// for the `non-progressing-cycle` rule. Separate from `scan_body` because
+/// it needs pattern-vs-expression classification that the call-site walk
+/// deliberately does not do.
+fn scan_protocol(t: &[Tok], lo: usize, hi: usize, item: &mut FnItem) {
+    // Patterns of the or-group currently being accumulated.
+    let mut pending: Vec<(String, String, u32)> = Vec::new();
+    let mut j = lo;
+    while j < hi {
+        let TokKind::Ident(name) = &t[j].kind else {
+            j += 1;
+            continue;
+        };
+        // Progress probe: a known counter with a `+` shortly after covers
+        // `x += 1`, `x: x + 1`, and `self.epoch = id + 1` alike.
+        if PROGRESS_IDENTS.contains(&name.as_str())
+            && t[j + 1..(j + 7).min(hi)].iter().any(|x| x.is_punct('+'))
+        {
+            item.progress_ords.push(j as u32);
+        }
+        // Path heads only: a continuation segment (preceded by `::`) was
+        // already consumed as part of its head's walk below.
+        if j >= 2 && t[j - 1].is_punct(':') && t[j - 2].is_punct(':') {
+            j += 1;
+            continue;
+        }
+        if j > 0 && t[j - 1].is_punct('.') {
+            j += 1;
+            continue;
+        }
+        // Collect `a::b::...::z`.
+        let mut segs = vec![name.clone()];
+        let mut jl = j; // index of the last path segment
+        let mut k = j + 1;
+        while t.get(k).is_some_and(|x| x.is_punct(':'))
+            && t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+        {
+            match t.get(k + 2).map(|x| &x.kind) {
+                Some(TokKind::Ident(s)) => {
+                    segs.push(s.clone());
+                    jl = k + 2;
+                    k += 3;
+                }
+                _ => break,
+            }
+        }
+        let upper = |s: &str| s.chars().next().is_some_and(char::is_uppercase);
+        if segs.len() < 2 || !upper(&segs[segs.len() - 2]) || !upper(&segs[segs.len() - 1]) {
+            j = k.max(j + 1);
+            continue;
+        }
+        let (enm, variant) = (segs[segs.len() - 2].clone(), segs[segs.len() - 1].clone());
+        let line = t[jl].line;
+        // Classify: skip an optional payload group, then look at what
+        // follows the pattern-or-expression.
+        let mut after = jl + 1;
+        if after < t.len() && (t[after].is_punct('{') || t[after].is_punct('(')) {
+            after = skip_group(t, after);
+        }
+        if is_arm_pattern(t, jl) {
+            pending.push((enm, variant, line));
+            if t.get(after).is_some_and(|x| x.is_punct('|')) {
+                // Or-pattern: the next alternative continues this arm.
+                j = after + 1;
+                continue;
+            }
+            // Find the arm's `=>` (possibly past a guard) and the body extent.
+            if let Some(arrow) = find_arrow(t, after, hi) {
+                let body_lo = arrow + 2;
+                let body_hi = if t.get(body_lo).is_some_and(|x| x.is_punct('{')) {
+                    skip_group(t, body_lo)
+                } else {
+                    arm_expr_end(t, body_lo, hi)
+                };
+                let first_line = pending.first().map(|p| p.2).unwrap_or(line);
+                item.arms.push(ArmRegion {
+                    line: first_line,
+                    patterns: pending.drain(..).map(|(e, v, _)| (e, v)).collect(),
+                    lo: body_lo as u32,
+                    hi: body_hi as u32,
+                });
+                // Keep walking *inside* the body: nested arms and sends count.
+                j = body_lo;
+                continue;
+            }
+            pending.clear();
+            j = after;
+            continue;
+        }
+        pending.clear();
+        // `if let` / `while let` / `let ... else` pattern: `=` (not `==`)
+        // directly after the pattern — not a construction.
+        let is_let_pattern = t.get(after).is_some_and(|x| x.is_punct('='))
+            && !t.get(after + 1).is_some_and(|x| x.is_punct('=') || x.is_punct('>'));
+        if !is_let_pattern {
+            item.sends.push(SendFact { line, ord: jl as u32, enm, variant });
+        }
+        j = jl + 1;
+    }
+}
+
+/// Find the `=` of a `=>` at bracket depth 0, scanning from `from` (used to
+/// locate an arm's arrow past an optional guard). Bails at a `;`, an
+/// unmatched close, or after 200 tokens.
+fn find_arrow(t: &[Tok], from: usize, hi: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in from..(from + 200).min(hi.min(t.len().saturating_sub(1))) {
+        match &t[k].kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return None;
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return None,
+            TokKind::Punct('=')
+                if depth == 0 && t.get(k + 1).is_some_and(|x| x.is_punct('>')) =>
+            {
+                return Some(k);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// End of a braceless arm body starting at `from`: the `,` at depth 0 that
+/// separates it from the next arm, or the `}` that closes the match.
+fn arm_expr_end(t: &[Tok], from: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = from;
+    while k < hi {
+        match &t[k].kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => {
+                if depth == 0 {
+                    return k;
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(',') if depth == 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    hi
+}
+
+/// Is the `Enum::Variant` occurrence ending at `i` (the variant ident) a
+/// match-arm pattern? Skip an optional `{...}` / `(...)` payload, then look
+/// for `=>` (directly or past an `if` guard) or a `|` or-pattern
+/// continuation.
+pub fn is_arm_pattern(toks: &[Tok], i: usize) -> bool {
+    let mut j = i + 1;
+    if j < toks.len() && (toks[j].is_punct('{') || toks[j].is_punct('(')) {
+        j = skip_group(toks, j);
+    }
+    match toks.get(j).map(|t| &t.kind) {
+        Some(TokKind::Punct('|')) => true,
+        Some(TokKind::Punct('=')) => {
+            toks.get(j + 1).map(|t| t.is_punct('>')).unwrap_or(false)
+        }
+        Some(TokKind::Ident(s)) if s == "if" => {
+            // Guarded arm: scan the guard expression for its `=>`.
+            let mut depth = 0i32;
+            for k in j + 1..(j + 200).min(toks.len().saturating_sub(1)) {
+                match &toks[k].kind {
+                    TokKind::Punct('(' | '[' | '{') => depth += 1,
+                    TokKind::Punct(')' | ']' | '}') => {
+                        depth -= 1;
+                        if depth < 0 {
+                            return false;
+                        }
+                    }
+                    TokKind::Punct(';') if depth == 0 => return false,
+                    TokKind::Punct('=') if depth == 0 => {
+                        return toks.get(k + 1).map(|t| t.is_punct('>')).unwrap_or(false);
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// From an opening `{`/`(` at `open`, return the index just past its
+/// matching close.
+pub fn skip_group(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = if toks[open].is_punct('{') { ('{', '}') } else { ('(', ')') };
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct(o) {
+            depth += 1;
+        } else if toks[j].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
 }
 
 /// Is this path a `std::thread` blocking/park operation? Matches any path
@@ -1332,5 +1598,86 @@ mod tests {
         assert_eq!((item.locks[0].lock.as_str(), item.locks[0].op), ("cond", LockOp::Wait));
         // None of the thread ops leaked into the call list as paths.
         assert!(item.calls.iter().all(|c| !matches!(&c.target, CallTarget::Path(p) if p.iter().any(|s| s == "thread"))));
+    }
+
+    #[test]
+    fn send_facts_and_arm_regions() {
+        let f = parse(
+            "fn handle(&mut self, msg: Msg) {\n\
+                 match msg {\n\
+                     Msg::Ping { n } => {\n\
+                         self.send(Msg::Pong(n));\n\
+                     }\n\
+                     Msg::Stop | Msg::Halt => self.done = true,\n\
+                     _ => {}\n\
+                 }\n\
+             }\n",
+        );
+        let item = fn_named(&f, "handle");
+        // One construction site: Pong. Ping/Stop/Halt are patterns.
+        let sends: Vec<&str> = item.sends.iter().map(|s| s.variant.as_str()).collect();
+        assert_eq!(sends, vec!["Pong"], "{:?}", item.sends);
+        assert_eq!(item.sends[0].enm, "Msg");
+        // Two arm regions; the second groups the or-pattern.
+        assert_eq!(item.arms.len(), 2, "{:#?}", item.arms);
+        assert_eq!(item.arms[0].patterns, vec![("Msg".into(), "Ping".into())]);
+        assert_eq!(
+            item.arms[1].patterns,
+            vec![("Msg".into(), "Stop".into()), ("Msg".into(), "Halt".into())]
+        );
+        // The Pong send lands inside the Ping arm's body extent.
+        let ping = &item.arms[0];
+        let pong = &item.sends[0];
+        assert!(
+            (ping.lo..ping.hi).contains(&pong.ord),
+            "send ord {} not in arm [{}, {})",
+            pong.ord,
+            ping.lo,
+            ping.hi
+        );
+        let stop = &item.arms[1];
+        assert!(!(stop.lo..stop.hi).contains(&pong.ord));
+    }
+
+    #[test]
+    fn let_patterns_are_not_send_facts() {
+        let f = parse(
+            "fn f(m: Msg) {\n\
+                 if let Msg::Ping { n } = m { use_it(n); }\n\
+                 let Msg::Pong(k) = m else { return };\n\
+                 while let Msg::Tick = next() {}\n\
+             }\n",
+        );
+        assert!(fn_named(&f, "f").sends.is_empty(), "{:?}", fn_named(&f, "f").sends);
+    }
+
+    #[test]
+    fn guarded_arm_body_extent_is_past_the_guard() {
+        let f = parse(
+            "fn f(m: Msg, ready: bool) {\n\
+                 match m {\n\
+                     Msg::Ping { n } if ready && n > 0 => send(Msg::Pong(n)),\n\
+                     _ => {}\n\
+                 }\n\
+             }\n",
+        );
+        let item = fn_named(&f, "f");
+        assert_eq!(item.arms.len(), 1);
+        assert_eq!(item.sends.len(), 1, "{:?}", item.sends);
+        let arm = &item.arms[0];
+        // The guard's `n > 0` is outside the body; the Pong send is inside.
+        assert!((arm.lo..arm.hi).contains(&item.sends[0].ord));
+    }
+
+    #[test]
+    fn progress_counter_mutation_sets_advances_epoch() {
+        let f = parse(
+            "fn a(&mut self) { self.next_cp += 1; }\n\
+             fn b(&mut self, attempt: u32) { retry(GatherTimeout { attempt: attempt + 1 }); }\n\
+             fn c(&mut self) { self.counter += 1; }\n",
+        );
+        assert!(fn_named(&f, "a").advances_epoch());
+        assert!(fn_named(&f, "b").advances_epoch());
+        assert!(!fn_named(&f, "c").advances_epoch());
     }
 }

@@ -13,6 +13,13 @@
 //!   aware, `|` or-patterns included) in a handler file
 //!   (`config::MESSAGE_HANDLER_FILES`), outside `#[cfg(test)]`.
 //!
+//! Test sources contribute *no* evidence in either direction: inline
+//! `#[cfg(test)]` regions are stripped at lex/filter time, and whole
+//! test-module files (`src/tests.rs`, `tests/*.rs` — whose cfg marker
+//! lives on the `mod` declaration in the parent, invisible here) are
+//! skipped by `config::is_test_source`. A variant only a test constructs
+//! is still dead protocol surface.
+//!
 //! A variant must be both or neither-is-fine-only-if-removed: constructed
 //! without a handler, handled without a constructor, or fully dead each
 //! raise an error anchored at the variant declaration, with the evidence
@@ -26,6 +33,7 @@ use crate::callgraph::Workspace;
 use crate::config;
 use crate::diagnostics::Diagnostic;
 use crate::lexer::{Tok, TokKind};
+use crate::parser::is_arm_pattern;
 use crate::rules;
 use std::collections::BTreeMap;
 
@@ -53,6 +61,9 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
     }
 
     for (rel, pf) in &ws.files {
+        if config::is_test_source(rel) {
+            continue;
+        }
         let is_handler = config::MESSAGE_HANDLER_FILES.contains(&rel.as_str());
         let test_regions = rules::test_regions(&pf.toks);
         let live =
@@ -132,64 +143,6 @@ fn scan_file(
             ev.constructed.push((rel.to_string(), line));
         }
     }
-}
-
-/// Is the occurrence at `i` (the variant ident) a match-arm pattern? Skip
-/// an optional `{...}` / `(...)` payload, then look for `=>` (directly or
-/// past an `if` guard) or a `|` or-pattern continuation.
-fn is_arm_pattern(toks: &[Tok], i: usize) -> bool {
-    let mut j = i + 1;
-    if j < toks.len() && (toks[j].is_punct('{') || toks[j].is_punct('(')) {
-        j = skip_group(toks, j);
-    }
-    match toks.get(j).map(|t| &t.kind) {
-        Some(TokKind::Punct('|')) => true,
-        Some(TokKind::Punct('=')) => {
-            toks.get(j + 1).map(|t| t.is_punct('>')).unwrap_or(false)
-        }
-        Some(TokKind::Ident(s)) if s == "if" => {
-            // Guarded arm: scan the guard expression for its `=>`.
-            let mut depth = 0i32;
-            for k in j + 1..(j + 200).min(toks.len().saturating_sub(1)) {
-                match &toks[k].kind {
-                    TokKind::Punct('(' | '[' | '{') => depth += 1,
-                    TokKind::Punct(')' | ']' | '}') => {
-                        depth -= 1;
-                        if depth < 0 {
-                            return false;
-                        }
-                    }
-                    TokKind::Punct(';') if depth == 0 => return false,
-                    TokKind::Punct('=') if depth == 0 => {
-                        return toks.get(k + 1).map(|t| t.is_punct('>')).unwrap_or(false);
-                    }
-                    _ => {}
-                }
-            }
-            false
-        }
-        _ => false,
-    }
-}
-
-/// From an opening `{`/`(` at `open`, return the index just past its
-/// matching close.
-fn skip_group(toks: &[Tok], open: usize) -> usize {
-    let (o, c) = if toks[open].is_punct('{') { ('{', '}') } else { ('(', ')') };
-    let mut depth = 0usize;
-    let mut j = open;
-    while j < toks.len() {
-        if toks[j].is_punct(o) {
-            depth += 1;
-        } else if toks[j].is_punct(c) {
-            depth -= 1;
-            if depth == 0 {
-                return j + 1;
-            }
-        }
-        j += 1;
-    }
-    toks.len()
 }
 
 #[cfg(test)]
@@ -290,6 +243,33 @@ mod tests {
         let d = check(&w);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("`Msg::Pong` is constructed but has no handling"));
+    }
+
+    #[test]
+    fn out_of_line_test_module_contributes_no_evidence() {
+        // `crates/engine/src/tests.rs` is `#[cfg(test)] mod tests;` in the
+        // parent — no cfg marker inside the file itself, so only the
+        // test-source path filter keeps its constructions out. A variant
+        // constructed *only* there must still read as never-constructed.
+        let w = ws(&[
+            ("crates/engine/src/messages.rs", MESSAGES),
+            (
+                "crates/engine/src/task.rs",
+                "fn h(m: Msg) { match m { Msg::Ping { .. } => {}, Msg::Pong(_) => {} } }\n\
+                 fn send() { emit(Msg::Ping { n: 1 }); }\n",
+            ),
+            (
+                "crates/engine/src/tests.rs",
+                "fn t() { emit(Msg::Pong(7)); }\n",
+            ),
+            (
+                "crates/engine/src/state/tests/fixtures.rs",
+                "fn t() { emit(Msg::Pong(8)); }\n",
+            ),
+        ]);
+        let d = check(&w);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`Msg::Pong` has a handling match arm but is never constructed"));
     }
 
     #[test]

@@ -21,13 +21,16 @@ if [[ -z "$lint_ms" ]]; then
   exit 1
 fi
 if [[ "$lint_ms" -gt 2000 ]]; then
-  echo "ERROR: clonos-lint analysis took ${lint_ms} ms (> 2000 ms budget) — the call-graph/lockgraph passes regressed" >&2
+  echo "ERROR: clonos-lint analysis took ${lint_ms} ms (> 2000 ms budget) — the call-graph/lockgraph/causal passes regressed" >&2
   exit 1
 fi
 echo "== lint: analysis wall time ${lint_ms} ms (budget 2000 ms) =="
 
 echo "== chaos: bounded seed sweep (25 seeds x 3 modes, release) =="
 CHAOS_SEEDS=25 cargo test --release -q -p clonos-integration --test chaos_sweep
+
+echo "== conformance: causal traces vs results/causal_spec.json (25 seeds x 4 FT modes, release) =="
+CHAOS_SEEDS=25 cargo test --release -q -p clonos-integration --test causal_conformance
 
 echo "== bench: checkpoint smoke (full-vs-delta barrier encoding) =="
 BENCH_CHECKPOINT_SMOKE=1 cargo run --release -q -p clonos-bench --bin bench_checkpoint

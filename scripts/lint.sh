@@ -14,20 +14,30 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== lint: clonos-lint (per-file + call-graph + lockgraph) =="
+echo "== lint: clonos-lint (per-file + call-graph + lockgraph + causal) =="
 cargo build --release -q -p clonos-lint
+mkdir -p results
 errfile=$(mktemp)
 status=0
-target/release/clonos-lint "$@" 2>"$errfile" || status=$?
+target/release/clonos-lint --emit-spec results/causal_spec.json "$@" 2>"$errfile" || status=$?
 cat "$errfile" >&2
 ms=$(sed -n 's/.* in \([0-9][0-9]*\) ms$/\1/p' "$errfile" | head -n1)
+causal=$(sed -n 's/^clonos-lint: \(lockgraph pass .*\)$/\1/p' "$errfile" | head -n1)
 rm -f "$errfile"
 if [[ -n "${ms:-}" ]]; then
   echo "== lint: call-graph analysis wall time: ${ms} ms =="
+  if [[ -n "${causal:-}" ]]; then
+    echo "== lint: per-pass timing: ${causal} =="
+  fi
   if [[ -n "${LINT_TIME_FILE:-}" ]]; then
     echo "$ms" >"$LINT_TIME_FILE"
   fi
 fi
+if [[ ! -s results/causal_spec.json ]]; then
+  echo "ERROR: causal spec results/causal_spec.json missing or empty" >&2
+  exit 1
+fi
+echo "== lint: causal spec published to results/causal_spec.json =="
 
 # JSON artifact for CI / downstream tooling (never gates; the exit status
 # above does). Re-runs the analysis in --json mode only if the user didn't
